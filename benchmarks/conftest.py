@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` module regenerates one evaluation artefact of the
+paper (see DESIGN.md's experiment index).  Benches both *time* the harness
+unit with pytest-benchmark and *assert* the paper's shape criteria
+(linearity, orderings, overhead bounds, slope ratios), printing the
+regenerated table so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the figures as text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    return print_block

@@ -1,0 +1,65 @@
+"""A2 — store backend ablation.
+
+PReServ's layered design (Figure 3) makes backends pluggable; this bench
+compares record throughput and reopen/replay cost of the memory, filesystem
+and kvlog (embedded database) backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.ablation import backends_table, run_backends
+from repro.figures.microbench import pregenerated_record
+from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+
+
+@pytest.fixture(scope="module")
+def points(tmp_path_factory):
+    return run_backends(tmp_path_factory.mktemp("backends"), records=300)
+
+
+def test_bench_backend_comparison(benchmark, points, report):
+    benchmark.pedantic(
+        lambda: [p.records_per_second for p in points], rounds=1, iterations=1
+    )
+    report("A2: store backend ablation", backends_table(points))
+    by_name = {p.backend: p for p in points}
+    assert by_name["memory"].record_s <= by_name["filesystem"].record_s
+    for p in points:
+        benchmark.extra_info[f"{p.backend}_rps"] = round(p.records_per_second)
+
+
+@pytest.mark.parametrize("backend_name", ["memory", "filesystem", "kvlog"])
+def test_bench_record_throughput(benchmark, backend_name, tmp_path):
+    if backend_name == "memory":
+        backend = MemoryBackend()
+    elif backend_name == "filesystem":
+        backend = FileSystemBackend(tmp_path / "fs")
+    else:
+        backend = KVLogBackend(tmp_path / "kv.db")
+    records = [pregenerated_record(i) for i in range(20_000)]
+    counter = iter(range(20_000))
+
+    def put_one():
+        backend.put(records[next(counter)].assertion)
+
+    benchmark.pedantic(put_one, rounds=200, iterations=1)
+    backend.close()
+
+
+def test_bench_kvlog_reopen(benchmark, tmp_path):
+    """Replay cost: rebuilding indexes from the log on open."""
+    path = tmp_path / "kv.db"
+    backend = KVLogBackend(path)
+    for i in range(500):
+        backend.put(pregenerated_record(i).assertion)
+    backend.close()
+
+    def reopen():
+        b = KVLogBackend(path)
+        n = b.counts().interaction_passertions
+        b.close()
+        return n
+
+    assert benchmark.pedantic(reopen, rounds=5, iterations=1) == 500

@@ -1,0 +1,61 @@
+"""A4 — distributed PReServ scalability (§7 future work, implemented).
+
+Parallel submission into several store instances: throughput should scale
+near-linearly with the instance count while submitters keep every instance
+busy — the property motivating the paper's distributed design.  Also
+benchmarks consolidation of a distributed corpus into one store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.distributed import run_scaling, scaling_table, simulate_submission
+from repro.figures.microbench import pregenerated_record
+from repro.store.backends import MemoryBackend
+from repro.store.distributed import StoreRouter, consolidate
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scaling(store_counts=(1, 2, 4, 8), n_submitters=8, n_records=600)
+
+
+def test_bench_parallel_submission_scaling(benchmark, points, report):
+    benchmark.pedantic(
+        lambda: simulate_submission(4, n_submitters=8, n_records=600),
+        rounds=5,
+        iterations=1,
+    )
+    report("A4: distributed PReServ — parallel submission scaling", scaling_table(points))
+
+    by_stores = {p.stores: p for p in points}
+    # Throughput grows monotonically with instances.
+    rates = [by_stores[n].records_per_second for n in (1, 2, 4, 8)]
+    assert rates == sorted(rates)
+    # Near-linear up to 4 instances with 8 submitters (hash skew allows slack).
+    assert by_stores[2].records_per_second > 1.6 * by_stores[1].records_per_second
+    assert by_stores[4].records_per_second > 2.6 * by_stores[1].records_per_second
+    # A single instance is exactly the serial 18 ms pipeline.
+    assert by_stores[1].makespan_s == pytest.approx(600 * 0.018, rel=0.01)
+    for p in points:
+        benchmark.extra_info[f"rps_{p.stores}_stores"] = round(p.records_per_second)
+
+
+def test_bench_consolidation(benchmark):
+    """Wall-clock cost of merging a 3-store corpus into one."""
+
+    def build_router():
+        router = StoreRouter({f"s{i}": MemoryBackend() for i in range(3)})
+        for i in range(300):
+            router.put(pregenerated_record(i).assertion)
+        return router
+
+    def merge():
+        router = build_router()
+        target = MemoryBackend()
+        return consolidate(router, target)
+
+    moved_p, moved_g = benchmark.pedantic(merge, rounds=5, iterations=1)
+    assert moved_p == 300
+    assert moved_g == 0

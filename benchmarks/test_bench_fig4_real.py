@@ -1,0 +1,81 @@
+"""E2 (real-time companion) — recording overhead on the real in-process stack.
+
+The modelled Figure 4 uses testbed-calibrated virtual time; this bench runs
+the *actual* instrumented workflow (real compression, real store writes)
+over a small permutation sweep and wall-clocks it per recording mode.
+Assertions are structural (identical store contents across modes, linear
+growth of work with permutations); wall-clock orderings are reported but
+not asserted — in-process recording is so cheap that mode differences sit
+inside measurement noise, which is itself a finding: the paper's overhead
+comes from network round trips, not record construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.app.experiment import Experiment, ExperimentConfig
+from repro.core.recorder import RecordingMode
+from repro.figures.stats import format_table, linear_fit
+
+SWEEP = (1, 2, 4, 6)
+MODES = (RecordingMode.NONE, RecordingMode.ASYNCHRONOUS, RecordingMode.SYNCHRONOUS)
+
+
+def run_real(mode: RecordingMode, n_permutations: int):
+    exp = Experiment(
+        ExperimentConfig(
+            sample_bytes=1500,
+            n_permutations=n_permutations,
+            recording=mode,
+            record_scripts=mode is not RecordingMode.NONE,
+        )
+    )
+    start = time.perf_counter()
+    result = exp.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, result, exp
+
+
+@pytest.fixture(scope="module")
+def sweep_data():
+    data = {}
+    for mode in MODES:
+        data[mode] = [run_real(mode, n) for n in SWEEP]
+    return data
+
+
+def test_bench_real_workflow_sweep(benchmark, sweep_data, report):
+    benchmark.pedantic(
+        lambda: run_real(RecordingMode.ASYNCHRONOUS, 4), rounds=3, iterations=1
+    )
+    headers = ["permutations"] + [m.value for m in MODES]
+    rows = []
+    for i, n in enumerate(SWEEP):
+        rows.append(
+            [n] + [f"{sweep_data[m][i][0] * 1000:.1f} ms" for m in MODES]
+        )
+    report("E2 (real time): instrumented workflow wall clock", format_table(headers, rows))
+
+    # Work grows linearly with permutations (bus calls are exact).
+    for mode in MODES:
+        calls = [r.bus_calls for _, r, _ in sweep_data[mode]]
+        fit = linear_fit(list(SWEEP), calls)
+        assert fit.is_linear
+
+    # All recording modes capture identical provenance content.
+    async_exp = sweep_data[RecordingMode.ASYNCHRONOUS][0][2]
+    sync_exp = sweep_data[RecordingMode.SYNCHRONOUS][0][2]
+    ac, sc = async_exp.backend.counts(), sync_exp.backend.counts()
+    assert ac.interaction_passertions == sc.interaction_passertions
+    assert ac.actor_state_passertions == sc.actor_state_passertions
+    none_exp = sweep_data[RecordingMode.NONE][0][2]
+    assert none_exp.backend.counts().total == 0
+
+    # Science is unaffected by the recording mode.
+    values = {
+        mode: sweep_data[mode][2][1].compressibility("gz-like") for mode in MODES
+    }
+    assert len(set(values.values())) == 1

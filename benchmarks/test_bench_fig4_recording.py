@@ -1,0 +1,72 @@
+"""E2 — Figure 4: recording overhead vs number of permutations.
+
+Regenerates all four curves (no recording / async / sync / sync+extra) over
+the paper's 100-800 permutation sweep and checks the shape criteria:
+linearity (r > 0.99), curve ordering, and async overhead < 10 %.
+
+The benchmark times one full 800-permutation simulation (the costliest
+point of the sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.costmodel import Fig4CostModel, RecordingConfig
+from repro.figures.fig4 import (
+    DEFAULT_PERMUTATIONS,
+    fig4_table,
+    run_fig4,
+    simulate_run,
+)
+from repro.figures.stats import relative_overhead
+
+
+@pytest.fixture(scope="module")
+def series():
+    return run_fig4(permutations=DEFAULT_PERMUTATIONS)
+
+
+def test_bench_fig4_full_sweep(benchmark, series, report):
+    benchmark.pedantic(
+        lambda: simulate_run(Fig4CostModel(), RecordingConfig.SYNC_EXTRA, 800),
+        rounds=10,
+        iterations=1,
+    )
+    report("E2: Figure 4 — recording overhead", fig4_table(series))
+
+    baseline = series[RecordingConfig.NONE]
+    for config, s in series.items():
+        fit = s.fit()
+        benchmark.extra_info[f"r_{config.value}"] = round(fit.correlation, 5)
+        # Paper: every plot has correlation coefficient > 0.99.
+        assert fit.is_linear, f"{config.value} not linear (r={fit.correlation})"
+
+    # Paper: ordering none < async < sync < sync+extra at every point.
+    for i in range(len(baseline.points)):
+        values = [
+            series[c].points[i].execution_time_s
+            for c in (
+                RecordingConfig.NONE,
+                RecordingConfig.ASYNC,
+                RecordingConfig.SYNC,
+                RecordingConfig.SYNC_EXTRA,
+            )
+        ]
+        assert values == sorted(values)
+
+    # Paper headline: asynchronous overhead stays under 10 %.
+    overhead = relative_overhead(
+        baseline.ys(), series[RecordingConfig.ASYNC].ys()
+    )
+    benchmark.extra_info["async_overhead_pct"] = round(overhead * 100, 2)
+    assert overhead < 0.10
+
+
+def test_bench_fig4_single_point(benchmark):
+    """One 100-permutation run under async recording (the default config)."""
+    benchmark.pedantic(
+        lambda: simulate_run(Fig4CostModel(), RecordingConfig.ASYNC, 100),
+        rounds=20,
+        iterations=1,
+    )

@@ -1,0 +1,82 @@
+"""E3/E4 — Figure 5: execution comparison and semantic validity vs store size.
+
+Regenerates both curves over stores of increasing size and checks the shape
+criteria: both linear (r > 0.99), semantic slope ~11x script-comparison
+slope, script retrieval+map ~15 ms per interaction record.
+
+The benchmark times the real (wall-clock) use-case implementations over a
+fixed store, demonstrating they are linear and performant in practice too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.experiment import Experiment, ExperimentConfig
+from repro.core.client import ProvenanceQueryClient
+from repro.figures.fig5 import fig5_table, run_fig5
+from repro.figures.synthstore import populate_store
+from repro.registry.client import RegistryClient
+from repro.usecases.comparison import categorise_scripts
+from repro.usecases.semantic import validate_session
+
+#: Matches the paper's x axis, which reaches 4000 interaction records.
+SIZES = (250, 500, 1000, 2000, 4000)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return run_fig5(sizes=SIZES)
+
+
+@pytest.fixture(scope="module")
+def populated():
+    exp = Experiment(ExperimentConfig())
+    spec = populate_store(exp.backend, 500, script_for=exp.script_for)
+    return exp, spec
+
+
+def test_bench_fig5_shape(benchmark, series, report):
+    from repro.figures.fig5 import measure_point
+
+    benchmark.pedantic(lambda: measure_point(250), rounds=5, iterations=1)
+    report("E3/E4: Figure 5 — use-case query performance", fig5_table(series))
+
+    script_fit = series.script_fit()
+    semantic_fit = series.semantic_fit()
+    benchmark.extra_info["script_r"] = round(script_fit.correlation, 5)
+    benchmark.extra_info["semantic_r"] = round(semantic_fit.correlation, 5)
+    benchmark.extra_info["slope_ratio"] = round(series.slope_ratio(), 2)
+
+    # Paper: both plots linear with r > 0.99.
+    assert script_fit.is_linear
+    assert semantic_fit.is_linear
+    # Paper: ~15 ms to retrieve and map one script.
+    assert 0.014 <= script_fit.slope <= 0.017
+    # Paper: semantic-validity slope about 11x higher.
+    assert 9.0 <= series.slope_ratio() <= 12.0
+
+
+def test_bench_uc1_script_comparison_real(benchmark, populated):
+    """Wall-clock script categorisation over a 500-record store."""
+    exp, _ = populated
+
+    def categorise():
+        return categorise_scripts(ProvenanceQueryClient(exp.bus))
+
+    result = benchmark.pedantic(categorise, rounds=5, iterations=1)
+    assert result.interactions_scanned == 500
+
+
+def test_bench_uc2_semantic_validation_real(benchmark, populated):
+    """Wall-clock semantic validation of one 50-record session."""
+    exp, spec = populated
+    store = ProvenanceQueryClient(exp.bus, client_endpoint="bench-uc2-store")
+    registry = RegistryClient(exp.bus, client_endpoint="bench-uc2-registry")
+    ontology = registry.get_ontology()
+
+    def validate():
+        return validate_session(store, registry, spec.sessions[0], ontology=ontology)
+
+    report = benchmark.pedantic(validate, rounds=5, iterations=1)
+    assert report.valid

@@ -1,0 +1,40 @@
+"""A1 — granularity ablation (§6/§7 discussion).
+
+"Like a scheduler requires a granularity coarse enough to offset the
+overhead of automatic scheduling, automatic recording of p-assertions has
+an acceptable cost if the granularity of activities is coarse enough."
+
+Sweeps the permutations-per-script batch size and reports total time and
+recording overhead per configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.ablation import granularity_table, run_granularity
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_granularity(
+        batch_sizes=(1, 5, 10, 25, 50, 100, 200), n_permutations=400
+    )
+
+
+def test_bench_granularity_sweep(benchmark, points, report):
+    benchmark.pedantic(
+        lambda: run_granularity(batch_sizes=(1, 100), n_permutations=400),
+        rounds=5,
+        iterations=1,
+    )
+    report("A1: granularity ablation", granularity_table(points))
+
+    by_batch = {p.permutations_per_script: p for p in points}
+    # Coarser scripts reduce total execution time monotonically.
+    totals = [by_batch[b].none_s for b in (1, 5, 10, 25, 50, 100, 200)]
+    assert totals == sorted(totals, reverse=True)
+    # Recording overhead stays bounded at all granularities.
+    for p in points:
+        assert 0.0 < p.overhead < 0.2
+    benchmark.extra_info["overhead_at_100"] = round(by_batch[100].overhead, 4)

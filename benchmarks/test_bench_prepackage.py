@@ -1,0 +1,77 @@
+"""A5 — pre-packaged p-assertions ablation (§7).
+
+"Static analysis of workflows would be useful to pre-package some of the
+p-assertions to be recorded, leaving less to perform at runtime."  This
+bench quantifies the runtime saving: producing a record document from a
+compiled template (two string substitutions) vs constructing and
+serializing the XML from scratch per record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import ViewKind
+from repro.core.prepackage import (
+    PrepackagedTemplates,
+    analyse_workflow,
+    build_from_scratch,
+)
+from repro.grid.dag import Activity, WorkflowDag
+
+
+@pytest.fixture(scope="module")
+def workflow_templates():
+    dag = WorkflowDag("compressibility")
+    dag.add_activity(Activity("collate"))
+    dag.add_activity(Activity("encode"), after=["collate"])
+    dag.add_activity(Activity("compress"), after=["encode"])
+    dag.add_activity(Activity("measure"), after=["compress"])
+    dag.add_activity(Activity("add_size"), after=["measure"])
+    return analyse_workflow(dag)
+
+
+def test_bench_record_prep_from_scratch(benchmark, workflow_templates):
+    template = workflow_templates[2]
+    counter = iter(range(10_000_000))
+
+    def build():
+        i = next(counter)
+        return build_from_scratch(template, ViewKind.SENDER, f"m-{i}", f"d-{i}")
+
+    text = benchmark(build)
+    assert "compress" in text
+
+
+def test_bench_record_prep_prepackaged(benchmark, workflow_templates, report):
+    pkg = PrepackagedTemplates(workflow_templates, session_id="bench")
+    counter = iter(range(10_000_000))
+
+    def instantiate():
+        i = next(counter)
+        return pkg.instantiate("compress", ViewKind.SENDER, f"m-{i}", f"d-{i}")
+
+    text = benchmark(instantiate)
+    assert "compress" in text
+
+    # Quantify the saving once, outside the timed region.
+    import time
+
+    n = 2000
+    start = time.perf_counter()
+    for i in range(n):
+        pkg.instantiate("compress", ViewKind.SENDER, f"x-{i}", f"d-{i}")
+    fast = time.perf_counter() - start
+    template = workflow_templates[2]
+    start = time.perf_counter()
+    for i in range(n):
+        build_from_scratch(template, ViewKind.SENDER, f"x-{i}", f"d-{i}")
+    slow = time.perf_counter() - start
+    speedup = slow / fast
+    report(
+        "A5: pre-packaged p-assertions",
+        f"from-scratch record prep:  {slow / n * 1e6:.1f} us/record\n"
+        f"pre-packaged record prep:  {fast / n * 1e6:.1f} us/record\n"
+        f"speedup: {speedup:.1f}x",
+    )
+    assert speedup > 2.0

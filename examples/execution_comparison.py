@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Use case 1 walkthrough: why did two runs of the same experiment differ?
+
+The paper's §3 scenario: a bioinformatician downloads the same sequence
+data twice (the database release is pinned, so the bytes are identical),
+runs the compressibility experiment both times — and gets different
+results.  Provenance answers *why*: between the runs, the Encode-by-Groups
+service was reconfigured from the hp2 grouping to dayhoff6, and the scripts
+recorded as actor-state p-assertions prove it.
+
+Run:  python examples/execution_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.app import Experiment, ExperimentConfig
+from repro.core.client import ProvenanceQueryClient
+from repro.usecases.comparison import categorise_scripts, compare_sessions
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        sample_bytes=3000,
+        n_permutations=4,
+        grouping="hp2",
+        record_scripts=True,   # scripts must be recorded for UC1
+        release=1,             # pin the database release: same data both runs
+    )
+    experiment = Experiment(config)
+
+    print("run 1: compressibility experiment with encode grouping 'hp2'")
+    run1 = experiment.run()
+    value1 = run1.compressibility("gz-like")
+    print(f"  result: {value1:.4f}   (session {run1.session_id})")
+
+    # Someone upgrades the encoding service between the runs...
+    experiment.encode.reconfigure("dayhoff6", version="2.0")
+
+    print("run 2: same data (release pinned), same workflow, re-run")
+    run2 = experiment.run()
+    value2 = run2.compressibility("gz-like")
+    print(f"  result: {value2:.4f}   (session {run2.session_id})")
+
+    print(f"\nB compares the two experiment results and notices a difference:")
+    print(f"  {value1:.4f} vs {value2:.4f}")
+
+    print("\nB queries the provenance store to find out why...")
+    categorisation = categorise_scripts(ProvenanceQueryClient(experiment.bus))
+    print(f"  scanned {categorisation.interactions_scanned} interaction records "
+          f"({categorisation.store_calls} store invocations)")
+    comparison = compare_sessions(
+        categorisation, run1.session_id, run2.session_id
+    )
+
+    if comparison.same_process:
+        print("  verdict: both runs used the same scientific process.")
+    else:
+        print("  verdict: the runs did NOT use the same process.")
+        for service in comparison.changed_services():
+            fps_a, fps_b = comparison.changed[service]
+            print(f"  changed service: {service}")
+            for fp in sorted(fps_a):
+                print(f"    run 1 script [{fp}]:")
+                for line in categorisation.categories[fp].content.splitlines():
+                    print(f"      | {line}")
+            for fp in sorted(fps_b):
+                print(f"    run 2 script [{fp}]:")
+                for line in categorisation.categories[fp].content.splitlines():
+                    print(f"      | {line}")
+        print(f"  unchanged services: {', '.join(comparison.unchanged)}")
+
+    assert comparison.changed_services() == ["encode-by-groups"]
+    print("\nProvenance pinpointed the reconfigured algorithm. QED.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The scientific application: which amino-acid grouping maximises
+compressibility?
+
+Section 2: "The results of this experiment can, for example, be used to
+determine the amino acid groupings that maximise compressibility."  This
+example sweeps every built-in reduced alphabet against several compressors
+and reports the shuffle-normalised compressibility per combination,
+with the permutation-derived standard deviation.
+
+Run:  python examples/grouping_search.py
+"""
+
+from __future__ import annotations
+
+from repro.bio.analysis import SizeRow, SizesTable, average_results
+from repro.bio.encode import encode_by_groups
+from repro.bio.groupings import available_groupings, get_grouping
+from repro.bio.refseq import RefSeqDatabase, sample_of_size
+from repro.bio.shuffle import permutations_of
+from repro.compress.api import get_compressor
+
+SAMPLE_BYTES = 3000
+N_PERMUTATIONS = 5
+CODECS = ("gz-like", "bz-like", "gzip", "bzip2")
+
+
+def evaluate(sample: str, grouping_name: str, codec_name: str):
+    scheme = get_grouping(grouping_name)
+    encoded = encode_by_groups(sample, scheme)
+    codec = get_compressor(codec_name)
+    table = SizesTable()
+    table.add(
+        SizeRow(
+            label="sample",
+            codec=codec_name,
+            original_size=len(encoded),
+            compressed_size=codec.compressed_size(encoded.encode()),
+        )
+    )
+    for i, perm in enumerate(permutations_of(encoded, N_PERMUTATIONS, seed=42)):
+        table.add(
+            SizeRow(
+                label=f"perm-{i}",
+                codec=codec_name,
+                original_size=len(perm),
+                compressed_size=codec.compressed_size(perm.encode()),
+            )
+        )
+    return average_results(table)[codec_name]
+
+
+def main() -> None:
+    db = RefSeqDatabase(seed=7)
+    accessions, sample = sample_of_size(db, SAMPLE_BYTES)
+    print(f"sample: {len(sample)} residues from {len(accessions)} proteins")
+    print(f"permutation standard: {N_PERMUTATIONS} shuffles per measurement\n")
+
+    header = f"{'grouping':<12} {'groups':>6} " + "".join(
+        f"{c:>18}" for c in CODECS
+    )
+    print(header)
+    print("-" * len(header))
+
+    best = None
+    for grouping_name in available_groupings():
+        scheme = get_grouping(grouping_name)
+        row = [f"{grouping_name:<12} {scheme.n_groups:>6}"]
+        for codec_name in CODECS:
+            result = evaluate(sample, grouping_name, codec_name)
+            row.append(
+                f"  {result.compressibility:.4f}+/-{result.compressibility_std:.4f}"
+            )
+            if best is None or result.compressibility < best[2]:
+                best = (grouping_name, codec_name, result.compressibility)
+        print("".join(row))
+
+    grouping, codec, value = best
+    print(
+        f"\nmost structure exposed by grouping {grouping!r} under {codec!r}: "
+        f"compressibility {value:.4f}"
+    )
+    print("(< 1.0 means the real sequence compresses better than its "
+          "shuffles: context structure detected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: run one instrumented protein compressibility experiment.
+
+Stands up the full deployment (synthetic RefSeq, message bus, PReServ
+provenance store, Grimoires registry, workflow services), runs the paper's
+Figure 1 workflow with asynchronous provenance recording, and prints the
+scientific result plus what the provenance store captured.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.app import Experiment, ExperimentConfig
+from repro.core.query import build_trace, data_lineage
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        sample_bytes=4000,       # the paper used ~100 KB; keep the demo quick
+        n_permutations=5,        # permutations form the comparison standard
+        grouping="hp2",          # hydrophobic/polar reduced alphabet
+        codecs=("gz-like",),     # our from-scratch LZ77+Huffman codec
+        record_scripts=True,     # extra actor provenance (use case 1 needs it)
+    )
+    experiment = Experiment(config)
+    result = experiment.run()
+
+    print("=== Protein compressibility experiment ===")
+    print(f"session:              {result.session_id}")
+    print(f"sample accessions:    {', '.join(result.run.sample_accessions)}")
+    for codec in config.codecs:
+        value = result.compressibility(codec)
+        std = result.run.compressibility_std(codec)
+        print(f"compressibility[{codec}]: {value:.4f} +/- {std:.4f}")
+        if value < 1.0:
+            print("  -> sample compresses better than its permutations:")
+            print("     the sequence carries structure beyond symbol frequencies.")
+
+    print("\n=== What provenance recorded ===")
+    counts = experiment.backend.counts()
+    print(f"interaction records:        {counts.interaction_records}")
+    print(f"interaction p-assertions:   {counts.interaction_passertions}")
+    print(f"actor-state p-assertions:   {counts.actor_state_passertions}")
+    print(f"group assertions:           {counts.group_assertions}")
+    print(f"records flushed (async):    {result.records_flushed}")
+
+    print("\n=== Lineage of the final result ===")
+    trace = build_trace(experiment.backend, result.session_id)
+    average_id = result.run.message_ids["average"]
+    lineage = data_lineage(trace, average_id)
+    print(f"the Average output ({average_id}) derives from "
+          f"{len(lineage)} recorded interactions,")
+    print(f"rooted at the Collate Sample call "
+          f"({result.run.message_ids['collate']} in roots: "
+          f"{result.run.message_ids['collate'] in trace.roots()})")
+
+
+if __name__ == "__main__":
+    main()

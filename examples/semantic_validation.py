@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Use case 2 walkthrough: catching the nucleotide-for-protein mistake.
+
+The nucleotide alphabet {A, C, G, T} is a subset of the amino-acid
+alphabet, so a DNA sequence accidentally fed to the protein-only
+Encode-by-Groups service raises *no error anywhere* — the workflow runs to
+completion and produces a meaningless number.  A reviewer later validates
+the recorded provenance against the registry's semantic annotations and the
+ontology, and the type mismatch surfaces.
+
+Run:  python examples/semantic_validation.py
+"""
+
+from __future__ import annotations
+
+from repro.app import Experiment, ExperimentConfig
+from repro.core.client import ProvenanceQueryClient
+from repro.registry.client import RegistryClient
+from repro.usecases.semantic import validate_session
+
+
+def main() -> None:
+    experiment = Experiment(
+        ExperimentConfig(sample_bytes=3000, n_permutations=3, record_scripts=True)
+    )
+
+    print("A correct run first: sample drawn from the protein database.")
+    good = experiment.run()
+    print(f"  compressibility: {good.compressibility('gz-like'):.4f}")
+
+    print("\nNow the accident: the sample comes from the nucleotide database.")
+    bad = experiment.run(
+        sample_source_endpoint="nucleotide-db",
+        sample_source_operation="fetch",
+    )
+    print("  the workflow ran WITHOUT ANY ERROR (syntactically fine)...")
+    print(f"  compressibility: {bad.compressibility('gz-like'):.4f}  <- meaningless!")
+
+    print("\nThe reviewer validates both sessions against the registry:")
+    store = ProvenanceQueryClient(experiment.bus, client_endpoint="reviewer-store")
+    registry = RegistryClient(experiment.bus, client_endpoint="reviewer-registry")
+    ontology = registry.get_ontology()
+
+    for label, result in (("correct run", good), ("suspect run", bad)):
+        report = validate_session(
+            store, registry, result.session_id, ontology=ontology
+        )
+        status = "VALID" if report.valid else "SEMANTICALLY INVALID"
+        print(f"\n  {label} ({result.session_id}): {status}")
+        print(f"    interactions checked: {report.interactions_checked}"
+              f" ({report.store_calls} store calls, "
+              f"{report.registry_calls} registry calls)")
+        for violation in report.violations:
+            print(f"    VIOLATION: {violation.describe()}")
+
+    report = validate_session(store, registry, bad.session_id, ontology=ontology)
+    assert not report.valid
+    v = report.violations[0]
+    assert (v.produced_type, v.consumed_type) == (
+        "nucleotide-sequence",
+        "amino-acid-sequence",
+    )
+    print("\nThe ontology knows nucleotide-sequence is not an amino-acid"
+          " sequence,\neven though every character looked legal. QED.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` / legacy editable installs where PEP 660
+wheel building is unavailable (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

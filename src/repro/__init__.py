@@ -1,0 +1,41 @@
+"""repro: reproduction of Groth et al., "Recording and Using Provenance in a
+Protein Compressibility Experiment" (HPDC 2005).
+
+The package reimplements, in pure Python, the paper's full stack:
+
+* the **p-assertion provenance model** and **PReP** recording protocol
+  (:mod:`repro.core`),
+* the **PReServ** provenance store with memory / filesystem / embedded-
+  database backends (:mod:`repro.store`),
+* the **Grimoires**-style registry with semantic annotations
+  (:mod:`repro.registry`),
+* the **protein compressibility** Grid application — synthetic RefSeq,
+  reduced-alphabet encoding, real from-scratch compressors, the Figure 1/2
+  workflow (:mod:`repro.bio`, :mod:`repro.compress`, :mod:`repro.app`),
+* the **grid substrate** (Condor/DAGMan-style scheduling on a discrete-
+  event simulator) and the **SOA substrate** (XML, envelopes, message bus)
+  (:mod:`repro.grid`, :mod:`repro.simkit`, :mod:`repro.soa`),
+* the paper's two **use cases** and the **figure harnesses**
+  (:mod:`repro.usecases`, :mod:`repro.figures`).
+
+Quickstart::
+
+    from repro.app import Experiment, ExperimentConfig
+
+    exp = Experiment(ExperimentConfig(record_scripts=True))
+    result = exp.run()
+    print(result.compressibility("gz-like"), result.records_submitted)
+"""
+
+__version__ = "1.0.0"
+
+from repro.app.experiment import Experiment, ExperimentConfig, ExperimentResult
+from repro.core.recorder import RecordingMode
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RecordingMode",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""The protein compressibility experiment, assembled.
+
+Wires the paper's Figure 1 / Figure 2 workflow over the SOA bus with full
+provenance instrumentation:
+
+* :mod:`repro.app.services` — the workflow activities as service actors
+  (Collate Sample, Encode by Groups, compression, Measure Size, Collate
+  Sizes, Average), each carrying its ~100-byte script,
+* :mod:`repro.app.workflow` — the client-side workflow engine driving the
+  activities with thread tags and causal (caused-by) links,
+* :mod:`repro.app.experiment` — one-call assembly of database, bus, store,
+  registry, recorder and interceptor; runs experiments end to end,
+* :mod:`repro.app.costmodel` — the testbed-calibrated cost model behind the
+  Figure 4 simulation.
+"""
+
+from repro.app.services import (
+    AverageService,
+    CollateSampleService,
+    CollateSizesService,
+    CompressService,
+    EncodeByGroupsService,
+    MeasureSizeService,
+    NucleotideSourceService,
+    ShuffleService,
+)
+from repro.app.workflow import CompressibilityWorkflow, WorkflowRunResult
+from repro.app.vdlrunner import COMPRESSIBILITY_VDL, VdlRunOutcome, VdlWorkflowRunner
+from repro.app.experiment import Experiment, ExperimentConfig, ExperimentResult
+from repro.app.costmodel import Fig4CostModel, RecordingConfig
+
+__all__ = [
+    "AverageService",
+    "COMPRESSIBILITY_VDL",
+    "VdlRunOutcome",
+    "VdlWorkflowRunner",
+    "CollateSampleService",
+    "CollateSizesService",
+    "CompressService",
+    "CompressibilityWorkflow",
+    "EncodeByGroupsService",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Fig4CostModel",
+    "MeasureSizeService",
+    "NucleotideSourceService",
+    "RecordingConfig",
+    "ShuffleService",
+    "WorkflowRunResult",
+]

@@ -1,0 +1,332 @@
+"""End-to-end experiment assembly.
+
+One object that stands up the whole deployment of Section 6 — database,
+message bus, PReServ (chosen backend), Grimoires registry with the
+experiment ontology and annotated service descriptions, workflow services,
+recorder and interceptor — and runs compressibility experiments on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.app.services import (
+    AverageService,
+    CollateSampleService,
+    CollateSizesService,
+    CompressService,
+    EncodeByGroupsService,
+    MeasureSizeService,
+    NucleotideSourceService,
+    ShuffleService,
+)
+from repro.app.workflow import CompressibilityWorkflow, WorkflowRunResult
+from repro.bio.refseq import RefSeqDatabase
+from repro.core.client import ProvenanceQueryClient
+from repro.core.instrument import ProvenanceInterceptor
+from repro.core.recorder import Journal, ProvenanceRecorder, RecordingMode
+from repro.registry.client import RegistryClient
+from repro.registry.ontology import (
+    T_AA_SEQUENCE,
+    T_COMPRESSED,
+    T_DATA,
+    T_ENCODED,
+    T_NT_SEQUENCE,
+    T_RESULT,
+    T_SAMPLE,
+    T_SIZE,
+    T_SIZES_TABLE,
+    build_experiment_ontology,
+)
+from repro.registry.service import GrimoiresRegistry
+from repro.registry.wsdl import (
+    MessagePart,
+    OperationDescription,
+    PartKey,
+    ServiceDescription,
+)
+from repro.soa.bus import LatencyModel, MessageBus
+from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+from repro.store.interface import ProvenanceStoreInterface
+from repro.store.service import PReServActor
+
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs for one experiment run."""
+
+    sample_bytes: int = 4000
+    n_permutations: int = 3
+    grouping: str = "hp2"
+    codecs: Tuple[str, ...] = ("gz-like",)
+    recording: RecordingMode = RecordingMode.ASYNCHRONOUS
+    record_scripts: bool = False
+    seed: int = 7
+    release: Optional[int] = None
+    organism: Optional[str] = None
+    store_backend: str = "memory"
+    store_path: Optional[Path] = None
+    journal_path: Optional[Path] = None
+    #: virtual-time latency charged per store call (the paper's ~15 ms
+    #: retrieve-and-map unit uses the same service).
+    store_latency_s: float = 0.015
+    #: virtual-time latency charged per registry call.
+    registry_latency_s: float = 0.015
+
+
+@dataclass
+class ExperimentResult:
+    """One run's outputs plus recording statistics."""
+
+    run: WorkflowRunResult
+    session_id: str
+    records_submitted: int
+    records_flushed: int
+    bus_calls: int
+    virtual_time_s: float
+
+    def compressibility(self, codec: str) -> float:
+        return self.run.compressibility(codec)
+
+
+def _make_backend(config: ExperimentConfig) -> ProvenanceStoreInterface:
+    if config.store_backend == "memory":
+        return MemoryBackend()
+    if config.store_path is None:
+        raise ValueError(
+            f"backend {config.store_backend!r} requires config.store_path"
+        )
+    if config.store_backend == "filesystem":
+        return FileSystemBackend(config.store_path)
+    if config.store_backend == "kvlog":
+        return KVLogBackend(config.store_path)
+    raise ValueError(f"unknown store backend {config.store_backend!r}")
+
+
+class Experiment:
+    """A deployed instance of the provenance architecture + application."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None, db: Optional[RefSeqDatabase] = None):
+        self.config = config or ExperimentConfig()
+        self.db = db or RefSeqDatabase(seed=self.config.seed)
+        self.bus = MessageBus()
+
+        # --- provenance store -------------------------------------------
+        self.backend = _make_backend(self.config)
+        self.preserv = PReServActor(self.backend)
+        self.bus.register(
+            self.preserv,
+            latency=LatencyModel(round_trip_s=self.config.store_latency_s),
+        )
+
+        # --- registry ------------------------------------------------------
+        self.ontology = build_experiment_ontology()
+        self.registry = GrimoiresRegistry(self.ontology)
+        self.bus.register(
+            self.registry,
+            latency=LatencyModel(round_trip_s=self.config.registry_latency_s),
+        )
+
+        # --- workflow services ----------------------------------------------
+        self.collate = CollateSampleService(self.db)
+        self.encode = EncodeByGroupsService(grouping=self.config.grouping)
+        self.shuffle = ShuffleService(seed=self.config.seed)
+        self.compressors = [CompressService(codec) for codec in self.config.codecs]
+        self.measure = MeasureSizeService()
+        self.sizes = CollateSizesService()
+        self.average = AverageService()
+        self.nucleotide_db = NucleotideSourceService(seed=self.config.seed)
+        self._services = [
+            self.collate,
+            self.encode,
+            self.shuffle,
+            *self.compressors,
+            self.measure,
+            self.sizes,
+            self.average,
+            self.nucleotide_db,
+        ]
+        for service in self._services:
+            self.bus.register(service)
+        self._publish_descriptions()
+
+        # --- recorder + interceptor ------------------------------------------
+        journal = Journal(self.config.journal_path)
+        self.recorder = ProvenanceRecorder(
+            self.bus,
+            mode=self.config.recording,
+            journal=journal,
+        )
+        self.interceptor: Optional[ProvenanceInterceptor] = None
+        self.workflow = CompressibilityWorkflow(
+            bus=self.bus,
+            compress_endpoints=[c.endpoint for c in self.compressors],
+        )
+
+        # --- typed clients -----------------------------------------------
+        self.store_client = ProvenanceQueryClient(self.bus)
+        self.registry_client = RegistryClient(self.bus)
+
+    # -- registry content -------------------------------------------------
+    def _publish_descriptions(self) -> None:
+        """Publish annotated WSDL for every workflow service."""
+
+        def describe(
+            service: str,
+            operation: str,
+            inputs: Sequence[Tuple[str, str]],
+            outputs: Sequence[Tuple[str, str]],
+        ) -> None:
+            desc = ServiceDescription(
+                service=service,
+                operations=(
+                    OperationDescription(
+                        name=operation,
+                        inputs=tuple(MessagePart(name) for name, _ in inputs),
+                        outputs=tuple(MessagePart(name) for name, _ in outputs),
+                    ),
+                ),
+            )
+            try:
+                self.registry.publish(desc)
+            except ValueError:
+                # Same service publishing a second operation: merge.
+                existing = self.registry.description_of(service)
+                merged = ServiceDescription(
+                    service=service,
+                    description=existing.description,
+                    operations=existing.operations + desc.operations,
+                )
+                self.registry.unpublish(service)
+                self.registry.publish(merged)
+            for name, semantic in inputs:
+                self.registry.annotate(
+                    PartKey(service, operation, "input", name),
+                    "semantic-type",
+                    semantic,
+                )
+            for name, semantic in outputs:
+                self.registry.annotate(
+                    PartKey(service, operation, "output", name),
+                    "semantic-type",
+                    semantic,
+                )
+
+        describe(
+            self.collate.endpoint,
+            "collate",
+            inputs=[("request", T_DATA)],
+            outputs=[("sample", T_SAMPLE)],
+        )
+        describe(
+            self.nucleotide_db.endpoint,
+            "fetch",
+            inputs=[("request", T_DATA)],
+            outputs=[("sample", T_NT_SEQUENCE)],
+        )
+        describe(
+            self.encode.endpoint,
+            "encode",
+            inputs=[("sequence", T_AA_SEQUENCE)],
+            outputs=[("encoded", T_ENCODED)],
+        )
+        describe(
+            self.shuffle.endpoint,
+            "shuffle",
+            inputs=[("sequence", T_ENCODED)],
+            outputs=[("permutation", T_ENCODED)],
+        )
+        for compressor in self.compressors:
+            describe(
+                compressor.endpoint,
+                "compress",
+                inputs=[("data", T_ENCODED)],
+                outputs=[("compressed", T_COMPRESSED)],
+            )
+        describe(
+            self.measure.endpoint,
+            "measure",
+            inputs=[("data", T_COMPRESSED)],
+            outputs=[("size", T_SIZE)],
+        )
+        describe(
+            self.sizes.endpoint,
+            "add_size",
+            inputs=[("entry", T_SIZE)],
+            outputs=[("ack", T_DATA)],
+        )
+        describe(
+            self.sizes.endpoint,
+            "table",
+            inputs=[("request", T_DATA)],
+            outputs=[("table", T_SIZES_TABLE)],
+        )
+        describe(
+            self.average.endpoint,
+            "average",
+            inputs=[("table", T_SIZES_TABLE)],
+            outputs=[("results", T_RESULT)],
+        )
+
+    # -- script provider for UC1 -----------------------------------------
+    def script_for(self, endpoint: str) -> Optional[str]:
+        for service in self._services:
+            if service.endpoint == endpoint:
+                return service.script_content()
+        return None
+
+    # -- running ------------------------------------------------------------
+    def new_session(self) -> str:
+        return f"session-{next(_session_counter):06d}"
+
+    def run(
+        self,
+        session_id: Optional[str] = None,
+        sample_source_endpoint: Optional[str] = None,
+        sample_source_operation: str = "collate",
+    ) -> ExperimentResult:
+        """Run one complete experiment (one session)."""
+        session_id = session_id or self.new_session()
+        interceptor = ProvenanceInterceptor(
+            recorder=self.recorder,
+            session_id=session_id,
+            script_provider=self.script_for,
+            record_scripts=self.config.record_scripts,
+        )
+        self.interceptor = interceptor
+        submitted_before = self.recorder.submitted
+        calls_before = self.bus.calls
+        clock_before = self.bus.clock.now
+        self.bus.add_interceptor(interceptor)
+        try:
+            run = self.workflow.run(
+                session_id=session_id,
+                sample_bytes=self.config.sample_bytes,
+                n_permutations=self.config.n_permutations,
+                release=self.config.release,
+                organism=self.config.organism,
+                sample_source_endpoint=sample_source_endpoint,
+                sample_source_operation=sample_source_operation,
+            )
+        finally:
+            self.bus.remove_interceptor(interceptor)
+        flushed = 0
+        if self.config.recording is RecordingMode.ASYNCHRONOUS:
+            flushed = self.recorder.flush()
+        return ExperimentResult(
+            run=run,
+            session_id=session_id,
+            records_submitted=self.recorder.submitted - submitted_before,
+            records_flushed=flushed,
+            bus_calls=self.bus.calls - calls_before,
+            virtual_time_s=self.bus.clock.now - clock_before,
+        )
+
+    def close(self) -> None:
+        self.backend.close()
+        self.recorder.journal.close()

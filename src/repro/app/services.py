@@ -1,0 +1,362 @@
+"""Service actors implementing the workflow activities.
+
+Each service:
+
+* exposes operations over the bus taking/returning XML payloads,
+* carries a ~100-byte *script* whose content encodes the service's version
+  and configuration — "script contents are around 100 bytes each and are
+  recorded in PReServ as actor state p-assertions" (Section 6); changing a
+  service's configuration changes its script, which is exactly what use
+  case 1 detects,
+* performs its real computation (real compression, real shuffling).
+
+Payload conventions: sequences travel as element text; compressed bytes as
+base64.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import random
+from typing import Dict, Optional
+
+from repro.bio.analysis import SizeRow, SizesTable, average_results
+from repro.bio.encode import encode_by_groups
+from repro.bio.groupings import get_grouping
+from repro.bio.refseq import RefSeqDatabase, sample_of_size
+from repro.bio.shuffle import shuffle_sequence
+from repro.compress.api import get_compressor
+from repro.simkit.rng import derive_seed
+from repro.soa.actor import Actor
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement
+
+
+def sha1_digest(data: bytes) -> str:
+    """Short content digest used to stamp data items in provenance."""
+    return hashlib.sha1(data).hexdigest()[:16]
+
+
+class ScriptedService(Actor):
+    """An actor that runs a (conceptual) shell script.
+
+    ``script_content`` renders the script from the service's configuration;
+    the provenance interceptor records it verbatim as an actor-state
+    p-assertion when "extra actor provenance" is enabled.
+    """
+
+    #: Subclasses set the script template; ``{config}`` is interpolated.
+    SCRIPT_TEMPLATE = "#!/bin/sh\n# {name} v{version}\n{command}\n"
+
+    def __init__(self, endpoint: str, version: str, command: str, description: str = ""):
+        super().__init__(endpoint, description=description)
+        self.version = version
+        self.command = command
+
+    def script_content(self) -> str:
+        return self.SCRIPT_TEMPLATE.format(
+            name=self.endpoint, version=self.version, command=self.command
+        )
+
+
+class CollateSampleService(ScriptedService):
+    """Collate Sample: pull sequences from the database into one sample."""
+
+    def __init__(
+        self,
+        db: RefSeqDatabase,
+        endpoint: str = "collate-sample",
+        version: str = "1.0",
+    ):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="collate --db refseq --min-bytes $TARGET $ACCESSIONS",
+            description="collates sequence samples from the protein database",
+        )
+        self.db = db
+
+    def op_collate(self, payload: XmlElement) -> XmlElement:
+        target = int(payload.attrs.get("target-bytes", "0"))
+        release_attr = payload.attrs.get("release", "")
+        release = int(release_attr) if release_attr else None
+        organism = payload.attrs.get("organism") or None
+        accession_els = payload.find_all("accession")
+        if accession_els:
+            accessions = [el.text for el in accession_els]
+            text = "".join(self.db.fetch(a, release).sequence for a in accessions)
+        else:
+            if target < 1:
+                raise Fault("bad-request", "target-bytes must be >= 1")
+            try:
+                accessions, text = sample_of_size(
+                    self.db, target, release=release, organism=organism
+                )
+            except ValueError as exc:
+                raise Fault("insufficient-data", str(exc)) from exc
+        out = XmlElement(
+            "sample",
+            attrs={
+                "accessions": ",".join(accessions),
+                "release": str(release if release is not None else self.db.n_releases),
+                "digest": sha1_digest(text.encode()),
+            },
+        )
+        out.add(text)
+        return out
+
+
+class NucleotideSourceService(ScriptedService):
+    """A DNA sequence source — the use case 2 trap.
+
+    Produces nucleotide sequences whose alphabet {A,C,G,T} is a subset of
+    the amino-acid alphabet, so downstream protein services accept them
+    without any syntactic error.
+    """
+
+    def __init__(self, endpoint: str = "nucleotide-db", version: str = "1.0", seed: int = 11):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="fetch --db nucleotide $LENGTH",
+            description="serves DNA sequences",
+        )
+        self.seed = seed
+
+    def op_fetch(self, payload: XmlElement) -> XmlElement:
+        length = int(payload.attrs.get("length", "300"))
+        if length < 1:
+            raise Fault("bad-request", "length must be >= 1")
+        rng = random.Random(derive_seed(self.seed, f"nt/{length}"))
+        text = "".join(rng.choice("ACGT") for _ in range(length))
+        out = XmlElement(
+            "sample", attrs={"digest": sha1_digest(text.encode()), "kind": "dna"}
+        )
+        out.add(text)
+        return out
+
+
+class EncodeByGroupsService(ScriptedService):
+    """Encode by Groups: recode the sample with a reduced alphabet."""
+
+    def __init__(
+        self,
+        grouping: str = "hp2",
+        endpoint: str = "encode-by-groups",
+        version: str = "1.0",
+    ):
+        self.grouping_name = grouping
+        self.scheme = get_grouping(grouping)
+        super().__init__(
+            endpoint,
+            version=version,
+            command=f"encode --grouping {grouping} $INPUT",
+            description="recodes amino-acid sequences by group",
+        )
+
+    def reconfigure(self, grouping: str, version: Optional[str] = None) -> None:
+        """Change the grouping (and script) — the UC1 scenario."""
+        self.grouping_name = grouping
+        self.scheme = get_grouping(grouping)
+        self.command = f"encode --grouping {grouping} $INPUT"
+        if version is not None:
+            self.version = version
+
+    def op_encode(self, payload: XmlElement) -> XmlElement:
+        sequence = payload.text
+        if not sequence:
+            raise Fault("bad-request", "no sequence text in request")
+        try:
+            encoded = encode_by_groups(sequence, self.scheme)
+        except ValueError as exc:
+            raise Fault("bad-sequence", str(exc)) from exc
+        out = XmlElement(
+            "encoded",
+            attrs={
+                "grouping": self.grouping_name,
+                "digest": sha1_digest(encoded.encode()),
+            },
+        )
+        out.add(encoded)
+        return out
+
+
+class ShuffleService(ScriptedService):
+    """Shuffle: produce the i-th random permutation of a sequence."""
+
+    def __init__(self, endpoint: str = "shuffle", version: str = "1.0", seed: int = 0):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="shuffle --seed $SEED --index $INDEX $INPUT",
+            description="permutes sequences uniformly at random",
+        )
+        self.seed = seed
+
+    def op_shuffle(self, payload: XmlElement) -> XmlElement:
+        sequence = payload.text
+        if not sequence:
+            raise Fault("bad-request", "no sequence text in request")
+        index = int(payload.attrs.get("index", "0"))
+        rng = random.Random(derive_seed(self.seed, f"shuffle/{index}"))
+        permuted = shuffle_sequence(sequence, rng)
+        out = XmlElement(
+            "permutation",
+            attrs={"index": str(index), "digest": sha1_digest(permuted.encode())},
+        )
+        out.add(permuted)
+        return out
+
+
+class CompressService(ScriptedService):
+    """gzip/ppmz Compression: compress the input with one configured codec."""
+
+    def __init__(self, codec: str, endpoint: Optional[str] = None, version: str = "1.0"):
+        self.codec_name = codec
+        self.codec = get_compressor(codec)
+        super().__init__(
+            endpoint or f"compress-{codec}",
+            version=version,
+            command=f"compress --codec {codec} --level default $INPUT",
+            description=f"compresses data with {codec}",
+        )
+
+    def reconfigure(self, codec: str, version: Optional[str] = None) -> None:
+        self.codec_name = codec
+        self.codec = get_compressor(codec)
+        self.command = f"compress --codec {codec} --level default $INPUT"
+        if version is not None:
+            self.version = version
+
+    def op_compress(self, payload: XmlElement) -> XmlElement:
+        data = payload.text.encode("utf-8")
+        if not data:
+            raise Fault("bad-request", "no data in request")
+        blob = self.codec.compress(data)
+        out = XmlElement(
+            "compressed",
+            attrs={
+                "codec": self.codec_name,
+                "original-size": str(len(data)),
+                "encoding": "base64",
+                "digest": sha1_digest(blob),
+            },
+        )
+        out.add(base64.b64encode(blob).decode("ascii"))
+        return out
+
+
+class MeasureSizeService(ScriptedService):
+    """Measure Size: report the byte size of a (possibly encoded) datum."""
+
+    def __init__(self, endpoint: str = "measure-size", version: str = "1.0"):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="wc -c $INPUT",
+            description="measures data sizes",
+        )
+
+    def op_measure(self, payload: XmlElement) -> XmlElement:
+        encoding = payload.attrs.get("encoding", "text")
+        text = payload.text
+        if encoding == "base64":
+            nbytes = len(base64.b64decode(text))
+        elif encoding == "text":
+            nbytes = len(text.encode("utf-8"))
+        else:
+            raise Fault("bad-request", f"unknown encoding {encoding!r}")
+        return XmlElement("size", attrs={"bytes": str(nbytes)})
+
+
+class CollateSizesService(ScriptedService):
+    """Collate Sizes: accumulate size rows per run, render the sizes table."""
+
+    def __init__(self, endpoint: str = "collate-sizes", version: str = "1.0"):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="collate-sizes --append $RUN $ROW",
+            description="collates size measurements into tables",
+        )
+        self._tables: Dict[str, SizesTable] = {}
+
+    def op_add_size(self, payload: XmlElement) -> XmlElement:
+        run = payload.attrs.get("run", "")
+        if not run:
+            raise Fault("bad-request", "size entry missing run id")
+        row = SizeRow(
+            label=payload.attrs["label"],
+            codec=payload.attrs["codec"],
+            original_size=int(payload.attrs["original"]),
+            compressed_size=int(payload.attrs["compressed"]),
+        )
+        self._tables.setdefault(run, SizesTable()).add(row)
+        return XmlElement(
+            "ack", attrs={"rows": str(len(self._tables[run]))}
+        )
+
+    def op_table(self, payload: XmlElement) -> XmlElement:
+        run = payload.attrs.get("run", "")
+        table = self._tables.get(run)
+        if table is None:
+            raise Fault("not-found", f"no sizes recorded for run {run!r}")
+        out = XmlElement("sizes-table", attrs={"run": run})
+        for row in table.rows:
+            out.element(
+                "row",
+                label=row.label,
+                codec=row.codec,
+                original=str(row.original_size),
+                compressed=str(row.compressed_size),
+            )
+        return out
+
+    @staticmethod
+    def table_from_xml(el: XmlElement) -> SizesTable:
+        table = SizesTable()
+        for row_el in el.find_all("row"):
+            table.add(
+                SizeRow(
+                    label=row_el.attrs["label"],
+                    codec=row_el.attrs["codec"],
+                    original_size=int(row_el.attrs["original"]),
+                    compressed_size=int(row_el.attrs["compressed"]),
+                )
+            )
+        return table
+
+
+class AverageService(ScriptedService):
+    """Average: compressibility + standard deviation from the sizes table."""
+
+    def __init__(self, endpoint: str = "average", version: str = "1.0"):
+        super().__init__(
+            endpoint,
+            version=version,
+            command="average --per-codec $TABLE",
+            description="averages permutation compressibility distributions",
+        )
+
+    def op_average(self, payload: XmlElement) -> XmlElement:
+        table = CollateSizesService.table_from_xml(payload)
+        if not len(table):
+            raise Fault("bad-request", "empty sizes table")
+        try:
+            results = average_results(table)
+        except ValueError as exc:
+            raise Fault("bad-table", str(exc)) from exc
+        out = XmlElement("results")
+        for codec in sorted(results):
+            res = results[codec]
+            out.element(
+                "result",
+                codec=codec,
+                compressibility=f"{res.compressibility:.6f}",
+                std=f"{res.compressibility_std:.6f}",
+                sample_ratio=f"{res.sample_ratio:.6f}",
+                permutation_mean_ratio=f"{res.permutation_mean_ratio:.6f}",
+                n_permutations=str(res.n_permutations),
+            )
+        return out

@@ -1,0 +1,293 @@
+"""Running the experiment from a VDL workflow definition.
+
+The paper's application "relies on a variety of methods to run and compose
+computations: binary executables, shell scripts, Web Services and
+VDT/Dagman workflows", and the provenance architecture's point is that all
+of them contribute p-assertions to the same store.  This module is the
+second front-end: the compressibility experiment expressed as a VDL
+document, parsed to a DAG, executed by the grid
+:class:`~repro.grid.executor.LocalExecutor` — with every activity
+implemented as a bus call to the same service actors the direct engine
+uses, so the same interceptor documents everything.
+
+It also records the *workflow definition itself* as an actor-state
+p-assertion on the first interaction ("actor state documentation ... can
+include anything from the workflow that is being executed", §5), giving
+reviewers the exact composition that ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.app.services import sha1_digest
+from repro.core.passertion import InteractionKey, ViewKind
+from repro.core.recorder import ProvenanceRecorder
+from repro.grid.executor import ExecutionResult, LocalExecutor
+from repro.grid.vdl import parse_vdl, render_vdl
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement
+
+#: The compressibility experiment as a VDL document (Figure 1 topology).
+COMPRESSIBILITY_VDL = """
+workflow compressibility {
+  activity collate        script="collate.sh"   target_bytes="2000";
+  activity encode         script="encode.sh"    after="collate";
+  activity sample_chain   script="measure.sh"   after="encode" label="sample";
+  activity shuffle_0      script="shuffle.sh"   after="encode" index="0";
+  activity perm_chain_0   script="measure.sh"   after="shuffle_0" label="perm-0";
+  activity shuffle_1      script="shuffle.sh"   after="encode" index="1";
+  activity perm_chain_1   script="measure.sh"   after="shuffle_1" label="perm-1";
+  activity table          script="sizes.sh"     after="sample_chain,perm_chain_0,perm_chain_1";
+  activity average        script="average.sh"   after="table";
+}
+"""
+
+
+@dataclass
+class VdlRunOutcome:
+    """What a VDL-driven run produced."""
+
+    session_id: str
+    run_id: str
+    execution: ExecutionResult
+    results: Dict[str, Dict[str, str]]
+
+    def compressibility(self, codec: str) -> float:
+        return float(self.results[codec]["compressibility"])
+
+
+class VdlWorkflowRunner:
+    """Executes a compressibility VDL DAG over the service bus."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        recorder: Optional[ProvenanceRecorder] = None,
+        engine_endpoint: str = "vdl-engine",
+        compress_endpoint: str = "compress-gz-like",
+    ):
+        self.bus = bus
+        self.recorder = recorder
+        self.engine = engine_endpoint
+        self.compress_endpoint = compress_endpoint
+        self._last_ids: Dict[str, str] = {}
+
+    # -- bus helper ---------------------------------------------------------
+    def _call(
+        self,
+        session: str,
+        activity: str,
+        target: str,
+        operation: str,
+        payload: XmlElement,
+        caused_by: Optional[str] = None,
+    ) -> XmlElement:
+        captured: Dict[str, str] = {}
+
+        def capture(call) -> None:
+            captured["id"] = call.message_id
+
+        headers = {"session": session, "thread": f"{session}/vdl"}
+        if caused_by:
+            headers["caused-by"] = caused_by
+        self.bus.add_interceptor(capture)
+        try:
+            response = self.bus.call(
+                source=self.engine,
+                target=target,
+                operation=operation,
+                payload=payload,
+                extra_headers=headers,
+            )
+        finally:
+            self.bus.remove_interceptor(capture)
+        self._last_ids[activity] = captured["id"]
+        return response
+
+    def _cause_of(self, deps: Mapping[str, Any]) -> Optional[str]:
+        for name in deps:
+            if name in self._last_ids:
+                return self._last_ids[name]
+        return None
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        vdl_text: str = COMPRESSIBILITY_VDL,
+        session_id: str = "vdl-session",
+    ) -> VdlRunOutcome:
+        dag = parse_vdl(vdl_text)
+        run_id = f"{session_id}/vdl-run"
+        self._last_ids = {}
+
+        def impl_collate(params, deps):
+            request = XmlElement(
+                "collate-request",
+                attrs={"target-bytes": params.get("target_bytes", "2000")},
+            )
+            return self._call(session_id, "collate", "collate-sample", "collate", request)
+
+        def impl_encode(params, deps):
+            sample = deps["collate"]
+            req = XmlElement(
+                "encode-request",
+                attrs={"digest": sample.attrs.get("digest", "")},
+            )
+            req.add(sample.text)
+            return self._call(
+                session_id,
+                "encode",
+                "encode-by-groups",
+                "encode",
+                req,
+                caused_by=self._last_ids.get("collate"),
+            )
+
+        def impl_shuffle(activity_name):
+            def impl(params, deps):
+                encoded = deps["encode"]
+                req = XmlElement(
+                    "shuffle-request",
+                    attrs={
+                        "index": params.get("index", "0"),
+                        "digest": encoded.attrs.get("digest", ""),
+                    },
+                )
+                req.add(encoded.text)
+                return self._call(
+                    session_id,
+                    activity_name,
+                    "shuffle",
+                    "shuffle",
+                    req,
+                    caused_by=self._last_ids.get("encode"),
+                )
+
+            return impl
+
+        def impl_chain(activity_name):
+            def impl(params, deps):
+                upstream_name, upstream = next(iter(deps.items()))
+                data = upstream.text
+                label = params.get("label", activity_name)
+                compress_req = XmlElement(
+                    "compress-request",
+                    attrs={"digest": sha1_digest(data.encode())},
+                )
+                compress_req.add(data)
+                compressed = self._call(
+                    session_id,
+                    f"{activity_name}/compress",
+                    self.compress_endpoint,
+                    "compress",
+                    compress_req,
+                    caused_by=self._last_ids.get(upstream_name),
+                )
+                measure_req = XmlElement(
+                    "measure-request",
+                    attrs={
+                        "encoding": compressed.attrs["encoding"],
+                        "digest": compressed.attrs["digest"],
+                    },
+                )
+                measure_req.add(compressed.text)
+                size = self._call(
+                    session_id,
+                    f"{activity_name}/measure",
+                    "measure-size",
+                    "measure",
+                    measure_req,
+                    caused_by=self._last_ids.get(f"{activity_name}/compress"),
+                )
+                entry = XmlElement(
+                    "size-entry",
+                    attrs={
+                        "run": run_id,
+                        "label": label,
+                        "codec": compressed.attrs["codec"],
+                        "original": compressed.attrs["original-size"],
+                        "compressed": size.attrs["bytes"],
+                    },
+                )
+                ack = self._call(
+                    session_id,
+                    activity_name,
+                    "collate-sizes",
+                    "add_size",
+                    entry,
+                    caused_by=self._last_ids.get(f"{activity_name}/measure"),
+                )
+                return ack
+
+            return impl
+
+        def impl_table(params, deps):
+            caused = ",".join(
+                self._last_ids[name] for name in deps if name in self._last_ids
+            )
+            return self._call(
+                session_id,
+                "table",
+                "collate-sizes",
+                "table",
+                XmlElement("table-request", attrs={"run": run_id}),
+                caused_by=caused,
+            )
+
+        def impl_average(params, deps):
+            return self._call(
+                session_id,
+                "average",
+                "average",
+                "average",
+                deps["table"],
+                caused_by=self._last_ids.get("table"),
+            )
+
+        implementations = {
+            "collate": impl_collate,
+            "encode": impl_encode,
+            "table": impl_table,
+            "average": impl_average,
+        }
+        for name in dag.names():
+            if name.startswith("shuffle_"):
+                implementations[name] = impl_shuffle(name)
+            elif name.endswith("_chain") or name.startswith("perm_chain"):
+                implementations[name] = impl_chain(name)
+        missing = [n for n in dag.names() if n not in implementations]
+        if missing:
+            raise KeyError(f"no implementation mapping for activities: {missing}")
+
+        execution = LocalExecutor(implementations).run_or_raise(dag)
+
+        # Record the workflow definition itself as actor state on the first
+        # interaction of the run (the composition that was executed).
+        if self.recorder is not None and "collate" in self._last_ids:
+            key = InteractionKey(
+                interaction_id=self._last_ids["collate"],
+                sender=self.engine,
+                receiver="collate-sample",
+            )
+            content = XmlElement("workflow", attrs={"language": "vdl"})
+            content.add(render_vdl(dag))
+            self.recorder.record_actor_state(
+                key=key,
+                view=ViewKind.SENDER,
+                asserter=self.engine,
+                state_type="workflow",
+                content=content,
+            )
+
+        results_el = execution.output("average")
+        results = {
+            el.attrs["codec"]: dict(el.attrs) for el in results_el.find_all("result")
+        }
+        return VdlRunOutcome(
+            session_id=session_id,
+            run_id=run_id,
+            execution=execution,
+            results=results,
+        )

@@ -1,0 +1,325 @@
+"""The compressibility workflow engine (Figures 1 and 2 of the paper).
+
+Drives the service actors over the bus:
+
+1. **Collate Sample** — assemble a ~``sample_bytes`` sample from the
+   database,
+2. **Encode by Groups** — recode it with the configured reduced alphabet,
+3. the *measure chain* for the unshuffled sample and for each of ``n``
+   random permutations: **Compression → Measure Size → Collate Sizes**
+   (three interactions per permutation, hence the paper's six p-assertion
+   records per permutation at two views each),
+4. **Collate Sizes table → Average** — the compressibility result.
+
+Every call carries a ``thread`` header (the measure chain of permutation
+``i`` is thread ``<session>/perm-i``) and a ``caused-by`` header naming the
+message ids whose data fed it, from which the trace builder reconstructs
+exact lineage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bio.analysis import SizesTable
+from repro.app.services import CollateSizesService, sha1_digest
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement
+
+_run_counter = itertools.count(1)
+
+
+@dataclass
+class MeasuredChain:
+    """Message ids of one permutation's measure chain (for lineage tests)."""
+
+    label: str
+    compress_id: str
+    measure_id: str
+    collate_id: str
+
+
+@dataclass
+class WorkflowRunResult:
+    """Everything one workflow run produced."""
+
+    session_id: str
+    run_id: str
+    sample_accessions: List[str]
+    sample_digest: str
+    encoded_digest: str
+    sizes_table: SizesTable
+    #: codec -> attributes of the <result> element (compressibility, std, ...)
+    results: Dict[str, Dict[str, str]]
+    chains: List[MeasuredChain] = field(default_factory=list)
+    message_ids: Dict[str, str] = field(default_factory=dict)
+    calls: int = 0
+
+    def compressibility(self, codec: str) -> float:
+        return float(self.results[codec]["compressibility"])
+
+    def compressibility_std(self, codec: str) -> float:
+        return float(self.results[codec]["std"])
+
+
+class CompressibilityWorkflow:
+    """Client-side engine executing the experiment over the bus."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        engine_endpoint: str = "workflow-engine",
+        collate_endpoint: str = "collate-sample",
+        encode_endpoint: str = "encode-by-groups",
+        shuffle_endpoint: str = "shuffle",
+        compress_endpoints: Sequence[str] = ("compress-gz-like",),
+        measure_endpoint: str = "measure-size",
+        sizes_endpoint: str = "collate-sizes",
+        average_endpoint: str = "average",
+    ):
+        self.bus = bus
+        self.engine = engine_endpoint
+        self.collate_endpoint = collate_endpoint
+        self.encode_endpoint = encode_endpoint
+        self.shuffle_endpoint = shuffle_endpoint
+        self.compress_endpoints = list(compress_endpoints)
+        self.measure_endpoint = measure_endpoint
+        self.sizes_endpoint = sizes_endpoint
+        self.average_endpoint = average_endpoint
+
+    # -- the run ------------------------------------------------------------
+    def run(
+        self,
+        session_id: str,
+        sample_bytes: int = 5000,
+        n_permutations: int = 3,
+        release: Optional[int] = None,
+        organism: Optional[str] = None,
+        accessions: Optional[Sequence[str]] = None,
+        sample_source_endpoint: Optional[str] = None,
+        sample_source_operation: str = "collate",
+    ) -> WorkflowRunResult:
+        run_id = f"{session_id}/run-{next(_run_counter)}"
+        message_ids: Dict[str, str] = {}
+        calls_before = self.bus.calls
+
+        # --- Collate Sample ---------------------------------------------
+        source_endpoint = sample_source_endpoint or self.collate_endpoint
+        request = XmlElement(
+            "collate-request", attrs={"target-bytes": str(sample_bytes)}
+        )
+        if release is not None:
+            request.attrs["release"] = str(release)
+        if organism:
+            request.attrs["organism"] = organism
+        if accessions:
+            for acc in accessions:
+                request.element("accession", acc)
+        sample_el, collate_id = self._call_tracked(
+            source_endpoint,
+            sample_source_operation,
+            request,
+            session_id,
+            thread=f"{session_id}/main",
+        )
+        message_ids["collate"] = collate_id
+        sample_text = sample_el.text
+        sample_accessions = [
+            a for a in sample_el.attrs.get("accessions", "").split(",") if a
+        ]
+
+        # --- Encode by Groups ---------------------------------------------
+        encode_req = XmlElement(
+            "encode-request", attrs={"digest": sha1_digest(sample_text.encode())}
+        )
+        encode_req.add(sample_text)
+        encoded_el, encode_id = self._call_tracked(
+            self.encode_endpoint,
+            "encode",
+            encode_req,
+            session_id,
+            thread=f"{session_id}/main",
+            caused_by=[collate_id],
+        )
+        message_ids["encode"] = encode_id
+        encoded_text = encoded_el.text
+
+        # --- Measure chains --------------------------------------------
+        chains: List[MeasuredChain] = []
+        # The unshuffled sample first...
+        for codec_endpoint in self.compress_endpoints:
+            chains.append(
+                self._measure_chain(
+                    session_id,
+                    run_id,
+                    label="sample",
+                    data=encoded_text,
+                    codec_endpoint=codec_endpoint,
+                    thread=f"{session_id}/sample",
+                    caused_by=[encode_id],
+                )
+            )
+        # ... then each permutation.
+        for index in range(n_permutations):
+            shuffle_req = XmlElement(
+                "shuffle-request",
+                attrs={
+                    "index": str(index),
+                    "digest": sha1_digest(encoded_text.encode()),
+                },
+            )
+            shuffle_req.add(encoded_text)
+            perm_el, shuffle_id = self._call_tracked(
+                self.shuffle_endpoint,
+                "shuffle",
+                shuffle_req,
+                session_id,
+                thread=f"{session_id}/perm-{index}",
+                caused_by=[encode_id],
+            )
+            for codec_endpoint in self.compress_endpoints:
+                chains.append(
+                    self._measure_chain(
+                        session_id,
+                        run_id,
+                        label=f"perm-{index}",
+                        data=perm_el.text,
+                        codec_endpoint=codec_endpoint,
+                        thread=f"{session_id}/perm-{index}",
+                        caused_by=[shuffle_id],
+                    )
+                )
+
+        # --- Collate Sizes table -> Average --------------------------------
+        table_el, table_id = self._call_tracked(
+            self.sizes_endpoint,
+            "table",
+            XmlElement("table-request", attrs={"run": run_id}),
+            session_id,
+            thread=f"{session_id}/main",
+            caused_by=[c.collate_id for c in chains],
+        )
+        message_ids["table"] = table_id
+        results_el, average_id = self._call_tracked(
+            self.average_endpoint,
+            "average",
+            table_el,
+            session_id,
+            thread=f"{session_id}/main",
+            caused_by=[table_id],
+        )
+        message_ids["average"] = average_id
+
+        results = {
+            el.attrs["codec"]: dict(el.attrs)
+            for el in results_el.find_all("result")
+        }
+        return WorkflowRunResult(
+            session_id=session_id,
+            run_id=run_id,
+            sample_accessions=sample_accessions,
+            sample_digest=sample_el.attrs.get("digest", ""),
+            encoded_digest=encoded_el.attrs.get("digest", ""),
+            sizes_table=CollateSizesService.table_from_xml(table_el),
+            results=results,
+            chains=chains,
+            message_ids=message_ids,
+            calls=self.bus.calls - calls_before,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _call_tracked(
+        self,
+        target: str,
+        operation: str,
+        payload: XmlElement,
+        session: str,
+        thread: Optional[str] = None,
+        caused_by: Sequence[str] = (),
+    ) -> tuple:
+        headers = {"session": session}
+        if thread:
+            headers["thread"] = thread
+        if caused_by:
+            headers["caused-by"] = ",".join(c for c in caused_by if c)
+        # Capture the id the bus will assign by observing the interceptor
+        # path: ids are strictly sequential, so snapshot-then-call is exact.
+        response = None
+        captured: Dict[str, str] = {}
+
+        def capture(call) -> None:
+            captured["id"] = call.message_id
+
+        self.bus.add_interceptor(capture)
+        try:
+            response = self.bus.call(
+                source=self.engine,
+                target=target,
+                operation=operation,
+                payload=payload,
+                extra_headers=headers,
+            )
+        finally:
+            self.bus.remove_interceptor(capture)
+        return response, captured["id"]
+
+    def _measure_chain(
+        self,
+        session: str,
+        run_id: str,
+        label: str,
+        data: str,
+        codec_endpoint: str,
+        thread: str,
+        caused_by: Sequence[str],
+    ) -> MeasuredChain:
+        """Figure 2: Compression -> Measure Size -> Collate Sizes."""
+        compress_req = XmlElement(
+            "compress-request", attrs={"digest": sha1_digest(data.encode())}
+        )
+        compress_req.add(data)
+        compressed_el, compress_id = self._call_tracked(
+            codec_endpoint, "compress", compress_req, session, thread, caused_by
+        )
+        measure_req = XmlElement(
+            "measure-request",
+            attrs={
+                "encoding": compressed_el.attrs["encoding"],
+                "digest": compressed_el.attrs["digest"],
+            },
+        )
+        measure_req.add(compressed_el.text)
+        size_el, measure_id = self._call_tracked(
+            self.measure_endpoint,
+            "measure",
+            measure_req,
+            session,
+            thread,
+            caused_by=[compress_id],
+        )
+        entry = XmlElement(
+            "size-entry",
+            attrs={
+                "run": run_id,
+                "label": label,
+                "codec": compressed_el.attrs["codec"],
+                "original": compressed_el.attrs["original-size"],
+                "compressed": size_el.attrs["bytes"],
+            },
+        )
+        _, collate_id = self._call_tracked(
+            self.sizes_endpoint,
+            "add_size",
+            entry,
+            session,
+            thread,
+            caused_by=[measure_id],
+        )
+        return MeasuredChain(
+            label=label,
+            compress_id=compress_id,
+            measure_id=measure_id,
+            collate_id=collate_id,
+        )

@@ -1,0 +1,70 @@
+"""Bioinformatics substrate: sequences, synthetic RefSeq, groupings, stats.
+
+Implements the domain side of the paper's Section 2: amino-acid sequences,
+FASTA handling, a versioned synthetic stand-in for the RefSeq database,
+amino-acid grouping schemes (reduced alphabets), group encoding, sequence
+shuffling, and the compressibility statistics (Collate Sizes / Average).
+"""
+
+from repro.bio.alphabet import (
+    AMINO_ACIDS,
+    NUCLEOTIDES,
+    SequenceKind,
+    classify_sequence,
+    is_amino_acid_sequence,
+    is_nucleotide_sequence,
+    validate_sequence,
+)
+from repro.bio.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.bio.refseq import RefSeqDatabase, SequenceRecord
+from repro.bio.groupings import GroupingScheme, get_grouping, available_groupings
+from repro.bio.encode import encode_by_groups, encode_nucleotides_by_codon_groups
+from repro.bio.shuffle import permutations_of, shuffle_sequence
+from repro.bio.analysis import (
+    CompressibilityResult,
+    SizesTable,
+    SizeRow,
+    average_results,
+    compressibility,
+)
+from repro.bio.entropy import (
+    block_entropy,
+    compression_entropy_estimate,
+    markov_entropy_rate,
+    redundancy,
+    shannon_entropy,
+    symbol_entropy,
+)
+
+__all__ = [
+    "AMINO_ACIDS",
+    "CompressibilityResult",
+    "FastaRecord",
+    "GroupingScheme",
+    "NUCLEOTIDES",
+    "RefSeqDatabase",
+    "SequenceKind",
+    "SequenceRecord",
+    "SizeRow",
+    "SizesTable",
+    "available_groupings",
+    "average_results",
+    "block_entropy",
+    "classify_sequence",
+    "compression_entropy_estimate",
+    "markov_entropy_rate",
+    "redundancy",
+    "shannon_entropy",
+    "symbol_entropy",
+    "compressibility",
+    "encode_by_groups",
+    "encode_nucleotides_by_codon_groups",
+    "get_grouping",
+    "is_amino_acid_sequence",
+    "is_nucleotide_sequence",
+    "parse_fasta",
+    "permutations_of",
+    "shuffle_sequence",
+    "validate_sequence",
+    "write_fasta",
+]

@@ -1,0 +1,68 @@
+"""Biological alphabets and sequence classification.
+
+The paper's use case 2 hinges on a subtle fact: the nucleotide alphabet
+{A, C, G, T} is a *subset* of the amino-acid alphabet, so feeding a DNA
+sequence into a protein-only service is syntactically fine but semantically
+wrong.  This module provides the alphabets and the (necessarily heuristic)
+classification used by tests and examples; the authoritative check in the
+reproduction, as in the paper, is the registry-based semantic validation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The 20 standard amino acids, one-letter codes, alphabetical.
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+#: DNA nucleotides.
+NUCLEOTIDES = "ACGT"
+
+_AA_SET = frozenset(AMINO_ACIDS)
+_NT_SET = frozenset(NUCLEOTIDES)
+
+
+class SequenceKind(enum.Enum):
+    """Best-effort syntactic classification of a sequence."""
+
+    AMINO_ACID = "amino-acid"
+    NUCLEOTIDE = "nucleotide"
+    #: Uses only A/C/G/T — could be either; this is the UC2 trap.
+    AMBIGUOUS = "ambiguous"
+    INVALID = "invalid"
+
+
+def is_amino_acid_sequence(seq: str) -> bool:
+    """True if every character is a standard amino-acid code."""
+    return bool(seq) and all(c in _AA_SET for c in seq)
+
+
+def is_nucleotide_sequence(seq: str) -> bool:
+    """True if every character is a DNA nucleotide."""
+    return bool(seq) and all(c in _NT_SET for c in seq)
+
+
+def classify_sequence(seq: str) -> SequenceKind:
+    """Classify ``seq`` syntactically.
+
+    A pure-ACGT sequence is reported :attr:`SequenceKind.AMBIGUOUS` — the
+    paper's point is precisely that syntax cannot distinguish a nucleotide
+    sequence from a (peculiar) protein here.
+    """
+    if not seq:
+        return SequenceKind.INVALID
+    if is_nucleotide_sequence(seq):
+        return SequenceKind.AMBIGUOUS
+    if is_amino_acid_sequence(seq):
+        return SequenceKind.AMINO_ACID
+    return SequenceKind.INVALID
+
+
+def validate_sequence(seq: str, alphabet: str) -> None:
+    """Raise ``ValueError`` if ``seq`` uses characters outside ``alphabet``."""
+    allowed = frozenset(alphabet)
+    bad = sorted({c for c in seq if c not in allowed})
+    if bad:
+        raise ValueError(
+            f"sequence contains symbols {bad!r} outside alphabet {alphabet!r}"
+        )

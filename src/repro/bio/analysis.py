@@ -1,0 +1,138 @@
+"""Compressibility statistics: Collate Sizes and Average.
+
+The workflow's tail: per-permutation compressed sizes are collated into a
+sizes table, and compressibility is computed as the ratio of the sample's
+compressed length to the mean compressed length of its permutations — the
+permutation standard "removes the influence of the particular data encoding
+used to represent the groups, and the non-uniform frequency of groups"
+(Section 2).  The spread over permutations yields the standard deviation the
+workflow is sized to estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class SizeRow:
+    """One Measure result: which input, which codec, what sizes."""
+
+    label: str
+    codec: str
+    original_size: int
+    compressed_size: int
+
+    def __post_init__(self) -> None:
+        if self.original_size < 0 or self.compressed_size < 0:
+            raise ValueError("sizes must be non-negative")
+
+    @property
+    def ratio(self) -> float:
+        if self.original_size == 0:
+            raise ValueError(f"row {self.label!r} has zero original size")
+        return self.compressed_size / self.original_size
+
+
+@dataclass
+class SizesTable:
+    """The Collate Sizes output: all rows of one workflow run."""
+
+    rows: List[SizeRow] = field(default_factory=list)
+
+    def add(self, row: SizeRow) -> None:
+        self.rows.append(row)
+
+    def extend(self, rows: Sequence[SizeRow]) -> None:
+        self.rows.extend(rows)
+
+    def for_codec(self, codec: str) -> List[SizeRow]:
+        return [r for r in self.rows if r.codec == codec]
+
+    def labelled(self, label: str) -> List[SizeRow]:
+        return [r for r in self.rows if r.label == label]
+
+    def codecs(self) -> List[str]:
+        return sorted({r.codec for r in self.rows})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class CompressibilityResult:
+    """The Average output for one (sample, codec) pair."""
+
+    codec: str
+    sample_ratio: float
+    permutation_mean_ratio: float
+    permutation_std_ratio: float
+    n_permutations: int
+    #: sample compressed length / mean permutation compressed length; < 1
+    #: means the sample carries structure beyond symbol frequencies.
+    compressibility: float
+    #: std of the compressibility estimate across permutations.
+    compressibility_std: float
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def compressibility(
+    table: SizesTable, codec: str, sample_label: str = "sample"
+) -> CompressibilityResult:
+    """Compute the compressibility of the sample relative to its permutations.
+
+    Rows labelled ``sample_label`` are the unshuffled encoded sample; every
+    other row for ``codec`` is a permutation measurement.
+    """
+    rows = table.for_codec(codec)
+    sample_rows = [r for r in rows if r.label == sample_label]
+    perm_rows = [r for r in rows if r.label != sample_label]
+    if len(sample_rows) != 1:
+        raise ValueError(
+            f"expected exactly one {sample_label!r} row for codec {codec!r}, "
+            f"found {len(sample_rows)}"
+        )
+    if not perm_rows:
+        raise ValueError(f"no permutation rows for codec {codec!r}")
+    sample = sample_rows[0]
+    perm_sizes = [float(r.compressed_size) for r in perm_rows]
+    perm_ratios = [r.ratio for r in perm_rows]
+    mean_perm_size = _mean(perm_sizes)
+    if mean_perm_size == 0:
+        raise ValueError("permutations compressed to zero bytes")
+    value = sample.compressed_size / mean_perm_size
+    # Delta-method spread: relative std of permutation sizes scales the value.
+    rel_std = _std(perm_sizes) / mean_perm_size
+    return CompressibilityResult(
+        codec=codec,
+        sample_ratio=sample.ratio,
+        permutation_mean_ratio=_mean(perm_ratios),
+        permutation_std_ratio=_std(perm_ratios),
+        n_permutations=len(perm_rows),
+        compressibility=value,
+        compressibility_std=value * rel_std,
+    )
+
+
+def average_results(
+    table: SizesTable, sample_label: str = "sample"
+) -> Dict[str, CompressibilityResult]:
+    """The Average activity: compressibility per codec present in the table."""
+    return {
+        codec: compressibility(table, codec, sample_label)
+        for codec in table.codecs()
+    }

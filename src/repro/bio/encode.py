@@ -1,0 +1,64 @@
+"""Group encoding: the Encode by Groups activity.
+
+Replaces each amino acid by its group's symbol under a
+:class:`~repro.bio.groupings.GroupingScheme`.  Also provides the nucleotide
+codon-group encoding mentioned in Section 3 ("each codon triplet can be
+replaced with a symbol representing a group of codons") — used by tests to
+construct the semantically-wrong-but-syntactically-fine UC2 scenario.
+
+Note the deliberate absence of input-kind checking here: exactly as in the
+paper, a nucleotide sequence flows through amino-acid group encoding without
+error because {A, C, G, T} is a subset of the amino-acid alphabet.  Catching
+that is the job of the provenance-based semantic validation, not this code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bio.alphabet import validate_sequence, NUCLEOTIDES
+from repro.bio.groupings import GROUP_SYMBOLS, GroupingScheme
+
+
+def encode_by_groups(sequence: str, scheme: GroupingScheme) -> str:
+    """Recode ``sequence`` with the reduced alphabet of ``scheme``.
+
+    Raises ``ValueError`` if the sequence contains symbols that are not
+    amino-acid codes at all (nucleotide input does *not* raise — see module
+    docstring).
+    """
+    table = {aa: scheme.symbol_for(aa) for aa in {c for c in sequence}}
+    return "".join(table[c] for c in sequence)
+
+
+def encode_nucleotides_by_codon_groups(
+    sequence: str, codon_groups: Sequence[Sequence[str]]
+) -> str:
+    """Recode a nucleotide sequence codon-triplet by codon-triplet.
+
+    ``codon_groups`` partitions (a subset of) the 64 codons; each triplet is
+    replaced by its group's symbol.  Trailing bases that do not form a full
+    codon are an error, as is a codon not covered by the partition.
+    """
+    validate_sequence(sequence, NUCLEOTIDES)
+    if len(sequence) % 3:
+        raise ValueError(
+            f"sequence length {len(sequence)} is not a whole number of codons"
+        )
+    table: Dict[str, str] = {}
+    for gi, group in enumerate(codon_groups):
+        for codon in group:
+            if len(codon) != 3:
+                raise ValueError(f"codon {codon!r} is not a triplet")
+            validate_sequence(codon, NUCLEOTIDES)
+            if codon in table:
+                raise ValueError(f"codon {codon!r} assigned to two groups")
+            table[codon] = GROUP_SYMBOLS[gi]
+    out = []
+    for i in range(0, len(sequence), 3):
+        codon = sequence[i : i + 3]
+        try:
+            out.append(table[codon])
+        except KeyError:
+            raise ValueError(f"codon {codon!r} not covered by the partition") from None
+    return "".join(out)

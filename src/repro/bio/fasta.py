@@ -1,0 +1,77 @@
+"""Minimal, strict FASTA reader/writer.
+
+Sequences move between workflow activities as FASTA text, as in the paper's
+experiment (use case 2 speaks of "an experiment on a FASTA sequence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: ``>header`` line plus the concatenated sequence."""
+
+    header: str
+    sequence: str
+
+    @property
+    def accession(self) -> str:
+        """First whitespace-delimited token of the header."""
+        return self.header.split()[0] if self.header.split() else ""
+
+
+def parse_fasta(text: str) -> List[FastaRecord]:
+    """Parse FASTA text into records.
+
+    Strict about structure: sequence data before the first header, or a
+    header with no sequence lines, is an error.  Blank lines are permitted
+    between records.
+    """
+    records: List[FastaRecord] = []
+    header: str | None = None
+    chunks: List[str] = []
+
+    def flush() -> None:
+        nonlocal header, chunks
+        if header is None:
+            return
+        seq = "".join(chunks)
+        if not seq:
+            raise ValueError(f"FASTA record {header!r} has no sequence data")
+        records.append(FastaRecord(header=header, sequence=seq))
+        header, chunks = None, []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if not header:
+                raise ValueError(f"empty FASTA header at line {lineno}")
+        else:
+            if header is None:
+                raise ValueError(
+                    f"sequence data before any FASTA header at line {lineno}"
+                )
+            chunks.append(line)
+    flush()
+    return records
+
+
+def write_fasta(records: Iterable[FastaRecord], width: int = 60) -> str:
+    """Serialize records as FASTA with ``width``-column sequence wrapping."""
+    if width < 1:
+        raise ValueError(f"line width must be >= 1, got {width}")
+    lines: List[str] = []
+    for rec in records:
+        if not rec.sequence:
+            raise ValueError(f"record {rec.header!r} has empty sequence")
+        lines.append(f">{rec.header}")
+        for i in range(0, len(rec.sequence), width):
+            lines.append(rec.sequence[i : i + width])
+    return "\n".join(lines) + "\n"

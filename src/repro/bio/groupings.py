@@ -1,0 +1,116 @@
+"""Amino-acid grouping schemes (reduced alphabets).
+
+Section 2: "the sequences can be recoded with a reduced alphabet ... each
+amino acid symbol is replaced by a symbol representing a group of amino
+acids", following Sampath's block-coding result [14].  The experiment's
+outer loop searches for "the amino acid groupings that maximise
+compressibility", so we ship a family of classical reduced alphabets plus a
+constructor for arbitrary user-defined partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bio.alphabet import AMINO_ACIDS
+
+#: Symbols assigned to groups, in group order.
+GROUP_SYMBOLS = "0123456789abcdefghij"
+
+
+@dataclass(frozen=True)
+class GroupingScheme:
+    """A partition of the 20 amino acids into named groups."""
+
+    name: str
+    groups: Tuple[str, ...]
+    _table: Dict[str, str] = field(init=False, repr=False, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, int] = {}
+        for gi, group in enumerate(self.groups):
+            if not group:
+                raise ValueError(f"{self.name}: empty group at index {gi}")
+            for aa in group:
+                if aa not in AMINO_ACIDS:
+                    raise ValueError(f"{self.name}: {aa!r} is not an amino acid")
+                if aa in seen:
+                    raise ValueError(
+                        f"{self.name}: {aa!r} appears in groups {seen[aa]} and {gi}"
+                    )
+                seen[aa] = gi
+        missing = sorted(set(AMINO_ACIDS) - set(seen))
+        if missing:
+            raise ValueError(f"{self.name}: amino acids {missing} not covered")
+        if len(self.groups) > len(GROUP_SYMBOLS):
+            raise ValueError(f"{self.name}: more groups than available symbols")
+        table = {
+            aa: GROUP_SYMBOLS[gi]
+            for gi, group in enumerate(self.groups)
+            for aa in group
+        }
+        object.__setattr__(self, "_table", table)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def symbol_for(self, amino_acid: str) -> str:
+        """The group symbol encoding ``amino_acid``."""
+        try:
+            return self._table[amino_acid]
+        except KeyError:
+            raise ValueError(
+                f"{amino_acid!r} is not a standard amino acid"
+            ) from None
+
+    def group_of(self, amino_acid: str) -> str:
+        """The member string of the group containing ``amino_acid``."""
+        return self.groups[GROUP_SYMBOLS.index(self.symbol_for(amino_acid))]
+
+
+def make_grouping(name: str, groups: Sequence[str]) -> GroupingScheme:
+    """Validate and construct a user-defined grouping."""
+    return GroupingScheme(name=name, groups=tuple(groups))
+
+
+#: Classical reduced alphabets from the protein-compression literature.
+_SCHEMES: Dict[str, GroupingScheme] = {}
+
+
+def _register(name: str, groups: Sequence[str]) -> None:
+    _SCHEMES[name] = make_grouping(name, groups)
+
+
+# Identity: 20 singleton groups (no reduction — the control).
+_register("identity20", tuple(AMINO_ACIDS))
+
+# Hydrophobic / polar split (the canonical HP model).
+_register("hp2", ("AILMFWVC", "DEGHKNPQRSTY"))
+
+# Dayhoff's six chemical classes.
+_register("dayhoff6", ("AGPST", "C", "DENQ", "FWY", "HKR", "ILMV"))
+
+# GBMR4 (Rackovsky-style 4-letter alphabet).
+_register("gbmr4", ("ADKERNTSQ", "YFLIVMCWH", "G", "P"))
+
+# A chemistry-flavoured 7-group alphabet (aliphatic / aromatic / positive /
+# negative / amide+hydroxyl / sulphur / conformational).
+_register("chemical7", ("AILV", "FWY", "HKR", "DE", "NQST", "CM", "GP"))
+
+# Sampath-inspired 5-group block coding.
+_register("sampath5", ("AGST", "CILMV", "DENQ", "FWYH", "KRP"))
+
+
+def get_grouping(name: str) -> GroupingScheme:
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grouping {name!r}; available: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def available_groupings() -> List[str]:
+    return sorted(_SCHEMES)

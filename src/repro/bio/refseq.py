@@ -1,0 +1,226 @@
+"""Synthetic, versioned stand-in for the RefSeq protein database.
+
+The paper's bioinformatician "downloads sequence data of microbial proteins
+from the database RefSeq".  We cannot ship RefSeq, so this module builds a
+deterministic synthetic database exercising the same code path:
+
+* records carry accession, version, organism and an amino-acid sequence;
+* sequences are drawn from an order-1 Markov model whose transition matrix
+  is biased toward hydrophobicity-class runs, so the sequences carry genuine
+  statistical structure for the compressors to find;
+* the database is *versioned by release*: the same accession can resolve to
+  byte-identical data in two releases (UC1's "same sequence data, downloaded
+  again") while other releases may revise sequences.
+
+Everything is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bio.alphabet import AMINO_ACIDS
+from repro.bio.fasta import FastaRecord, write_fasta
+from repro.simkit.rng import derive_seed
+
+#: Approximate natural amino-acid background frequencies (UniProt-like),
+#: ordered to match :data:`AMINO_ACIDS`.
+BACKGROUND_FREQUENCIES: Dict[str, float] = {
+    "A": 0.083, "C": 0.014, "D": 0.055, "E": 0.067, "F": 0.039,
+    "G": 0.071, "H": 0.023, "I": 0.059, "K": 0.058, "L": 0.097,
+    "M": 0.024, "N": 0.041, "P": 0.047, "Q": 0.039, "R": 0.055,
+    "S": 0.066, "T": 0.053, "V": 0.069, "W": 0.011, "Y": 0.029,
+}
+
+#: Hydrophobic residues; runs of these create compressible local structure.
+_HYDROPHOBIC = frozenset("AILMFWVC")
+
+_MICROBES = (
+    "Escherichia coli",
+    "Bacillus subtilis",
+    "Haemophilus influenzae",
+    "Mycoplasma genitalium",
+    "Thermus thermophilus",
+    "Synechocystis sp.",
+    "Deinococcus radiodurans",
+    "Aquifex aeolicus",
+)
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """One protein record as returned by a database query."""
+
+    accession: str
+    version: int
+    organism: str
+    sequence: str
+
+    @property
+    def versioned_accession(self) -> str:
+        return f"{self.accession}.{self.version}"
+
+    def to_fasta(self) -> FastaRecord:
+        header = f"{self.versioned_accession} {self.organism}"
+        return FastaRecord(header=header, sequence=self.sequence)
+
+
+def _markov_sequence(rng: random.Random, length: int, cluster_bias: float = 3.0) -> str:
+    """Draw an amino-acid sequence from a hydrophobicity-clustered Markov chain.
+
+    From a hydrophobic residue, hydrophobic successors are ``cluster_bias``
+    times more likely than background (and symmetrically for polar residues),
+    producing the context-dependent correlations compression exploits.
+    """
+    symbols = list(AMINO_ACIDS)
+    base = [BACKGROUND_FREQUENCIES[s] for s in symbols]
+    weights_from_hydrophobic = [
+        w * (cluster_bias if s in _HYDROPHOBIC else 1.0) for s, w in zip(symbols, base)
+    ]
+    weights_from_polar = [
+        w * (1.0 if s in _HYDROPHOBIC else cluster_bias) for s, w in zip(symbols, base)
+    ]
+    out: List[str] = []
+    prev_hydrophobic = rng.random() < 0.4
+    for _ in range(length):
+        weights = weights_from_hydrophobic if prev_hydrophobic else weights_from_polar
+        sym = rng.choices(symbols, weights=weights, k=1)[0]
+        out.append(sym)
+        prev_hydrophobic = sym in _HYDROPHOBIC
+    return "".join(out)
+
+
+class RefSeqDatabase:
+    """A deterministic, versioned protein sequence database.
+
+    ``releases`` numbered 1..n; a fraction of records is revised (sequence
+    regenerated, version bumped) at each release boundary.  Query results are
+    stable: the same (accession, release) pair always yields identical bytes.
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        n_records: int = 64,
+        n_releases: int = 3,
+        mean_length: int = 320,
+        revision_fraction: float = 0.15,
+    ):
+        if n_records < 1:
+            raise ValueError("n_records must be >= 1")
+        if n_releases < 1:
+            raise ValueError("n_releases must be >= 1")
+        if not 0.0 <= revision_fraction <= 1.0:
+            raise ValueError("revision_fraction must be in [0, 1]")
+        self.seed = seed
+        self.n_releases = n_releases
+        self._by_release: List[Dict[str, SequenceRecord]] = []
+        rng = random.Random(derive_seed(seed, "refseq"))
+        release_1: Dict[str, SequenceRecord] = {}
+        for i in range(n_records):
+            accession = f"RP_{i:06d}"
+            organism = rng.choice(_MICROBES)
+            length = max(40, int(rng.gauss(mean_length, mean_length / 4)))
+            release_1[accession] = SequenceRecord(
+                accession=accession,
+                version=1,
+                organism=organism,
+                sequence=_markov_sequence(rng, length),
+            )
+        self._by_release.append(release_1)
+        for _release in range(2, n_releases + 1):
+            prev = self._by_release[-1]
+            cur: Dict[str, SequenceRecord] = {}
+            for accession, rec in prev.items():
+                if rng.random() < revision_fraction:
+                    length = max(40, int(rng.gauss(mean_length, mean_length / 4)))
+                    cur[accession] = SequenceRecord(
+                        accession=accession,
+                        version=rec.version + 1,
+                        organism=rec.organism,
+                        sequence=_markov_sequence(rng, length),
+                    )
+                else:
+                    cur[accession] = rec
+            self._by_release.append(cur)
+
+    # -- query API -------------------------------------------------------
+    def accessions(self) -> List[str]:
+        return sorted(self._by_release[0])
+
+    def fetch(self, accession: str, release: Optional[int] = None) -> SequenceRecord:
+        """Fetch one record from ``release`` (default: latest)."""
+        table = self._release_table(release)
+        try:
+            return table[accession]
+        except KeyError:
+            raise KeyError(f"unknown accession {accession!r}") from None
+
+    def query_organism(
+        self, organism: str, release: Optional[int] = None
+    ) -> List[SequenceRecord]:
+        table = self._release_table(release)
+        return sorted(
+            (rec for rec in table.values() if rec.organism == organism),
+            key=lambda r: r.accession,
+        )
+
+    def download_fasta(
+        self, accessions: Sequence[str], release: Optional[int] = None
+    ) -> str:
+        """The remote-download call of the paper, rendered as FASTA text."""
+        records = [self.fetch(a, release) for a in accessions]
+        return write_fasta([r.to_fasta() for r in records])
+
+    def revised_between(self, release_a: int, release_b: int) -> List[str]:
+        """Accessions whose sequence differs between two releases."""
+        ta = self._release_table(release_a)
+        tb = self._release_table(release_b)
+        return sorted(
+            acc for acc in ta if ta[acc].sequence != tb[acc].sequence
+        )
+
+    def _release_table(self, release: Optional[int]) -> Dict[str, SequenceRecord]:
+        if release is None:
+            release = self.n_releases
+        if not 1 <= release <= self.n_releases:
+            raise ValueError(
+                f"release {release} out of range 1..{self.n_releases}"
+            )
+        return self._by_release[release - 1]
+
+
+def sample_of_size(
+    db: RefSeqDatabase,
+    target_bytes: int,
+    release: Optional[int] = None,
+    organism: Optional[str] = None,
+) -> Tuple[List[str], str]:
+    """Pick accessions until the concatenated sample reaches ``target_bytes``.
+
+    This mirrors Collate Sample's need to "provide enough data for the
+    statistical methods employed by the compression algorithms".  Returns
+    (accessions used, concatenated sequence text).
+    """
+    if target_bytes < 1:
+        raise ValueError("target_bytes must be >= 1")
+    if organism is not None:
+        pool = [r.accession for r in db.query_organism(organism, release)]
+    else:
+        pool = db.accessions()
+    chosen: List[str] = []
+    total = 0
+    for accession in pool:
+        if total >= target_bytes:
+            break
+        rec = db.fetch(accession, release)
+        chosen.append(accession)
+        total += len(rec.sequence)
+    if total < target_bytes:
+        raise ValueError(
+            f"database exhausted at {total} bytes; need {target_bytes}"
+        )
+    text = "".join(db.fetch(a, release).sequence for a in chosen)
+    return chosen, text

@@ -1,0 +1,46 @@
+"""Compression substrate for the compressibility experiment.
+
+The paper measures protein compressibility with gzip, bzip2 and ppmz.  Those
+are binaries we substitute with from-scratch, lossless implementations of the
+same algorithm families:
+
+* ``gz-like``  — LZ77 (hash-chain matcher) + canonical Huffman back end
+  (:mod:`repro.compress.lz77`),
+* ``bz-like``  — block-wise Burrows-Wheeler transform + move-to-front +
+  zero-run-length encoding + Huffman (:mod:`repro.compress.bwt`,
+  :mod:`repro.compress.mtf`),
+* ``ppm-like`` — PPM context modelling with escape method C over an
+  arithmetic coder (:mod:`repro.compress.ppm`,
+  :mod:`repro.compress.arithmetic`).
+
+Fast codecs backed by the standard library (``zlib``/``bz2``) are registered
+alongside for large benchmark sweeps.  All codecs satisfy the
+:class:`~repro.compress.api.Compressor` interface and are looked up through
+:func:`~repro.compress.api.get_compressor`.
+"""
+
+from repro.compress.api import (
+    Compressor,
+    available_compressors,
+    compressed_size,
+    get_compressor,
+    register_compressor,
+)
+from repro.compress.gzlike import GzLikeCompressor
+from repro.compress.bzlike import BzLikeCompressor
+from repro.compress.ppm import PPMCompressor
+from repro.compress.stdcodecs import Bz2Compressor, StoredCompressor, ZlibCompressor
+
+__all__ = [
+    "Bz2Compressor",
+    "BzLikeCompressor",
+    "Compressor",
+    "GzLikeCompressor",
+    "PPMCompressor",
+    "StoredCompressor",
+    "ZlibCompressor",
+    "available_compressors",
+    "compressed_size",
+    "get_compressor",
+    "register_compressor",
+]

@@ -1,0 +1,72 @@
+"""Compressor interface and registry.
+
+Every codec in the experiment — from-scratch and stdlib-backed alike —
+implements :class:`Compressor` and registers itself by name, so workflow
+activities can select an algorithm by configuration string exactly the way
+the paper's Measure activities select gzip vs ppmz.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+
+class Compressor(ABC):
+    """A lossless byte-string codec."""
+
+    #: Registry key; subclasses must set a unique name.
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; must be exactly invertible by :meth:`decompress`."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def compressed_size(self, data: bytes) -> int:
+        """Length in bytes of the compressed form (the Measure Size step)."""
+        return len(self.compress(data))
+
+    def ratio(self, data: bytes) -> float:
+        """Compressed fraction of the original length (lower = more structure)."""
+        if not data:
+            raise ValueError("ratio undefined for empty input")
+        return self.compressed_size(data) / len(data)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: Dict[str, Compressor] = {}
+
+
+def register_compressor(codec: Compressor, replace: bool = False) -> Compressor:
+    """Add ``codec`` to the global registry under ``codec.name``."""
+    if not codec.name:
+        raise ValueError(f"{codec!r} has no name")
+    if codec.name in _REGISTRY and not replace:
+        raise ValueError(f"compressor {codec.name!r} already registered")
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def get_compressor(name: str) -> Compressor:
+    """Look up a registered codec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_compressors() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def compressed_size(name: str, data: bytes) -> int:
+    """Convenience: compressed length of ``data`` under codec ``name``."""
+    return get_compressor(name).compressed_size(data)

@@ -1,0 +1,122 @@
+"""Binary arithmetic coding (32-bit integer range implementation).
+
+The entropy back end of the PPM codec.  The classic CACM-87 construction:
+the interval [low, high] is narrowed by cumulative frequency ranges and
+renormalised bit-by-bit with pending-bit (underflow) handling.
+
+Models interact with the coder purely through cumulative counts
+``(cum_low, cum_high, total)``, keeping the coder model-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.compress.bitio import BitReader, BitWriter
+
+CODE_BITS = 32
+TOP = (1 << CODE_BITS) - 1
+HALF = 1 << (CODE_BITS - 1)
+QUARTER = 1 << (CODE_BITS - 2)
+THREE_QUARTERS = HALF + QUARTER
+
+#: Models must keep totals at or below this so ranges cannot collapse.
+MAX_TOTAL = 1 << 16
+
+
+class ArithmeticEncoder:
+    """Streams symbols into a :class:`BitWriter`."""
+
+    def __init__(self, writer: BitWriter):
+        self.writer = writer
+        self.low = 0
+        self.high = TOP
+        self.pending = 0
+        self._finished = False
+
+    def _emit(self, bit: int) -> None:
+        self.writer.write_bit(bit)
+        inverse = bit ^ 1
+        while self.pending:
+            self.writer.write_bit(inverse)
+            self.pending -= 1
+
+    def encode(self, cum_low: int, cum_high: int, total: int) -> None:
+        """Narrow the interval to the symbol spanning [cum_low, cum_high)/total."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        if not 0 <= cum_low < cum_high <= total:
+            raise ValueError(f"bad cumulative range ({cum_low}, {cum_high}, {total})")
+        if total > MAX_TOTAL:
+            raise ValueError(f"model total {total} exceeds MAX_TOTAL {MAX_TOTAL}")
+        span = self.high - self.low + 1
+        self.high = self.low + span * cum_high // total - 1
+        self.low = self.low + span * cum_low // total
+        while True:
+            if self.high < HALF:
+                self._emit(0)
+            elif self.low >= HALF:
+                self._emit(1)
+                self.low -= HALF
+                self.high -= HALF
+            elif self.low >= QUARTER and self.high < THREE_QUARTERS:
+                self.pending += 1
+                self.low -= QUARTER
+                self.high -= QUARTER
+            else:
+                break
+            self.low <<= 1
+            self.high = (self.high << 1) | 1
+
+    def finish(self) -> None:
+        """Flush enough bits to disambiguate the final interval."""
+        if self._finished:
+            return
+        self._finished = True
+        self.pending += 1
+        if self.low < QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+
+
+class ArithmeticDecoder:
+    """Mirrors :class:`ArithmeticEncoder` over a :class:`BitReader`."""
+
+    def __init__(self, reader: BitReader):
+        self.reader = reader
+        self.low = 0
+        self.high = TOP
+        self.code = 0
+        for _ in range(CODE_BITS):
+            self.code = (self.code << 1) | reader.read_bit_padded()
+
+    def decode_target(self, total: int) -> int:
+        """The cumulative-count position of the next symbol, in [0, total)."""
+        if total > MAX_TOTAL:
+            raise ValueError(f"model total {total} exceeds MAX_TOTAL {MAX_TOTAL}")
+        span = self.high - self.low + 1
+        target = ((self.code - self.low + 1) * total - 1) // span
+        if target >= total:
+            raise ValueError("corrupt arithmetic stream (target out of range)")
+        return target
+
+    def consume(self, cum_low: int, cum_high: int, total: int) -> None:
+        """Apply the same narrowing the encoder applied for the decoded symbol."""
+        span = self.high - self.low + 1
+        self.high = self.low + span * cum_high // total - 1
+        self.low = self.low + span * cum_low // total
+        while True:
+            if self.high < HALF:
+                pass
+            elif self.low >= HALF:
+                self.low -= HALF
+                self.high -= HALF
+                self.code -= HALF
+            elif self.low >= QUARTER and self.high < THREE_QUARTERS:
+                self.low -= QUARTER
+                self.high -= QUARTER
+                self.code -= QUARTER
+            else:
+                break
+            self.low <<= 1
+            self.high = (self.high << 1) | 1
+            self.code = (self.code << 1) | self.reader.read_bit_padded()

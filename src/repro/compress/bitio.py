@@ -1,0 +1,141 @@
+"""Bit-level I/O used by the entropy coders.
+
+MSB-first bit order throughout (the first bit written is the most significant
+bit of the first byte), plus LEB128-style varints for headers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._bytes.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Write ``value`` as unary: ``value`` one-bits then a zero."""
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Final byte string, zero-padding the trailing partial byte."""
+        out = bytearray(self._bytes)
+        if self._nbits:
+            out.append(self._acc << (8 - self._nbits))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes, start_byte: int = 0) -> None:
+        self._data = data
+        self._pos = start_byte * 8
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        byte_idx, bit_idx = divmod(self._pos, 8)
+        if byte_idx >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+
+    def read_bit_padded(self) -> int:
+        """Like :meth:`read_bit` but returns 0 past end-of-stream.
+
+        Arithmetic decoders legitimately read a few bits past the encoded
+        payload; zero padding there is part of the format.
+        """
+        byte_idx, bit_idx = divmod(self._pos, 8)
+        self._pos += 1
+        if byte_idx >= len(self._data):
+            return 0
+        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+
+def write_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varint requires non-negative value, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a LEB128 varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise EOFError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def pack_varints(values: List[int]) -> bytes:
+    return b"".join(write_varint(v) for v in values)
+
+
+def unpack_varints(data: bytes, count: int, offset: int = 0) -> Tuple[List[int], int]:
+    out: List[int] = []
+    pos = offset
+    for _ in range(count):
+        v, pos = read_varint(data, pos)
+        out.append(v)
+    return out, pos

@@ -1,0 +1,86 @@
+"""Burrows-Wheeler transform and its inverse.
+
+Rotation sorting uses prefix-doubling over rotation ranks — O(n log n)
+sorting passes, no O(n^2) rotation materialisation — which keeps the
+from-scratch ``bz-like`` codec usable on the experiment's ~100 KB samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def rotation_order(data: bytes) -> List[int]:
+    """Indices of the rotations of ``data`` in lexicographic order.
+
+    Prefix doubling: at step ``k`` every rotation is ranked by its first
+    ``2k`` characters using the pair (rank of first k, rank of next k).
+    """
+    n = len(data)
+    if n == 0:
+        return []
+    rank: List[int] = list(data)
+    order = sorted(range(n), key=lambda i: rank[i])
+    k = 1
+    tmp = [0] * n
+    while True:
+        def key(i: int) -> Tuple[int, int]:
+            return (rank[i], rank[(i + k) % n])
+
+        order.sort(key=key)
+        tmp[order[0]] = 0
+        for idx in range(1, n):
+            prev_i, cur_i = order[idx - 1], order[idx]
+            tmp[cur_i] = tmp[prev_i] + (1 if key(cur_i) != key(prev_i) else 0)
+        rank, tmp = tmp, rank
+        if rank[order[-1]] == n - 1:
+            return order
+        k *= 2
+        if k >= n:
+            # All ranks distinct is guaranteed once k >= n unless the string
+            # is periodic; one more pass with full-period keys settles ties
+            # deterministically by index for periodic inputs.
+            order.sort(key=lambda i: (rank[i], i))
+            return order
+
+
+def bwt(data: bytes) -> Tuple[bytes, int]:
+    """Forward transform: returns (last column, index of original rotation)."""
+    n = len(data)
+    if n == 0:
+        return b"", 0
+    order = rotation_order(data)
+    primary = order.index(0)
+    last = bytes(data[(i - 1) % n] for i in order)
+    return last, primary
+
+
+def ibwt(last: bytes, primary: int) -> bytes:
+    """Inverse transform via the LF mapping."""
+    n = len(last)
+    if n == 0:
+        return b""
+    if not 0 <= primary < n:
+        raise ValueError(f"primary index {primary} out of range for n={n}")
+    # counts[c] = number of occurrences of byte c in the last column.
+    counts = [0] * 256
+    for b in last:
+        counts[b] += 1
+    # first_pos[c] = row where byte c first appears in the (sorted) first column.
+    first_pos = [0] * 256
+    total = 0
+    for c in range(256):
+        first_pos[c] = total
+        total += counts[c]
+    # lf[i] = row in first column corresponding to last[i].
+    seen = [0] * 256
+    lf = [0] * n
+    for i, b in enumerate(last):
+        lf[i] = first_pos[b] + seen[b]
+        seen[b] += 1
+    out = bytearray(n)
+    row = primary
+    for k in range(n - 1, -1, -1):
+        out[k] = last[row]
+        row = lf[row]
+    return bytes(out)

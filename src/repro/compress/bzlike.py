@@ -1,0 +1,60 @@
+"""The ``bz-like`` codec: block-wise BWT + MTF + ZRLE + Huffman.
+
+Substitutes for the paper's ``bzip2`` binary.  Input is split into fixed-size
+blocks; each block is Burrows-Wheeler transformed, move-to-front coded,
+zero-run-length encoded and finally Huffman compressed.
+
+Stream layout::
+
+    varint n_blocks
+    per block: varint primary_index · varint len(payload) · payload
+"""
+
+from __future__ import annotations
+
+from repro.compress.api import Compressor, register_compressor
+from repro.compress.bitio import read_varint, write_varint
+from repro.compress.bwt import bwt, ibwt
+from repro.compress.huffman import huffman_compress, huffman_decompress
+from repro.compress.mtf import mtf_decode, mtf_encode, zrle_decode, zrle_encode
+
+DEFAULT_BLOCK_SIZE = 32 * 1024
+
+
+class BzLikeCompressor(Compressor):
+    """BWT pipeline, standing in for bzip2."""
+
+    name = "bz-like"
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size < 1:
+            raise ValueError(f"block size must be >= 1, got {block_size}")
+        self.block_size = block_size
+
+    def compress(self, data: bytes) -> bytes:
+        blocks = [
+            data[i : i + self.block_size] for i in range(0, len(data), self.block_size)
+        ]
+        parts = [write_varint(len(blocks))]
+        for block in blocks:
+            last, primary = bwt(block)
+            payload = huffman_compress(zrle_encode(mtf_encode(last)))
+            parts.append(write_varint(primary))
+            parts.append(write_varint(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def decompress(self, blob: bytes) -> bytes:
+        n_blocks, pos = read_varint(blob, 0)
+        out = bytearray()
+        for _ in range(n_blocks):
+            primary, pos = read_varint(blob, pos)
+            plen, pos = read_varint(blob, pos)
+            payload = blob[pos : pos + plen]
+            pos += plen
+            last = mtf_decode(zrle_decode(huffman_decompress(payload)))
+            out += ibwt(last, primary)
+        return bytes(out)
+
+
+register_compressor(BzLikeCompressor())

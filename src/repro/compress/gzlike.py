@@ -1,0 +1,97 @@
+"""The ``gz-like`` codec: LZ77 front end + canonical Huffman back end.
+
+Substitutes for the paper's ``gzip`` binary.  The format is not DEFLATE but
+the same algorithm family: a greedy hash-chain LZ77 parse whose token planes
+are entropy-coded with canonical Huffman.
+
+Stream layout::
+
+    varint  n_tokens
+    varint  len(flag_bytes)   · flag bits, 1 per token (0=literal, 1=match)
+    varint  len(plane_a)      · Huffman block: literal byte / match length-3
+    varint  len(plane_d)      · Huffman block: distance-1 as two bytes (hi, lo)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compress.api import Compressor, register_compressor
+from repro.compress.bitio import BitReader, BitWriter, read_varint, write_varint
+from repro.compress.huffman import huffman_compress, huffman_decompress
+from repro.compress.lz77 import Literal, Match, Token, detokenize, tokenize
+
+
+def _serialize(tokens: List[Token]) -> bytes:
+    flags = BitWriter()
+    plane_a = bytearray()
+    plane_d = bytearray()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            flags.write_bit(0)
+            plane_a.append(tok.byte)
+        else:
+            flags.write_bit(1)
+            plane_a.append(tok.length - 3)
+            dist = tok.distance - 1
+            plane_d.append(dist >> 8)
+            plane_d.append(dist & 0xFF)
+    flag_bytes = flags.getvalue()
+    ha = huffman_compress(bytes(plane_a))
+    hd = huffman_compress(bytes(plane_d))
+    parts = [
+        write_varint(len(tokens)),
+        write_varint(len(flag_bytes)),
+        flag_bytes,
+        write_varint(len(ha)),
+        ha,
+        write_varint(len(hd)),
+        hd,
+    ]
+    return b"".join(parts)
+
+
+def _deserialize(blob: bytes) -> List[Token]:
+    n_tokens, pos = read_varint(blob, 0)
+    flag_len, pos = read_varint(blob, pos)
+    flag_bytes = blob[pos : pos + flag_len]
+    pos += flag_len
+    ha_len, pos = read_varint(blob, pos)
+    plane_a = huffman_decompress(blob[pos : pos + ha_len])
+    pos += ha_len
+    hd_len, pos = read_varint(blob, pos)
+    plane_d = huffman_decompress(blob[pos : pos + hd_len])
+
+    flags = BitReader(flag_bytes)
+    tokens: List[Token] = []
+    ai = 0
+    di = 0
+    for _ in range(n_tokens):
+        if flags.read_bit():
+            length = plane_a[ai] + 3
+            ai += 1
+            distance = ((plane_d[di] << 8) | plane_d[di + 1]) + 1
+            di += 2
+            tokens.append(Match(length=length, distance=distance))
+        else:
+            tokens.append(Literal(plane_a[ai]))
+            ai += 1
+    return tokens
+
+
+class GzLikeCompressor(Compressor):
+    """LZ77 + Huffman, standing in for gzip."""
+
+    name = "gz-like"
+
+    def __init__(self, max_chain: int = 64):
+        self.max_chain = max_chain
+
+    def compress(self, data: bytes) -> bytes:
+        return _serialize(tokenize(data, max_chain=self.max_chain))
+
+    def decompress(self, blob: bytes) -> bytes:
+        return detokenize(iter(_deserialize(blob)))
+
+
+register_compressor(GzLikeCompressor())

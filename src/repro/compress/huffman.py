@@ -1,0 +1,145 @@
+"""Canonical Huffman coding over byte alphabets.
+
+Used as the entropy back end of both the ``gz-like`` (LZ77) and ``bz-like``
+(BWT) pipelines.  Codes are *canonical*: only code lengths are stored in the
+stream header; codebooks are reconstructed deterministically from them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+from repro.compress.bitio import BitReader, BitWriter, read_varint, write_varint
+
+ALPHABET = 256
+
+
+def build_code_lengths(freqs: Dict[int, int]) -> Dict[int, int]:
+    """Compute Huffman code lengths from symbol frequencies.
+
+    Handles the degenerate cases of zero symbols (empty mapping) and a single
+    symbol (assigned length 1 so the stream is decodable).
+    """
+    symbols = [(f, s) for s, f in freqs.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0][1]: 1}
+    # Heap of (weight, tiebreak, node); node is either a leaf symbol or a
+    # pair of child nodes.  The tiebreak keeps ordering total (determinism).
+    heap: List[Tuple[int, int, object]] = []
+    tie = 0
+    for f, s in sorted(symbols):
+        heap.append((f, tie, s))
+        tie += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, tie, (n1, n2)))
+        tie += 1
+    lengths: Dict[int, int] = {}
+
+    stack: List[Tuple[object, int]] = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = depth
+    return lengths
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codes ``symbol -> (code, length)`` from lengths.
+
+    Symbols are ordered by (length, symbol); codes increase by one within a
+    length and shift left when the length grows — the classic canonical rule.
+    """
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for sym, length in ordered:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class CanonicalDecoder:
+    """Bit-serial decoder for a canonical code."""
+
+    def __init__(self, lengths: Dict[int, int]):
+        self._by_length: Dict[int, Dict[int, int]] = {}
+        for sym, (code, length) in canonical_codes(lengths).items():
+            self._by_length.setdefault(length, {})[code] = sym
+        self.max_length = max(self._by_length) if self._by_length else 0
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, self.max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            table = self._by_length.get(length)
+            if table is not None and code in table:
+                return table[code]
+        raise ValueError("invalid Huffman code in stream")
+
+
+def _encode_lengths_header(lengths: Dict[int, int]) -> bytes:
+    """Serialize the 256-entry length table (0 = absent symbol)."""
+    table = bytearray(ALPHABET)
+    for sym, length in lengths.items():
+        if not 0 <= sym < ALPHABET:
+            raise ValueError(f"symbol {sym} outside byte alphabet")
+        if length > 255:
+            raise ValueError(f"code length {length} too large")
+        table[sym] = length
+    return bytes(table)
+
+
+def _decode_lengths_header(data: bytes, offset: int) -> Tuple[Dict[int, int], int]:
+    if len(data) < offset + ALPHABET:
+        raise EOFError("truncated Huffman header")
+    table = data[offset : offset + ALPHABET]
+    lengths = {sym: ln for sym, ln in enumerate(table) if ln}
+    return lengths, offset + ALPHABET
+
+
+def huffman_encode_symbols(symbols: Iterable[int], lengths: Dict[int, int], writer: BitWriter) -> None:
+    codes = canonical_codes(lengths)
+    for sym in symbols:
+        code, length = codes[sym]
+        writer.write_bits(code, length)
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Self-contained Huffman compression of a byte string.
+
+    Layout: varint original length · 256-byte length table · padded bitstream.
+    """
+    freqs: Dict[int, int] = {}
+    for b in data:
+        freqs[b] = freqs.get(b, 0) + 1
+    lengths = build_code_lengths(freqs)
+    writer = BitWriter()
+    huffman_encode_symbols(data, lengths, writer)
+    return write_varint(len(data)) + _encode_lengths_header(lengths) + writer.getvalue()
+
+
+def huffman_decompress(blob: bytes) -> bytes:
+    n, offset = read_varint(blob, 0)
+    lengths, offset = _decode_lengths_header(blob, offset)
+    if n == 0:
+        return b""
+    if not lengths:
+        raise ValueError("non-empty payload but empty codebook")
+    decoder = CanonicalDecoder(lengths)
+    reader = BitReader(blob, start_byte=offset)
+    out = bytearray()
+    for _ in range(n):
+        out.append(decoder.decode_symbol(reader))
+    return bytes(out)

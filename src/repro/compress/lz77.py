@@ -1,0 +1,114 @@
+"""LZ77 with hash-chain match finding.
+
+The front half of the ``gz-like`` codec: a sliding-window matcher in the
+DEFLATE family (32 KiB window, matches of 3..258 bytes) producing a token
+stream of literals and (length, distance) copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+WINDOW_SIZE = 32 * 1024
+MIN_MATCH = 3
+MAX_MATCH = 258
+#: Cap on hash-chain probes per position; trades ratio for speed.
+MAX_CHAIN = 64
+
+
+@dataclass(frozen=True)
+class Literal:
+    byte: int
+
+
+@dataclass(frozen=True)
+class Match:
+    length: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if not MIN_MATCH <= self.length <= MAX_MATCH:
+            raise ValueError(f"match length {self.length} out of range")
+        if not 1 <= self.distance <= WINDOW_SIZE:
+            raise ValueError(f"match distance {self.distance} out of range")
+
+
+Token = Union[Literal, Match]
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return (data[i] << 10) ^ (data[i + 1] << 5) ^ data[i + 2]
+
+
+def tokenize(data: bytes, max_chain: int = MAX_CHAIN) -> List[Token]:
+    """Greedy LZ77 parse of ``data`` into literals and matches."""
+    n = len(data)
+    tokens: List[Token] = []
+    # head[h] = most recent position with hash h; prev[i] = previous position
+    # in i's chain.  Chains are pruned by window distance during probing.
+    head: dict = {}
+    prev: List[int] = [0] * n
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + MIN_MATCH <= n:
+            h = _hash3(data, i)
+            candidate: Optional[int] = head.get(h)
+            chain = 0
+            limit = min(MAX_MATCH, n - i)
+            while candidate is not None and chain < max_chain:
+                dist = i - candidate
+                if dist > WINDOW_SIZE:
+                    break
+                # Extend the match.
+                length = 0
+                while length < limit and data[candidate + length] == data[i + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = dist
+                    if length >= limit:
+                        break
+                nxt = prev[candidate]
+                candidate = nxt if nxt != candidate else None
+                chain += 1
+            # Insert current position into the chain.
+            old = head.get(h)
+            prev[i] = old if old is not None else i
+            head[h] = i
+        if best_len >= MIN_MATCH:
+            tokens.append(Match(length=best_len, distance=best_dist))
+            # Insert skipped positions so later matches can reference them.
+            end = i + best_len
+            j = i + 1
+            while j < min(end, n - MIN_MATCH + 1):
+                h = _hash3(data, j)
+                old = head.get(h)
+                prev[j] = old if old is not None else j
+                head[h] = j
+                j += 1
+            i = end
+        else:
+            tokens.append(Literal(data[i]))
+            i += 1
+    return tokens
+
+
+def detokenize(tokens: Iterator[Token]) -> bytes:
+    """Reconstruct the original bytes from a token stream."""
+    out = bytearray()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            out.append(tok.byte)
+        else:
+            if tok.distance > len(out):
+                raise ValueError(
+                    f"match distance {tok.distance} exceeds output length {len(out)}"
+                )
+            start = len(out) - tok.distance
+            # Overlapping copies are byte-serial by design (RLE-style matches).
+            for k in range(tok.length):
+                out.append(out[start + k])
+    return bytes(out)

@@ -1,0 +1,75 @@
+"""Move-to-front coding and zero-run-length encoding.
+
+The middle stages of the ``bz-like`` pipeline: MTF converts BWT locality into
+a zero-heavy byte stream; ZRLE then collapses zero runs.  ZRLE is
+unambiguous because MTF output uses 0x00 only for "same symbol again",
+which ZRLE re-encodes as ``0x00 varint(run_length)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compress.bitio import read_varint, write_varint
+
+
+def mtf_encode(data: bytes) -> bytes:
+    """Replace each byte by its index in a move-to-front list of all 256 values."""
+    table: List[int] = list(range(256))
+    out = bytearray(len(data))
+    for pos, b in enumerate(data):
+        idx = table.index(b)
+        out[pos] = idx
+        if idx:
+            del table[idx]
+            table.insert(0, b)
+    return bytes(out)
+
+
+def mtf_decode(data: bytes) -> bytes:
+    table: List[int] = list(range(256))
+    out = bytearray(len(data))
+    for pos, idx in enumerate(data):
+        b = table[idx]
+        out[pos] = b
+        if idx:
+            del table[idx]
+            table.insert(0, b)
+    return bytes(out)
+
+
+def zrle_encode(data: bytes) -> bytes:
+    """Collapse runs of 0x00 into ``0x00 varint(run)``; other bytes pass through."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        b = data[i]
+        if b == 0:
+            run = 1
+            while i + run < n and data[i + run] == 0:
+                run += 1
+            out.append(0)
+            out += write_varint(run)
+            i += run
+        else:
+            out.append(b)
+            i += 1
+    return bytes(out)
+
+
+def zrle_decode(data: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        b = data[i]
+        i += 1
+        if b == 0:
+            run, i = read_varint(data, i)
+            if run < 1:
+                raise ValueError("zero-length run in ZRLE stream")
+            out += b"\x00" * run
+        else:
+            out.append(b)
+    return bytes(out)

@@ -1,0 +1,242 @@
+"""PPM (prediction by partial matching) with escape method C.
+
+Substitutes for the paper's ``ppmz`` binary: a context-mixing compressor in
+the same family (ppmz is an advanced PPM variant).  Features:
+
+* contexts of order 0..``max_order`` (default 3) with fallback to an
+  order -1 uniform model,
+* escape method C (escape weight = number of distinct symbols seen),
+* symbol exclusion across escape levels,
+* PPMC-style update exclusion (a symbol's count is bumped in the coding
+  context and every higher-order context it escaped from),
+* periodic count halving to bound model totals for the arithmetic coder.
+
+Encoder and decoder share the model code path, so symmetry is structural
+rather than duplicated logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compress.api import Compressor, register_compressor
+from repro.compress.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.compress.bitio import BitReader, BitWriter, read_varint, write_varint
+
+#: Symbol alphabet: 256 byte values plus a dedicated end-of-stream symbol.
+EOF_SYMBOL = 256
+NUM_SYMBOLS = 257
+
+#: Rescale (halve) a context's counts once its total reaches this.
+RESCALE_LIMIT = 4096
+
+
+class _Distribution:
+    """A coding distribution: ordered (symbol, cum_low, cum_high) plus escape."""
+
+    __slots__ = ("entries", "escape_low", "total")
+
+    def __init__(self, entries: List[Tuple[int, int, int]], escape_low: int, total: int):
+        self.entries = entries
+        self.escape_low = escape_low
+        self.total = total
+
+
+class PPMModel:
+    """The adaptive context model shared by encoder and decoder."""
+
+    def __init__(self, max_order: int = 3):
+        if max_order < 0:
+            raise ValueError(f"max_order must be >= 0, got {max_order}")
+        self.max_order = max_order
+        # contexts[o] maps an order-o context (bytes) to {symbol: count}.
+        self.contexts: List[Dict[bytes, Dict[int, int]]] = [
+            {} for _ in range(max_order + 1)
+        ]
+        self.history = bytearray()
+
+    # -- distributions -----------------------------------------------------
+    def distribution(
+        self, table: Dict[int, int], excluded: Set[int]
+    ) -> Optional[_Distribution]:
+        """Method-C distribution over ``table`` minus ``excluded``.
+
+        Returns None when every symbol is excluded (the context is silently
+        skipped — both sides know this without any bits).
+        """
+        entries: List[Tuple[int, int, int]] = []
+        cum = 0
+        for sym in sorted(table):
+            if sym in excluded:
+                continue
+            count = table[sym]
+            entries.append((sym, cum, cum + count))
+            cum += count
+        if not entries:
+            return None
+        distinct = len(entries)
+        # Escape weight = number of distinct (non-excluded) symbols.
+        return _Distribution(entries, escape_low=cum, total=cum + distinct)
+
+    def order_minus_one(self, excluded: Set[int]) -> _Distribution:
+        """Uniform distribution over the not-yet-excluded alphabet."""
+        entries: List[Tuple[int, int, int]] = []
+        cum = 0
+        for sym in range(NUM_SYMBOLS):
+            if sym in excluded:
+                continue
+            entries.append((sym, cum, cum + 1))
+            cum += 1
+        # No escape at order -1: every symbol is representable.
+        return _Distribution(entries, escape_low=cum, total=cum)
+
+    # -- context access ------------------------------------------------------
+    def context_key(self, order: int) -> Optional[bytes]:
+        """The order-``order`` context for the current history, if long enough."""
+        if order > len(self.history):
+            return None
+        if order == 0:
+            return b""
+        return bytes(self.history[-order:])
+
+    def update(self, symbol: int, coded_order: int) -> None:
+        """PPMC update exclusion: bump ``symbol`` in orders coded_order..max."""
+        low = max(coded_order, 0)
+        for order in range(low, self.max_order + 1):
+            key = self.context_key(order)
+            if key is None:
+                continue
+            table = self.contexts[order].setdefault(key, {})
+            table[symbol] = table.get(symbol, 0) + 1
+            if sum(table.values()) >= RESCALE_LIMIT:
+                self._rescale(table)
+        if symbol != EOF_SYMBOL:
+            self.history.append(symbol)
+
+    @staticmethod
+    def _rescale(table: Dict[int, int]) -> None:
+        for sym in list(table):
+            halved = table[sym] // 2
+            if halved:
+                table[sym] = halved
+            else:
+                del table[sym]
+
+
+class PPMCompressor(Compressor):
+    """PPM over arithmetic coding, standing in for ppmz."""
+
+    name = "ppm-like"
+
+    def __init__(self, max_order: int = 3):
+        self.max_order = max_order
+
+    # -- encoding ------------------------------------------------------------
+    def compress(self, data: bytes) -> bytes:
+        model = PPMModel(self.max_order)
+        writer = BitWriter()
+        encoder = ArithmeticEncoder(writer)
+        for byte in data:
+            self._encode_symbol(model, encoder, byte)
+        self._encode_symbol(model, encoder, EOF_SYMBOL, update=False)
+        encoder.finish()
+        return write_varint(len(data)) + writer.getvalue()
+
+    def _encode_symbol(
+        self,
+        model: PPMModel,
+        encoder: ArithmeticEncoder,
+        symbol: int,
+        update: bool = True,
+    ) -> None:
+        excluded: Set[int] = set()
+        start = min(model.max_order, len(model.history))
+        coded_order = -1
+        for order in range(start, -1, -1):
+            key = model.context_key(order)
+            if key is None:
+                continue
+            table = model.contexts[order].get(key)
+            if not table:
+                continue
+            dist = model.distribution(table, excluded)
+            if dist is None:
+                continue
+            hit = next(
+                ((lo, hi) for sym, lo, hi in dist.entries if sym == symbol), None
+            )
+            if hit is not None:
+                encoder.encode(hit[0], hit[1], dist.total)
+                coded_order = order
+                break
+            # Escape: encode the escape range, exclude what this context knew.
+            encoder.encode(dist.escape_low, dist.total, dist.total)
+            excluded.update(sym for sym, _, _ in dist.entries)
+        else:
+            dist = model.order_minus_one(excluded)
+            hit = next(
+                ((lo, hi) for sym, lo, hi in dist.entries if sym == symbol), None
+            )
+            if hit is None:
+                raise AssertionError(f"symbol {symbol} missing from order -1 model")
+            encoder.encode(hit[0], hit[1], dist.total)
+        if update:
+            model.update(symbol, coded_order if coded_order >= 0 else 0)
+
+    # -- decoding ------------------------------------------------------------
+    def decompress(self, blob: bytes) -> bytes:
+        n, offset = read_varint(blob, 0)
+        model = PPMModel(self.max_order)
+        reader = BitReader(blob, start_byte=offset)
+        decoder = ArithmeticDecoder(reader)
+        out = bytearray()
+        while True:
+            symbol = self._decode_symbol(model, decoder)
+            if symbol == EOF_SYMBOL:
+                break
+            out.append(symbol)
+            if len(out) > n:
+                raise ValueError("corrupt PPM stream: ran past declared length")
+        if len(out) != n:
+            raise ValueError(
+                f"corrupt PPM stream: declared {n} bytes, decoded {len(out)}"
+            )
+        return bytes(out)
+
+    def _decode_symbol(self, model: PPMModel, decoder: ArithmeticDecoder) -> int:
+        excluded: Set[int] = set()
+        start = min(model.max_order, len(model.history))
+        for order in range(start, -1, -1):
+            key = model.context_key(order)
+            if key is None:
+                continue
+            table = model.contexts[order].get(key)
+            if not table:
+                continue
+            dist = model.distribution(table, excluded)
+            if dist is None:
+                continue
+            target = decoder.decode_target(dist.total)
+            if target >= dist.escape_low:
+                decoder.consume(dist.escape_low, dist.total, dist.total)
+                excluded.update(sym for sym, _, _ in dist.entries)
+                continue
+            for sym, lo, hi in dist.entries:
+                if lo <= target < hi:
+                    decoder.consume(lo, hi, dist.total)
+                    if sym != EOF_SYMBOL:
+                        model.update(sym, order)
+                    return sym
+            raise AssertionError("target not covered by distribution")
+        dist = model.order_minus_one(excluded)
+        target = decoder.decode_target(dist.total)
+        for sym, lo, hi in dist.entries:
+            if lo <= target < hi:
+                decoder.consume(lo, hi, dist.total)
+                if sym != EOF_SYMBOL:
+                    model.update(sym, 0)
+                return sym
+        raise AssertionError("target not covered by order -1 distribution")
+
+
+register_compressor(PPMCompressor())

@@ -1,0 +1,65 @@
+"""Standard-library-backed codecs.
+
+``zlib`` and ``bz2`` give fast, battle-tested implementations of the same
+algorithm families as our from-scratch codecs; the benchmark harness uses
+them for large sweeps where pure-Python compression would dominate runtime.
+``StoredCompressor`` (identity) provides the no-compression baseline.
+"""
+
+from __future__ import annotations
+
+import bz2
+import zlib
+
+from repro.compress.api import Compressor, register_compressor
+
+
+class ZlibCompressor(Compressor):
+    """DEFLATE via ``zlib`` — the fast stand-in for gzip."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 6):
+        if not 0 <= level <= 9:
+            raise ValueError(f"zlib level must be 0..9, got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return zlib.decompress(blob)
+
+
+class Bz2Compressor(Compressor):
+    """BWT pipeline via ``bz2`` — the fast stand-in for bzip2."""
+
+    name = "bzip2"
+
+    def __init__(self, level: int = 9):
+        if not 1 <= level <= 9:
+            raise ValueError(f"bz2 level must be 1..9, got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return bz2.decompress(blob)
+
+
+class StoredCompressor(Compressor):
+    """Identity codec: the no-compression baseline."""
+
+    name = "stored"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return bytes(blob)
+
+
+register_compressor(ZlibCompressor())
+register_compressor(Bz2Compressor())
+register_compressor(StoredCompressor())

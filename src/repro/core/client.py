@@ -1,0 +1,123 @@
+"""Bus client for querying a PReServ store: one store invocation per method.
+
+Use case 1's measured cost is "about 15 ms to retrieve a script (through one
+store invocation) and map it" — the unit of Figure 5's script-comparison
+curve.  This client performs exactly one bus call per method so the virtual
+clock charges match that structure, and counts its calls for assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+    parse_passertion,
+)
+from repro.core.prep import PrepQuery, PrepResult
+from repro.soa.bus import MessageBus
+from repro.store.interface import StoreCounts
+
+
+class ProvenanceQueryClient:
+    """Typed wrapper over the PReServ query port."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        store_endpoint: str = "preserv",
+        client_endpoint: str = "query-client",
+    ):
+        self.bus = bus
+        self.store_endpoint = store_endpoint
+        self.client_endpoint = client_endpoint
+        self.calls = 0
+
+    def _query(self, query_type: str, **params: str) -> PrepResult:
+        self.calls += 1
+        response = self.bus.call(
+            source=self.client_endpoint,
+            target=self.store_endpoint,
+            operation="query",
+            payload=PrepQuery(query_type=query_type, params=dict(params)).to_xml(),
+        )
+        return PrepResult.from_xml(response)
+
+    @staticmethod
+    def _key_params(key: InteractionKey) -> Dict[str, str]:
+        return {
+            "id": key.interaction_id,
+            "sender": key.sender,
+            "receiver": key.receiver,
+        }
+
+    def interaction_keys(self) -> List[InteractionKey]:
+        result = self._query("interactions")
+        return [InteractionKey.from_xml(el) for el in result.items]
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        params = self._key_params(key)
+        if view is not None:
+            params["view"] = view.value
+        result = self._query("interaction", **params)
+        out = []
+        for el in result.items:
+            pa = parse_passertion(el)
+            assert isinstance(pa, InteractionPAssertion)
+            out.append(pa)
+        return out
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        params = self._key_params(key)
+        if view is not None:
+            params["view"] = view.value
+        if state_type is not None:
+            params["state-type"] = state_type
+        result = self._query("actor-state", **params)
+        out = []
+        for el in result.items:
+            pa = parse_passertion(el)
+            assert isinstance(pa, ActorStatePAssertion)
+            out.append(pa)
+        return out
+
+    def interaction_record(
+        self, key: InteractionKey
+    ) -> List[object]:
+        """All p-assertions about one interaction, in a single store call."""
+        result = self._query("record", **self._key_params(key))
+        return [parse_passertion(el) for el in result.items]
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        result = self._query("by-group", group=group_id)
+        return [InteractionKey.from_xml(el) for el in result.items]
+
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        """Group ids an interaction belongs to (session, threads, ...)."""
+        result = self._query("groups-of", **self._key_params(key))
+        return [el.attrs["id"] for el in result.items]
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        params = {"kind": kind} if kind else {}
+        result = self._query("groups", **params)
+        return [el.attrs["id"] for el in result.items]
+
+    def counts(self) -> StoreCounts:
+        result = self._query("count")
+        el = result.items[0]
+        return StoreCounts(
+            interaction_passertions=int(el.attrs["interaction-passertions"]),
+            actor_state_passertions=int(el.attrs["actor-state-passertions"]),
+            group_assertions=int(el.attrs["group-assertions"]),
+            interaction_records=int(el.attrs["interaction-records"]),
+        )

@@ -1,0 +1,156 @@
+"""Transparent provenance instrumentation of the message bus.
+
+:class:`ProvenanceInterceptor` observes every bus call and records, per the
+paper's measure-workflow instrumentation:
+
+* a **sender-view** interaction p-assertion, asserted by the caller,
+* a **receiver-view** interaction p-assertion, asserted by the callee,
+* **session** group membership for the interaction,
+* optional **thread** group membership with sequence numbers (callers tag
+  calls with a ``thread`` header),
+* with ``record_scripts`` enabled (the paper's "extra actor state" / use
+  case 1 configuration): an actor-state p-assertion carrying the callee's
+  *script content*, obtained from a :class:`ScriptProvider`,
+* causal links: callers may tag calls with a ``caused-by`` header listing
+  the message ids whose data fed this call; the link is recorded as an
+  actor-state p-assertion and reconstructed by the trace builder.
+
+Calls addressed to the provenance store itself (or other excluded
+endpoints, e.g. the registry) are not documented, avoiding recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.core.passertion import GroupKind, InteractionKey, ViewKind
+from repro.core.recorder import ProvenanceRecorder
+from repro.soa.bus import CallRecord
+from repro.soa.xmldoc import XmlElement
+
+#: Maps a service endpoint to the content of the script it runs.
+ScriptProvider = Callable[[str], Optional[str]]
+
+
+class ProvenanceInterceptor:
+    """A bus interceptor that documents interactions as p-assertions."""
+
+    def __init__(
+        self,
+        recorder: ProvenanceRecorder,
+        session_id: str,
+        script_provider: Optional[ScriptProvider] = None,
+        record_scripts: bool = False,
+        exclude_endpoints: Iterable[str] = ("preserv", "registry"),
+    ):
+        self.recorder = recorder
+        self.session_id = session_id
+        self.script_provider = script_provider
+        self.record_scripts = record_scripts
+        self.exclude: Set[str] = set(exclude_endpoints) | {
+            recorder.store_endpoint,
+            recorder.client_endpoint,
+        }
+        self._thread_sequences: Dict[str, int] = {}
+        self.interactions_documented = 0
+
+    def __call__(self, call: CallRecord) -> None:
+        if call.target in self.exclude or call.source in self.exclude:
+            return
+        key = InteractionKey(
+            interaction_id=call.message_id,
+            sender=call.source,
+            receiver=call.target,
+        )
+        message_doc = call.request.to_xml()
+        # Sender view, asserted by the caller.
+        self.recorder.record_interaction(
+            key=key,
+            view=ViewKind.SENDER,
+            asserter=call.source,
+            operation=call.operation,
+            content=message_doc,
+        )
+        # Receiver view, asserted by the callee.
+        self.recorder.record_interaction(
+            key=key,
+            view=ViewKind.RECEIVER,
+            asserter=call.target,
+            operation=call.operation,
+            content=message_doc,
+        )
+        # Session membership.
+        self.recorder.record_group(
+            group_id=self.session_id,
+            kind=GroupKind.SESSION,
+            member=key,
+            asserter=call.source,
+        )
+        # Optional thread membership with per-thread sequencing.
+        thread = call.request.headers.get("thread")
+        if thread:
+            seq = self._thread_sequences.get(thread, 0)
+            self._thread_sequences[thread] = seq + 1
+            self.recorder.record_group(
+                group_id=thread,
+                kind=GroupKind.THREAD,
+                member=key,
+                asserter=call.source,
+                sequence=seq,
+            )
+        # Causal linkage from the caused-by header.
+        caused_by = call.request.headers.get("caused-by")
+        if caused_by:
+            content = XmlElement("caused-by")
+            for mid in caused_by.split(","):
+                mid = mid.strip()
+                if mid:
+                    content.element("message", mid)
+            self.recorder.record_actor_state(
+                key=key,
+                view=ViewKind.RECEIVER,
+                asserter=call.target,
+                state_type="caused-by",
+                content=content,
+            )
+        # Input digests: payloads stamped with content digests are indexed
+        # so "was this data item used as an input?" queries can answer.
+        digests = self._collect_digests(call.request.body)
+        if digests:
+            content = XmlElement("input-digests")
+            for digest in digests:
+                content.element("digest", digest)
+            self.recorder.record_actor_state(
+                key=key,
+                view=ViewKind.RECEIVER,
+                asserter=call.target,
+                state_type="input-digests",
+                content=content,
+            )
+        # Extra actor provenance: the callee's script content (use case 1).
+        if self.record_scripts and self.script_provider is not None:
+            script = self.script_provider(call.target)
+            if script is not None:
+                content = XmlElement("script", attrs={"service": call.target})
+                content.add(script)
+                self.recorder.record_actor_state(
+                    key=key,
+                    view=ViewKind.RECEIVER,
+                    asserter=call.target,
+                    state_type="script",
+                    content=content,
+                )
+        self.interactions_documented += 1
+
+    @staticmethod
+    def _collect_digests(body: XmlElement) -> list:
+        """Digest attributes stamped on the payload, in document order."""
+        out = []
+        stack = [body]
+        while stack:
+            el = stack.pop()
+            digest = el.attrs.get("digest")
+            if digest:
+                out.append(digest)
+            stack.extend(reversed(list(el.iter_elements())))
+        return out

@@ -1,0 +1,197 @@
+"""Pre-packaged p-assertions from static workflow analysis (§7).
+
+"Besides optimising recording, static analysis of workflows would be useful
+to pre-package some of the p-assertions to be recorded, leaving less to
+perform at runtime."
+
+Two halves:
+
+* :func:`analyse_workflow` — static analysis: from a
+  :class:`~repro.grid.dag.WorkflowDag`, predict the interactions a run will
+  perform (who calls whom, with which operation, in which thread) *before*
+  execution;
+* :class:`PrepackagedTemplates` — compile each predicted interaction into a
+  pre-serialized PReP record skeleton with placeholders, so the runtime
+  cost of producing a record message drops to two string substitutions
+  (interaction id + content digest) instead of XML construction and
+  serialization.
+
+The placeholder strings use characters that cannot survive XML escaping
+(``{`` ``}`` pass through, but the token bodies are chosen to be collision-
+free), and instantiation validates that each placeholder occurs exactly
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.passertion import (
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.core.prep import PrepRecord
+from repro.grid.dag import WorkflowDag
+from repro.soa.xmldoc import XmlElement
+
+#: Placeholder tokens; ASCII letters only so XML escaping never alters them.
+ID_TOKEN = "PREPKG.INTERACTION.ID"
+CONTENT_TOKEN = "PREPKG.CONTENT.DIGEST"
+
+
+@dataclass(frozen=True)
+class InteractionTemplate:
+    """One statically-predicted interaction of a workflow run."""
+
+    activity: str
+    operation: str
+    sender: str
+    receiver: str
+    thread: str
+    #: activities whose outputs feed this interaction (static lineage).
+    upstream: tuple = ()
+
+
+def analyse_workflow(
+    dag: WorkflowDag,
+    engine: str = "workflow-engine",
+    service_of: Optional[Dict[str, str]] = None,
+    operation_of: Optional[Dict[str, str]] = None,
+    thread_of: Optional[Dict[str, str]] = None,
+) -> List[InteractionTemplate]:
+    """Predict the interactions executing ``dag`` will produce.
+
+    Defaults: an activity named ``a`` is served by endpoint ``a`` with
+    operation ``run`` in thread ``main``; the ``service_of`` /
+    ``operation_of`` / ``thread_of`` maps override per activity.
+    """
+    service_of = service_of or {}
+    operation_of = operation_of or {}
+    thread_of = thread_of or {}
+    templates: List[InteractionTemplate] = []
+    for name in dag.topological_order():
+        templates.append(
+            InteractionTemplate(
+                activity=name,
+                operation=operation_of.get(name, "run"),
+                sender=engine,
+                receiver=service_of.get(name, name),
+                thread=thread_of.get(name, "main"),
+                upstream=tuple(dag.dependencies_of(name)),
+            )
+        )
+    return templates
+
+
+class TemplateInstantiationError(ValueError):
+    """A placeholder was missing or ambiguous in a compiled skeleton."""
+
+
+@dataclass
+class _Compiled:
+    template: InteractionTemplate
+    sender_skeleton: str
+    receiver_skeleton: str
+
+
+class PrepackagedTemplates:
+    """Compiled record skeletons for a session's predicted interactions."""
+
+    def __init__(
+        self,
+        templates: Sequence[InteractionTemplate],
+        session_id: str,
+    ):
+        self.session_id = session_id
+        self._compiled: Dict[str, _Compiled] = {}
+        for template in templates:
+            self._compiled[template.activity] = _Compiled(
+                template=template,
+                sender_skeleton=self._compile(template, ViewKind.SENDER),
+                receiver_skeleton=self._compile(template, ViewKind.RECEIVER),
+            )
+
+    @staticmethod
+    def _compile(template: InteractionTemplate, view: ViewKind) -> str:
+        key = InteractionKey(
+            interaction_id=ID_TOKEN,
+            sender=template.sender,
+            receiver=template.receiver,
+        )
+        content = XmlElement("message-summary")
+        content.element("digest", CONTENT_TOKEN)
+        assertion = InteractionPAssertion(
+            interaction_key=key,
+            view=view,
+            asserter=template.sender
+            if view is ViewKind.SENDER
+            else template.receiver,
+            local_id=f"prepkg-{template.activity}-{view.value}",
+            operation=template.operation,
+            content=content,
+        )
+        skeleton = PrepRecord(assertion).to_xml().serialize()
+        for token in (ID_TOKEN, CONTENT_TOKEN):
+            if skeleton.count(token) != 1:
+                raise TemplateInstantiationError(
+                    f"placeholder {token!r} occurs "
+                    f"{skeleton.count(token)} times in skeleton"
+                )
+        return skeleton
+
+    def activities(self) -> List[str]:
+        return sorted(self._compiled)
+
+    def instantiate(
+        self, activity: str, view: ViewKind, interaction_id: str, content_digest: str
+    ) -> str:
+        """Produce the final record document text — two substitutions."""
+        compiled = self._compiled.get(activity)
+        if compiled is None:
+            raise KeyError(f"no template for activity {activity!r}")
+        skeleton = (
+            compiled.sender_skeleton
+            if view is ViewKind.SENDER
+            else compiled.receiver_skeleton
+        )
+        return skeleton.replace(ID_TOKEN, interaction_id).replace(
+            CONTENT_TOKEN, content_digest
+        )
+
+    def instantiate_pair(
+        self, activity: str, interaction_id: str, content_digest: str
+    ) -> List[str]:
+        """Both views of one interaction."""
+        return [
+            self.instantiate(activity, ViewKind.SENDER, interaction_id, content_digest),
+            self.instantiate(
+                activity, ViewKind.RECEIVER, interaction_id, content_digest
+            ),
+        ]
+
+
+def build_from_scratch(
+    template: InteractionTemplate,
+    view: ViewKind,
+    interaction_id: str,
+    content_digest: str,
+) -> str:
+    """The non-prepackaged baseline: full XML construction per record."""
+    key = InteractionKey(
+        interaction_id=interaction_id,
+        sender=template.sender,
+        receiver=template.receiver,
+    )
+    content = XmlElement("message-summary")
+    content.element("digest", content_digest)
+    assertion = InteractionPAssertion(
+        interaction_key=key,
+        view=view,
+        asserter=template.sender if view is ViewKind.SENDER else template.receiver,
+        local_id=f"prepkg-{template.activity}-{view.value}",
+        operation=template.operation,
+        content=content,
+    )
+    return PrepRecord(assertion).to_xml().serialize()

@@ -1,0 +1,148 @@
+"""Provenance trace reconstruction and lineage queries.
+
+Builds, from a store's contents, the queryable structure the use cases need:
+which interactions belong to a session, in what (thread) order, what data
+flowed, and — through ``caused-by`` links — exactly which inputs were used
+to produce which outputs, "even if multiple workflows were run
+simultaneously" (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.store.interface import ProvenanceStoreInterface
+
+
+@dataclass
+class TraceInteraction:
+    """One interaction as reconstructed from the store."""
+
+    key: InteractionKey
+    operation: str
+    views: Set[ViewKind] = field(default_factory=set)
+    actor_state: List[ActorStatePAssertion] = field(default_factory=list)
+    caused_by: List[str] = field(default_factory=list)
+
+    @property
+    def fully_documented(self) -> bool:
+        return ViewKind.SENDER in self.views and ViewKind.RECEIVER in self.views
+
+
+@dataclass
+class ProvenanceTrace:
+    """A session's interactions plus the causal graph over them.
+
+    The graph's nodes are interaction ids (message ids); an edge ``a -> b``
+    means interaction ``a``'s data was consumed to produce interaction ``b``.
+    """
+
+    session_id: str
+    interactions: Dict[str, TraceInteraction]
+    graph: nx.DiGraph
+
+    def interaction(self, interaction_id: str) -> TraceInteraction:
+        try:
+            return self.interactions[interaction_id]
+        except KeyError:
+            raise KeyError(
+                f"no interaction {interaction_id!r} in session {self.session_id!r}"
+            ) from None
+
+    def roots(self) -> List[str]:
+        """Interactions with no recorded cause (the workflow's inputs)."""
+        return sorted(n for n in self.graph.nodes if self.graph.in_degree(n) == 0)
+
+    def leaves(self) -> List[str]:
+        """Interactions nothing depends on (the workflow's outputs)."""
+        return sorted(n for n in self.graph.nodes if self.graph.out_degree(n) == 0)
+
+    def topological_order(self) -> List[str]:
+        return list(nx.topological_sort(self.graph))
+
+    def undocumented(self) -> List[str]:
+        return sorted(
+            mid for mid, ti in self.interactions.items() if not ti.fully_documented
+        )
+
+
+def build_trace(
+    store: ProvenanceStoreInterface, session_id: str
+) -> ProvenanceTrace:
+    """Reconstruct the trace of one session from a provenance store."""
+    members = store.group_members(session_id)
+    if not members:
+        raise KeyError(f"session {session_id!r} has no members in the store")
+    interactions: Dict[str, TraceInteraction] = {}
+    graph = nx.DiGraph()
+    for key in members:
+        passertions = store.interaction_passertions(key)
+        operation = passertions[0].operation if passertions else ""
+        ti = TraceInteraction(key=key, operation=operation)
+        for pa in passertions:
+            ti.views.add(pa.view)
+        ti.actor_state = store.actor_state_passertions(key)
+        for state in ti.actor_state:
+            if state.state_type == "caused-by":
+                ti.caused_by.extend(
+                    msg.text for msg in state.content.find_all("message")
+                )
+        interactions[key.interaction_id] = ti
+        graph.add_node(key.interaction_id)
+    for mid, ti in interactions.items():
+        for cause in ti.caused_by:
+            if cause in interactions:
+                graph.add_edge(cause, mid)
+    return ProvenanceTrace(
+        session_id=session_id, interactions=interactions, graph=graph
+    )
+
+
+def data_lineage(trace: ProvenanceTrace, interaction_id: str) -> List[str]:
+    """All interactions whose data (transitively) fed ``interaction_id``."""
+    trace.interaction(interaction_id)  # raise early on unknown id
+    return sorted(nx.ancestors(trace.graph, interaction_id))
+
+
+def derived_from(trace: ProvenanceTrace, interaction_id: str) -> List[str]:
+    """All interactions (transitively) derived from ``interaction_id``."""
+    trace.interaction(interaction_id)
+    return sorted(nx.descendants(trace.graph, interaction_id))
+
+
+def used_as_input(
+    trace: ProvenanceTrace, data_digest: str
+) -> List[str]:
+    """Interactions whose recorded message content mentions ``data_digest``.
+
+    Supports the survey's "was this data item used as an input?" use case;
+    the workflow runner stamps payloads with content digests.
+    """
+    hits: List[str] = []
+    for mid, ti in trace.interactions.items():
+        for state in ti.actor_state:
+            if state.state_type == "input-digests":
+                digests = [d.text for d in state.content.find_all("digest")]
+                if data_digest in digests:
+                    hits.append(mid)
+                    break
+    return sorted(hits)
+
+
+def interaction_passertion_for(
+    store: ProvenanceStoreInterface,
+    key: InteractionKey,
+    view: Optional[ViewKind] = None,
+) -> Optional[InteractionPAssertion]:
+    """Convenience: the first interaction p-assertion for a key/view."""
+    found = store.interaction_passertions(key, view)
+    return found[0] if found else None

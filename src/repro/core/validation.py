@@ -1,0 +1,105 @@
+"""Structural validation of p-assertion documents.
+
+PReServ ships XML schemas that submissions "must conform to"; this module is
+the reproduction's equivalent: a structural validator for p-assertion and
+PReP message documents, returning all problems rather than stopping at the
+first.  The store plug-ins parse strictly anyway; the validator exists for
+the *client* side (validate before shipping a journal) and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.soa.xmldoc import XmlElement
+
+_VIEW_VALUES = {"sender", "receiver"}
+_GROUP_KINDS = {"session", "thread", "custom"}
+
+
+def _require_child_text(
+    el: XmlElement, name: str, problems: List[str], context: str
+) -> None:
+    child = el.find(name)
+    if child is None:
+        problems.append(f"{context}: missing <{name}>")
+    elif not child.text:
+        problems.append(f"{context}: <{name}> is empty")
+
+
+def _check_interaction_key(el: XmlElement, problems: List[str], context: str) -> None:
+    key = el.find("interaction-key")
+    if key is None:
+        problems.append(f"{context}: missing <interaction-key>")
+        return
+    for attr in ("id", "sender", "receiver"):
+        if not key.attrs.get(attr):
+            problems.append(f"{context}: interaction-key missing attribute {attr!r}")
+
+
+def validate_passertion_xml(el: XmlElement) -> List[str]:
+    """Validate one p-assertion document; returns a list of problems."""
+    problems: List[str] = []
+    if el.name != "p-assertion":
+        return [f"root element is <{el.name}>, expected <p-assertion>"]
+    kind = el.attrs.get("kind")
+    if kind not in ("interaction", "actor-state"):
+        problems.append(f"unknown kind attribute {kind!r}")
+    context = f"p-assertion[{kind}]"
+    _check_interaction_key(el, problems, context)
+    view = el.find("view")
+    if view is None:
+        problems.append(f"{context}: missing <view>")
+    elif view.text not in _VIEW_VALUES:
+        problems.append(f"{context}: invalid view {view.text!r}")
+    _require_child_text(el, "asserter", problems, context)
+    _require_child_text(el, "local-id", problems, context)
+    content = el.find("content")
+    if content is None:
+        problems.append(f"{context}: missing <content>")
+    elif next(content.iter_elements(), None) is None:
+        problems.append(f"{context}: <content> has no document")
+    if kind == "interaction":
+        _require_child_text(el, "operation", problems, context)
+    elif kind == "actor-state":
+        _require_child_text(el, "state-type", problems, context)
+    return problems
+
+
+def validate_group_assertion_xml(el: XmlElement) -> List[str]:
+    """Validate one group-assertion document; returns a list of problems."""
+    problems: List[str] = []
+    if el.name != "group-assertion":
+        return [f"root element is <{el.name}>, expected <group-assertion>"]
+    if not el.attrs.get("id"):
+        problems.append("group-assertion: missing id attribute")
+    kind = el.attrs.get("kind")
+    if kind not in _GROUP_KINDS:
+        problems.append(f"group-assertion: invalid kind {kind!r}")
+    seq = el.attrs.get("sequence")
+    if seq is not None:
+        if not seq.isdigit():
+            problems.append(f"group-assertion: non-numeric sequence {seq!r}")
+    _check_interaction_key(el, problems, "group-assertion")
+    _require_child_text(el, "asserter", problems, "group-assertion")
+    return problems
+
+
+def validate_prep_record_xml(el: XmlElement) -> List[str]:
+    """Validate a prep-record (or batch) wrapper and its contents."""
+    if el.name == "prep-record-batch":
+        problems: List[str] = []
+        records = el.find_all("prep-record")
+        if not records:
+            problems.append("prep-record-batch: empty batch")
+        for record in records:
+            problems.extend(validate_prep_record_xml(record))
+        return problems
+    if el.name != "prep-record":
+        return [f"root element is <{el.name}>, expected <prep-record>"]
+    inner = next(el.iter_elements(), None)
+    if inner is None:
+        return ["prep-record: no payload"]
+    if inner.name == "group-assertion":
+        return validate_group_assertion_xml(inner)
+    return validate_passertion_xml(inner)

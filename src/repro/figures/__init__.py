@@ -1,0 +1,38 @@
+"""Figure and table regeneration harnesses.
+
+One module per evaluation artefact of the paper:
+
+* :mod:`repro.figures.microbench` — the §6 PReServ micro-benchmark
+  (~18 ms record round trip),
+* :mod:`repro.figures.fig4` — Figure 4, recording overhead vs number of
+  permutations under four recording configurations,
+* :mod:`repro.figures.fig5` — Figure 5, execution-comparison and
+  semantic-validity query time vs store size,
+* :mod:`repro.figures.ablation` — granularity / backend / compressor
+  ablations supporting the §7 discussion,
+* :mod:`repro.figures.stats` — linear-fit and overhead statistics,
+* :mod:`repro.figures.cli` — ``repro-figures`` command line front end.
+
+Each harness returns plain data (series of (x, y) points plus fit
+statistics) and can render a text table; benchmarks and EXPERIMENTS.md are
+generated from the same code path.
+"""
+
+from repro.figures.stats import LinearFit, linear_fit, relative_overhead
+from repro.figures.fig4 import Fig4Point, Fig4Series, run_fig4
+from repro.figures.fig5 import Fig5Point, Fig5Series, run_fig5
+from repro.figures.microbench import MicrobenchResult, run_microbench
+
+__all__ = [
+    "Fig4Point",
+    "Fig4Series",
+    "Fig5Point",
+    "Fig5Series",
+    "LinearFit",
+    "MicrobenchResult",
+    "linear_fit",
+    "relative_overhead",
+    "run_fig4",
+    "run_fig5",
+    "run_microbench",
+]

@@ -1,0 +1,148 @@
+"""``repro-figures``: regenerate the paper's evaluation artefacts as text.
+
+Subcommands::
+
+    repro-figures micro        # §6 PReServ record round-trip benchmark
+    repro-figures fig4         # Figure 4: recording overhead
+    repro-figures fig5         # Figure 5: use-case query performance
+    repro-figures granularity  # A1 ablation
+    repro-figures backends     # A2 ablation
+    repro-figures compress     # A3 ablation (the scientific table)
+    repro-figures all          # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.figures.ablation import (
+    backends_table,
+    compressibility_table,
+    granularity_table,
+    run_backends,
+    run_compressibility,
+    run_granularity,
+)
+from repro.figures.distributed import run_scaling, scaling_table
+from repro.figures.entropy_report import entropy_table, run_entropy_report
+from repro.figures.fig4 import fig4_table, run_fig4
+from repro.figures.fig5 import fig5_table, run_fig5
+from repro.figures.microbench import microbench_table, run_microbench
+
+
+def _section(title: str) -> str:
+    bar = "=" * len(title)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def cmd_micro(args: argparse.Namespace) -> str:
+    return microbench_table(run_microbench(messages=args.messages))
+
+
+def cmd_fig4(args: argparse.Namespace) -> str:
+    return fig4_table(run_fig4())
+
+
+def cmd_fig5(args: argparse.Namespace) -> str:
+    sizes = tuple(args.sizes) if args.sizes else None
+    series = run_fig5(sizes=sizes) if sizes else run_fig5()
+    return fig5_table(series)
+
+
+def cmd_granularity(args: argparse.Namespace) -> str:
+    return granularity_table(run_granularity())
+
+
+def cmd_backends(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-backends-") as tmp:
+        return backends_table(run_backends(Path(tmp), records=args.records))
+
+
+def cmd_compress(args: argparse.Namespace) -> str:
+    return compressibility_table(
+        run_compressibility(sample_bytes=args.sample_bytes, n_permutations=args.permutations)
+    )
+
+
+def cmd_scaling(args: argparse.Namespace) -> str:
+    return scaling_table(run_scaling())
+
+
+def cmd_entropy(args: argparse.Namespace) -> str:
+    return entropy_table(run_entropy_report(sample_bytes=args.sample_bytes))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the evaluation figures/tables of Groth et al. (HPDC 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("micro", help="PReServ record round-trip micro-benchmark")
+    p.add_argument("--messages", type=int, default=200)
+    p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("fig4", help="Figure 4: recording overhead")
+    p.set_defaults(fn=cmd_fig4)
+
+    p = sub.add_parser("fig5", help="Figure 5: use-case query performance")
+    p.add_argument("--sizes", type=int, nargs="*", default=None)
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("granularity", help="A1: granularity ablation")
+    p.set_defaults(fn=cmd_granularity)
+
+    p = sub.add_parser("backends", help="A2: store backend ablation")
+    p.add_argument("--records", type=int, default=500)
+    p.set_defaults(fn=cmd_backends)
+
+    p = sub.add_parser("compress", help="A3: compressibility table")
+    p.add_argument("--sample-bytes", type=int, default=2000)
+    p.add_argument("--permutations", type=int, default=5)
+    p.set_defaults(fn=cmd_compress)
+
+    p = sub.add_parser("scaling", help="A4: distributed store scaling")
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("entropy", help="A6: entropy analysis per grouping")
+    p.add_argument("--sample-bytes", type=int, default=3000)
+    p.set_defaults(fn=cmd_entropy)
+
+    p = sub.add_parser("all", help="run everything")
+    p.set_defaults(fn=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        blocks = [
+            (_section("E1: PReServ micro-benchmark"), microbench_table(run_microbench())),
+            (_section("E2: Figure 4 — recording overhead"), fig4_table(run_fig4())),
+            (_section("E3/E4: Figure 5 — use-case performance"), fig5_table(run_fig5())),
+            (_section("A1: granularity ablation"), granularity_table(run_granularity())),
+            (_section("A3: compressibility"), compressibility_table(run_compressibility())),
+            (_section("A4: distributed store scaling"), scaling_table(run_scaling())),
+            (_section("A6: entropy analysis"), entropy_table(run_entropy_report())),
+        ]
+        with tempfile.TemporaryDirectory(prefix="repro-backends-") as tmp:
+            blocks.append(
+                (_section("A2: backend ablation"), backends_table(run_backends(Path(tmp))))
+            )
+        for title, body in blocks:
+            print(title)
+            print(body)
+            print()
+        return 0
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

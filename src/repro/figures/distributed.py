@@ -1,0 +1,112 @@
+"""Distributed-store scalability harness (§7).
+
+The paper worries that "PReServ may become a bottleneck when handling
+p-assertion submission requests" and proposes parallel submission into
+several store instances.  This harness quantifies that on the simulation
+kernel: concurrent submitters push a fixed corpus of records; each store
+instance serialises its own requests (18 ms service time each, the
+measured PReServ record cost); records are routed to instances by the
+deterministic interaction-key hash of
+:class:`~repro.store.distributed.StoreRouter`.
+
+Output: makespan and aggregate records/second as the instance count grows —
+near-linear scaling while submitters outnumber instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Sequence
+
+from repro.core.passertion import InteractionKey
+from repro.simkit.kernel import Event, Simulator
+from repro.simkit.resources import Resource
+from repro.store.distributed import _hash_to_bucket
+from repro.store.service import PAPER_RECORD_ROUND_TRIP_S
+from repro.figures.stats import format_table
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    stores: int
+    submitters: int
+    records: int
+    makespan_s: float
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.makespan_s if self.makespan_s else float("inf")
+
+
+def simulate_submission(
+    n_stores: int,
+    n_submitters: int = 8,
+    n_records: int = 600,
+    service_time_s: float = PAPER_RECORD_ROUND_TRIP_S,
+) -> ScalePoint:
+    """Simulate parallel submission of ``n_records`` into ``n_stores``."""
+    if n_stores < 1 or n_submitters < 1 or n_records < 0:
+        raise ValueError("counts must be positive")
+    sim = Simulator()
+    # One single-threaded service queue per store instance.
+    queues: List[Resource] = [Resource(sim, capacity=1) for _ in range(n_stores)]
+
+    # Pre-compute routing: records are spread over interactions as the real
+    # router would spread them.
+    owners: List[int] = []
+    for i in range(n_records):
+        key = InteractionKey(
+            interaction_id=f"scale-{i:06d}", sender="engine", receiver=f"svc-{i % 7}"
+        )
+        owners.append(_hash_to_bucket(key, n_stores))
+
+    def submitter(indices: Sequence[int]) -> Generator[Event, None, None]:
+        for i in indices:
+            queue = queues[owners[i]]
+            req = queue.request()
+            yield req
+            try:
+                yield sim.timeout(service_time_s)
+            finally:
+                queue.release()
+
+    processes = []
+    for s in range(n_submitters):
+        indices = list(range(s, n_records, n_submitters))
+        if indices:
+            processes.append(sim.process(submitter(indices), name=f"submitter-{s}"))
+    sim.run()
+    for proc in processes:
+        assert proc.triggered and proc.ok
+    return ScalePoint(
+        stores=n_stores,
+        submitters=n_submitters,
+        records=n_records,
+        makespan_s=sim.now,
+    )
+
+
+def run_scaling(
+    store_counts: Sequence[int] = (1, 2, 4, 8),
+    n_submitters: int = 8,
+    n_records: int = 600,
+) -> List[ScalePoint]:
+    return [
+        simulate_submission(n, n_submitters=n_submitters, n_records=n_records)
+        for n in store_counts
+    ]
+
+
+def scaling_table(points: List[ScalePoint]) -> str:
+    base = points[0].records_per_second
+    headers = ["stores", "makespan (s)", "records/s", "speedup"]
+    rows = [
+        [
+            p.stores,
+            f"{p.makespan_s:.2f}",
+            f"{p.records_per_second:.0f}",
+            f"{p.records_per_second / base:.2f}x",
+        ]
+        for p in points
+    ]
+    return format_table(headers, rows)

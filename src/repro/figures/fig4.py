@@ -1,0 +1,151 @@
+"""Figure 4: recording overhead for increasing numbers of permutations.
+
+Regenerates the paper's four curves — no recording, asynchronous recording,
+synchronous recording, synchronous with extra actor provenance — by running
+the batched permutation scripts through the Condor simulator under the
+testbed-calibrated cost model.
+
+Shape criteria from the paper (the assertions our benchmarks check):
+
+* every curve is linear in the number of permutations (r > 0.99),
+* ordering: none < async < sync < sync+extra,
+* asynchronous overhead over no recording stays under 10 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.app.costmodel import Fig4CostModel, RecordingConfig
+from repro.figures.stats import LinearFit, format_table, linear_fit, relative_overhead
+from repro.grid.condor import CondorScheduler, GridJob
+from repro.simkit.hosts import Link, Network
+from repro.simkit.kernel import Simulator
+
+#: The paper's sweep: 100..800 permutations.
+DEFAULT_PERMUTATIONS = (100, 200, 300, 400, 500, 600, 700, 800)
+#: "we grouped the execution of 100 permutations into a single script".
+PERMUTATIONS_PER_SCRIPT = 100
+#: ~100 KB sample staged to each script job.
+SAMPLE_BYTES = 100_000
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    permutations: int
+    execution_time_s: float
+
+
+@dataclass
+class Fig4Series:
+    config: RecordingConfig
+    points: List[Fig4Point] = field(default_factory=list)
+
+    def xs(self) -> List[int]:
+        return [p.permutations for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p.execution_time_s for p in self.points]
+
+    def fit(self) -> LinearFit:
+        return linear_fit(self.xs(), self.ys())
+
+
+def simulate_run(
+    model: Fig4CostModel,
+    config: RecordingConfig,
+    n_permutations: int,
+    permutations_per_script: int = PERMUTATIONS_PER_SCRIPT,
+    workers: int = 1,
+) -> float:
+    """Simulated end-to-end execution time of one workflow run."""
+    if n_permutations < 1:
+        raise ValueError("need at least one permutation")
+    sim = Simulator()
+    network = Network(sim)
+    network.add_host("submit")
+    worker_hosts = [
+        network.add_host(f"vm-{i}", cpus=1, speed=1.0) for i in range(workers)
+    ]
+    for host in worker_hosts:
+        network.connect("submit", host.name, Link(latency_s=0.0005))
+    scheduler = CondorScheduler(
+        sim,
+        network,
+        submit_host="submit",
+        workers=worker_hosts,
+        matchmaking_delay_s=2.0,
+        per_job_overhead_s=0.5,
+    )
+    jobs: List[GridJob] = []
+    remaining = n_permutations
+    index = 0
+    while remaining > 0:
+        batch = min(permutations_per_script, remaining)
+        jobs.append(
+            GridJob(
+                name=f"script-{index}",
+                duration_s=model.script_duration_s(config, batch),
+                input_bytes=SAMPLE_BYTES,
+                output_bytes=4096,
+            )
+        )
+        remaining -= batch
+        index += 1
+    report = scheduler.run(jobs)
+    total = report.makespan_s + model.workflow_fixed_s
+    total += model.post_run_s(config, n_permutations)
+    return total
+
+
+def run_fig4(
+    permutations: Sequence[int] = DEFAULT_PERMUTATIONS,
+    model: Fig4CostModel = Fig4CostModel(),
+    permutations_per_script: int = PERMUTATIONS_PER_SCRIPT,
+    workers: int = 1,
+) -> Dict[RecordingConfig, Fig4Series]:
+    """Regenerate all four Figure 4 curves."""
+    out: Dict[RecordingConfig, Fig4Series] = {}
+    for config in RecordingConfig:
+        series = Fig4Series(config=config)
+        for n in permutations:
+            series.points.append(
+                Fig4Point(
+                    permutations=n,
+                    execution_time_s=simulate_run(
+                        model,
+                        config,
+                        n,
+                        permutations_per_script=permutations_per_script,
+                        workers=workers,
+                    ),
+                )
+            )
+        out[config] = series
+    return out
+
+
+def fig4_table(series: Dict[RecordingConfig, Fig4Series]) -> str:
+    """Text rendition of Figure 4 plus fit/overhead statistics."""
+    order = [
+        RecordingConfig.NONE,
+        RecordingConfig.ASYNC,
+        RecordingConfig.SYNC,
+        RecordingConfig.SYNC_EXTRA,
+    ]
+    xs = series[order[0]].xs()
+    headers = ["permutations"] + [c.value for c in order]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [f"{series[c].points[i].execution_time_s:.1f}" for c in order])
+    lines = [format_table(headers, rows), ""]
+    baseline = series[RecordingConfig.NONE].ys()
+    for config in order:
+        fit = series[config].fit()
+        overhead = relative_overhead(baseline, series[config].ys())
+        lines.append(
+            f"{config.value:>34}:  r={fit.correlation:.5f}  "
+            f"slope={fit.slope:.3f} s/perm  overhead={overhead * 100:.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Figure 5: execution comparison and semantic validity vs store size.
+
+Regenerates both curves: the provenance store is populated with an
+increasing number of interaction records; use case 1 (script
+categorisation + comparison) and use case 2 (semantic validation) run over
+the full store through the bus, whose virtual clock charges the calibrated
+per-call latencies.
+
+Shape criteria from the paper:
+
+* both curves linear in the number of interaction records (r > 0.99),
+* the semantic-validity slope is ~11x the script-comparison slope
+  (1 store call vs 1 store + 10 registry calls per interaction record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.app.experiment import Experiment, ExperimentConfig
+from repro.core.client import ProvenanceQueryClient
+from repro.figures.stats import LinearFit, format_table, linear_fit
+from repro.figures.synthstore import populate_store
+from repro.registry.client import RegistryClient
+from repro.usecases.comparison import categorise_scripts
+from repro.usecases.semantic import validate_session
+
+#: The paper's x axis reaches 4000 interaction records; the default sweep
+#: keeps harness runtime modest while spanning the same shape.
+DEFAULT_SIZES = (250, 500, 1000, 1500, 2000)
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    interaction_records: int
+    script_comparison_s: float
+    semantic_validity_s: float
+    script_store_calls: int
+    semantic_store_calls: int
+    semantic_registry_calls: int
+
+
+@dataclass
+class Fig5Series:
+    points: List[Fig5Point] = field(default_factory=list)
+
+    def xs(self) -> List[int]:
+        return [p.interaction_records for p in self.points]
+
+    def script_fit(self) -> LinearFit:
+        return linear_fit(self.xs(), [p.script_comparison_s for p in self.points])
+
+    def semantic_fit(self) -> LinearFit:
+        return linear_fit(self.xs(), [p.semantic_validity_s for p in self.points])
+
+    def slope_ratio(self) -> float:
+        """semantic slope / script slope — the paper reports ~11x."""
+        return self.semantic_fit().slope / self.script_fit().slope
+
+
+def measure_point(
+    n_records: int,
+    store_latency_s: float = 0.015,
+    registry_latency_s: float = 0.015,
+    session_size: int = 50,
+) -> Fig5Point:
+    """Populate a store with ``n_records`` and time both use cases."""
+    exp = Experiment(
+        ExperimentConfig(
+            store_latency_s=store_latency_s,
+            registry_latency_s=registry_latency_s,
+        )
+    )
+    spec = populate_store(
+        exp.backend,
+        n_records,
+        script_for=exp.script_for,
+        session_size=session_size,
+    )
+
+    # Use case 1: script comparison over the whole store.
+    script_client = ProvenanceQueryClient(exp.bus, client_endpoint="uc1-client")
+    start = exp.bus.clock.now
+    categorisation = categorise_scripts(script_client)
+    script_elapsed = exp.bus.clock.now - start
+    assert categorisation.interactions_scanned == spec.interaction_records
+
+    # Use case 2: semantic validation of every session in the store.
+    semantic_store_client = ProvenanceQueryClient(exp.bus, client_endpoint="uc2-store")
+    registry_client = RegistryClient(exp.bus, client_endpoint="uc2-registry")
+    ontology = registry_client.get_ontology()  # fetched once, constant cost
+    start = exp.bus.clock.now
+    semantic_registry_calls = 0
+    for session in spec.sessions:
+        report = validate_session(
+            semantic_store_client, registry_client, session, ontology=ontology
+        )
+        semantic_registry_calls += report.registry_calls
+    semantic_elapsed = exp.bus.clock.now - start
+
+    return Fig5Point(
+        interaction_records=spec.interaction_records,
+        script_comparison_s=script_elapsed,
+        semantic_validity_s=semantic_elapsed,
+        script_store_calls=script_client.calls,
+        semantic_store_calls=semantic_store_client.calls,
+        semantic_registry_calls=semantic_registry_calls,
+    )
+
+
+def run_fig5(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    store_latency_s: float = 0.015,
+    registry_latency_s: float = 0.015,
+) -> Fig5Series:
+    series = Fig5Series()
+    for n in sizes:
+        series.points.append(
+            measure_point(
+                n,
+                store_latency_s=store_latency_s,
+                registry_latency_s=registry_latency_s,
+            )
+        )
+    return series
+
+
+def fig5_table(series: Fig5Series) -> str:
+    headers = [
+        "interaction records",
+        "script comparison (ms)",
+        "semantic validity (ms)",
+    ]
+    rows = [
+        [
+            p.interaction_records,
+            f"{p.script_comparison_s * 1000:.0f}",
+            f"{p.semantic_validity_s * 1000:.0f}",
+        ]
+        for p in series.points
+    ]
+    script_fit = series.script_fit()
+    semantic_fit = series.semantic_fit()
+    lines = [
+        format_table(headers, rows),
+        "",
+        f"script comparison:  r={script_fit.correlation:.5f}  "
+        f"slope={script_fit.slope * 1000:.2f} ms/record",
+        f"semantic validity:  r={semantic_fit.correlation:.5f}  "
+        f"slope={semantic_fit.slope * 1000:.2f} ms/record",
+        f"slope ratio: {series.slope_ratio():.2f}x (paper: ~11x)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Synthetic store population for the Figure 5 sweeps.
+
+Figure 5 plots query time against store size up to 4000 interaction
+records.  Filling a store that large by executing real workflows would
+dominate harness runtime without changing what is measured (per-record
+query cost), so this module fabricates stores whose *structure* is exactly
+what the real instrumentation produces — verified by tests that compare a
+real run's store against a synthetic one:
+
+per interaction record: two interaction p-assertions (sender + receiver
+view), one ``script`` actor-state p-assertion (~100-byte script content, as
+in the paper), one ``caused-by`` actor-state p-assertion, and one session
+group assertion.
+
+Interactions form chains that follow the real workflow's service sequence
+(collate → encode → compress → measure → add_size), so semantic validation
+exercises its full 10-registry-call path per record with no violations; an
+optional *corruption* hook swaps one producer for the nucleotide source to
+plant exactly the paper's UC2 error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.soa.xmldoc import XmlElement
+from repro.store.interface import ProvenanceStoreInterface
+
+#: The chain template: (service endpoint, operation) in workflow order.
+#: The first link has no producer (workflow input); each later link's
+#: producer is the previous one.
+CHAIN_TEMPLATE: Tuple[Tuple[str, str], ...] = (
+    ("collate-sample", "collate"),
+    ("encode-by-groups", "encode"),
+    ("compress-gz-like", "compress"),
+    ("measure-size", "measure"),
+    ("collate-sizes", "add_size"),
+)
+
+ENGINE = "workflow-engine"
+
+
+@dataclass
+class SynthStoreSpec:
+    """What was planted, for assertions in tests and benches."""
+
+    interaction_records: int
+    sessions: List[str]
+    #: interaction ids of planted semantic violations.
+    violations: List[str]
+
+
+def _message_doc(interaction_id: str, operation: str) -> XmlElement:
+    doc = XmlElement("envelope")
+    header = doc.element("header")
+    header.element("entry", interaction_id, key="message-id")
+    header.element("entry", operation, key="operation")
+    doc.element("body").element("payload", f"synthetic payload for {interaction_id}")
+    return doc
+
+
+def populate_store(
+    store: ProvenanceStoreInterface,
+    n_interaction_records: int,
+    script_for: Callable[[str], Optional[str]],
+    session_size: int = 20,
+    session_prefix: str = "synth-session",
+    id_prefix: str = "synth-msg",
+    violation_every: Optional[int] = None,
+) -> SynthStoreSpec:
+    """Fill ``store`` with ``n_interaction_records`` realistic records.
+
+    ``script_for`` supplies each service's script content (use
+    :meth:`repro.app.experiment.Experiment.script_for` for fidelity).
+    ``violation_every``: if set, every k-th encode interaction's producer is
+    replaced by the nucleotide source, planting a UC2 violation.
+    """
+    if n_interaction_records < 0:
+        raise ValueError("n_interaction_records must be >= 0")
+    if session_size < 1:
+        raise ValueError("session_size must be >= 1")
+    sessions: List[str] = []
+    violations: List[str] = []
+    prev_key: Optional[InteractionKey] = None
+    session_id = ""
+    planted = 0
+    local_seq = 0
+
+    for i in range(n_interaction_records):
+        if i % session_size == 0:
+            session_id = f"{session_prefix}-{i // session_size:05d}"
+            sessions.append(session_id)
+            prev_key = None  # sessions start a fresh chain
+        # Chains run the template cyclically for the whole session: the
+        # add_size "ack" (T_DATA) legitimately feeds the next collate
+        # "request" (T_DATA), so only the session's first interaction is a
+        # root.  This matches the paper's uniform 1-store+10-registry cost
+        # per interaction record.
+        step = i % len(CHAIN_TEMPLATE)
+        service, operation = CHAIN_TEMPLATE[step]
+        sender = ENGINE
+        interaction_id = f"{id_prefix}-{i:08d}"
+
+        # Optionally corrupt: the encode step's producer becomes the DNA
+        # source instead of collate-sample.
+        corrupted = (
+            violation_every is not None
+            and operation == "encode"
+            and prev_key is not None
+            and (i // len(CHAIN_TEMPLATE)) % violation_every == 0
+        )
+        if corrupted:
+            # Rewrite the producer interaction to target the rogue service.
+            prev_key = InteractionKey(
+                interaction_id=f"{id_prefix}-nt-{i:08d}",
+                sender=ENGINE,
+                receiver="nucleotide-db",
+            )
+            _plant_interaction(
+                store,
+                prev_key,
+                operation="fetch",
+                session_id=session_id,
+                script=script_for("nucleotide-db"),
+                causes=[],
+                local_seq=f"nt-{i}",
+            )
+            violations.append(interaction_id)
+            planted += 1
+
+        key = InteractionKey(
+            interaction_id=interaction_id, sender=sender, receiver=service
+        )
+        causes = [prev_key.interaction_id] if prev_key is not None else []
+        _plant_interaction(
+            store,
+            key,
+            operation=operation,
+            session_id=session_id,
+            script=script_for(service),
+            causes=causes,
+            local_seq=str(local_seq),
+        )
+        local_seq += 1
+        planted += 1
+        prev_key = key
+
+    return SynthStoreSpec(
+        interaction_records=planted,
+        sessions=sessions,
+        violations=violations,
+    )
+
+
+def _plant_interaction(
+    store: ProvenanceStoreInterface,
+    key: InteractionKey,
+    operation: str,
+    session_id: str,
+    script: Optional[str],
+    causes: Sequence[str],
+    local_seq: str,
+) -> None:
+    doc = _message_doc(key.interaction_id, operation)
+    store.put(
+        InteractionPAssertion(
+            interaction_key=key,
+            view=ViewKind.SENDER,
+            asserter=key.sender,
+            local_id=f"s-{local_seq}",
+            operation=operation,
+            content=doc,
+        )
+    )
+    store.put(
+        InteractionPAssertion(
+            interaction_key=key,
+            view=ViewKind.RECEIVER,
+            asserter=key.receiver,
+            local_id=f"r-{local_seq}",
+            operation=operation,
+            content=doc,
+        )
+    )
+    script_content = script if script is not None else f"#!/bin/sh\n# {key.receiver}\n"
+    script_el = XmlElement("script", attrs={"service": key.receiver})
+    script_el.add(script_content)
+    store.put(
+        ActorStatePAssertion(
+            interaction_key=key,
+            view=ViewKind.RECEIVER,
+            asserter=key.receiver,
+            local_id=f"script-{local_seq}",
+            state_type="script",
+            content=script_el,
+        )
+    )
+    if causes:
+        caused_el = XmlElement("caused-by")
+        for cause in causes:
+            caused_el.element("message", cause)
+        store.put(
+            ActorStatePAssertion(
+                interaction_key=key,
+                view=ViewKind.RECEIVER,
+                asserter=key.receiver,
+                local_id=f"cause-{local_seq}",
+                state_type="caused-by",
+                content=caused_el,
+            )
+        )
+    store.put(
+        GroupAssertion(
+            group_id=session_id,
+            kind=GroupKind.SESSION,
+            member=key,
+            asserter=key.sender,
+        )
+    )

@@ -1,0 +1,33 @@
+"""Grid execution substrate: the VDT/Condor/DAGMan stand-in.
+
+The paper runs the compressibility workflow under the Virtual Data Toolkit,
+"which offers good possibility of scheduling over the Grid through the use
+of Condor", batching 100 permutations per script so activity granularity
+(~15 minutes) offsets scheduling overhead.  This package provides:
+
+* :mod:`repro.grid.dag` — the workflow DAG model (DAGMan's role),
+* :mod:`repro.grid.vdl` — a small VDL-like workflow language parsed to DAGs,
+* :mod:`repro.grid.condor` — a Condor-style scheduler on the simulation
+  kernel: worker slots, matchmaking delay, stage-in/out file transfer,
+* :mod:`repro.grid.executor` — a real (non-simulated) topological executor
+  for DAGs of Python callables.
+"""
+
+from repro.grid.dag import Activity, CycleError, WorkflowDag
+from repro.grid.vdl import parse_vdl, render_vdl
+from repro.grid.condor import CondorScheduler, GridJob, JobTiming, ScheduleReport
+from repro.grid.executor import ExecutionResult, LocalExecutor
+
+__all__ = [
+    "Activity",
+    "CondorScheduler",
+    "CycleError",
+    "ExecutionResult",
+    "GridJob",
+    "JobTiming",
+    "LocalExecutor",
+    "ScheduleReport",
+    "WorkflowDag",
+    "parse_vdl",
+    "render_vdl",
+]

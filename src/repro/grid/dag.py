@@ -1,0 +1,131 @@
+"""Workflow DAG model.
+
+Activities are named nodes with parameters and a ``script`` reference (the
+paper categorises provenance by the script a service ran); edges are data
+dependencies.  The DAG validates acyclicity and provides the orderings the
+schedulers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+
+class CycleError(ValueError):
+    """The workflow graph contains a dependency cycle."""
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One workflow activity."""
+
+    name: str
+    script: str = ""
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("activity name must be non-empty")
+
+    @property
+    def param_dict(self) -> Dict[str, str]:
+        return dict(self.params)
+
+    def with_params(self, **params: str) -> "Activity":
+        merged = dict(self.params)
+        merged.update(params)
+        return Activity(
+            name=self.name, script=self.script, params=tuple(sorted(merged.items()))
+        )
+
+
+class WorkflowDag:
+    """A named DAG of activities."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("workflow name must be non-empty")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._activities: Dict[str, Activity] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_activity(
+        self, activity: Activity, after: Iterable[str] = ()
+    ) -> Activity:
+        if activity.name in self._activities:
+            raise ValueError(f"duplicate activity {activity.name!r}")
+        self._activities[activity.name] = activity
+        self._graph.add_node(activity.name)
+        for dep in after:
+            self.add_dependency(dep, activity.name)
+        return activity
+
+    def add_dependency(self, upstream: str, downstream: str) -> None:
+        for node in (upstream, downstream):
+            if node not in self._activities:
+                raise KeyError(f"unknown activity {node!r}")
+        self._graph.add_edge(upstream, downstream)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(upstream, downstream)
+            raise CycleError(
+                f"dependency {upstream!r} -> {downstream!r} creates a cycle"
+            )
+
+    # -- inspection --------------------------------------------------------
+    def activity(self, name: str) -> Activity:
+        try:
+            return self._activities[name]
+        except KeyError:
+            raise KeyError(f"unknown activity {name!r}") from None
+
+    def activities(self) -> List[Activity]:
+        return [self._activities[n] for n in sorted(self._activities)]
+
+    def names(self) -> List[str]:
+        return sorted(self._activities)
+
+    def dependencies_of(self, name: str) -> List[str]:
+        self.activity(name)
+        return sorted(self._graph.predecessors(name))
+
+    def dependents_of(self, name: str) -> List[str]:
+        self.activity(name)
+        return sorted(self._graph.successors(name))
+
+    def sources(self) -> List[str]:
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def sinks(self) -> List[str]:
+        return sorted(n for n in self._graph.nodes if self._graph.out_degree(n) == 0)
+
+    def topological_order(self) -> List[str]:
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def levels(self) -> List[List[str]]:
+        """Antichains of activities runnable together (generation order)."""
+        return [sorted(gen) for gen in nx.topological_generations(self._graph)]
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._activities
+
+    def subgraph_closure(self, targets: Iterable[str]) -> "WorkflowDag":
+        """The sub-DAG needed to produce ``targets`` (ancestors closure)."""
+        wanted = set()
+        for target in targets:
+            self.activity(target)
+            wanted.add(target)
+            wanted |= nx.ancestors(self._graph, target)
+        sub = WorkflowDag(name=f"{self.name}:closure")
+        for name in sorted(wanted):
+            sub.add_activity(self._activities[name])
+        for upstream, downstream in self._graph.edges:
+            if upstream in wanted and downstream in wanted:
+                sub.add_dependency(upstream, downstream)
+        return sub

@@ -1,0 +1,135 @@
+"""A small VDL-like workflow language.
+
+The paper's application "can consist of a mix of VDL workflows, shell
+scripts, and Web Services"; Chimera's VDL describes derivations that VDT
+turns into DAGs.  This module gives the reproduction a concrete textual
+workflow format::
+
+    workflow compressibility {
+      activity collate  script="collate.sh"  sample_kb="100";
+      activity encode   script="encode.sh"   after="collate" grouping="hp2";
+      activity shuffle  script="shuffle.sh"  after="encode";
+      activity measure  script="measure.sh"  after="shuffle" codec="gz-like";
+    }
+
+One ``activity`` statement per line: the first token is the activity name,
+followed by ``key="value"`` attributes.  ``script`` and ``after`` (a
+comma-separated dependency list) are special; all other attributes become
+activity parameters.  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.grid.dag import Activity, WorkflowDag
+
+_ATTR_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_-]*)\s*=\s*"([^"]*)"')
+_HEADER_RE = re.compile(r"^workflow\s+([A-Za-z_][A-Za-z0-9_-]*)\s*\{$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+class VdlSyntaxError(ValueError):
+    """A malformed VDL document."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a # comment, respecting quoted strings."""
+    out = []
+    in_quote = False
+    for ch in line:
+        if ch == '"':
+            in_quote = not in_quote
+        if ch == "#" and not in_quote:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def parse_vdl(text: str) -> WorkflowDag:
+    """Parse one ``workflow`` block into a :class:`WorkflowDag`."""
+    dag: WorkflowDag | None = None
+    closed = False
+    pending_deps: List[Tuple[str, List[str], int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if dag is None:
+            match = _HEADER_RE.match(line)
+            if not match:
+                raise VdlSyntaxError(lineno, f"expected 'workflow <name> {{', got {line!r}")
+            dag = WorkflowDag(name=match.group(1))
+            continue
+        if closed:
+            raise VdlSyntaxError(lineno, "content after closing '}'")
+        if line == "}":
+            closed = True
+            continue
+        if not line.endswith(";"):
+            raise VdlSyntaxError(lineno, "activity statement must end with ';'")
+        line = line[:-1].strip()
+        parts = line.split(None, 2)
+        if not parts or parts[0] != "activity":
+            raise VdlSyntaxError(lineno, f"expected 'activity', got {line!r}")
+        if len(parts) < 2:
+            raise VdlSyntaxError(lineno, "activity statement missing name")
+        name = parts[1]
+        if not _NAME_RE.match(name):
+            raise VdlSyntaxError(lineno, f"invalid activity name {name!r}")
+        attr_text = parts[2] if len(parts) > 2 else ""
+        # Verify the attribute text is fully consumed by key="value" pairs.
+        consumed = _ATTR_RE.sub("", attr_text).strip()
+        if consumed:
+            raise VdlSyntaxError(lineno, f"unparsable attribute text {consumed!r}")
+        attrs: Dict[str, str] = {}
+        for match in _ATTR_RE.finditer(attr_text):
+            key, value = match.group(1), match.group(2)
+            if key in attrs:
+                raise VdlSyntaxError(lineno, f"duplicate attribute {key!r}")
+            attrs[key] = value
+        script = attrs.pop("script", "")
+        after = [d.strip() for d in attrs.pop("after", "").split(",") if d.strip()]
+        activity = Activity(
+            name=name, script=script, params=tuple(sorted(attrs.items()))
+        )
+        try:
+            dag.add_activity(activity)
+        except ValueError as exc:
+            raise VdlSyntaxError(lineno, str(exc)) from exc
+        pending_deps.append((name, after, lineno))
+    if dag is None:
+        raise VdlSyntaxError(0, "no workflow block found")
+    if not closed:
+        raise VdlSyntaxError(0, "missing closing '}'")
+    for name, after, lineno in pending_deps:
+        for dep in after:
+            try:
+                dag.add_dependency(dep, name)
+            except (KeyError, ValueError) as exc:
+                raise VdlSyntaxError(lineno, str(exc)) from exc
+    return dag
+
+
+def render_vdl(dag: WorkflowDag) -> str:
+    """Serialize a DAG back to VDL text (inverse of :func:`parse_vdl`)."""
+    lines = [f"workflow {dag.name} {{"]
+    for name in dag.topological_order():
+        activity = dag.activity(name)
+        attrs: List[str] = []
+        if activity.script:
+            attrs.append(f'script="{activity.script}"')
+        deps = dag.dependencies_of(name)
+        if deps:
+            attrs.append(f'after="{",".join(deps)}"')
+        for key, value in sorted(activity.params):
+            attrs.append(f'{key}="{value}"')
+        suffix = ("  " + " ".join(attrs)) if attrs else ""
+        lines.append(f"  activity {name}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

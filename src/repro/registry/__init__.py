@@ -1,0 +1,38 @@
+"""Grimoires-style service registry with semantic annotations.
+
+The paper's use case 2 relies on "the Grimoires registry, an extension of
+the UDDI registry, designed to support semantic annotations of service
+descriptions": every WSDL message part is annotated with a semantic type
+from an application ontology, and validation checks type compatibility along
+the provenance trace.
+
+* :mod:`repro.registry.ontology` — the semantic-type ontology (a typed DAG
+  with subsumption),
+* :mod:`repro.registry.wsdl` — WSDL-like service/operation/message/part
+  descriptions,
+* :mod:`repro.registry.service` — the registry actor (publish, lookup,
+  metadata attachment, metadata-based discovery),
+* :mod:`repro.registry.client` — a bus client making one registry call per
+  method (the unit Figure 5's cost model counts).
+"""
+
+from repro.registry.ontology import Ontology, build_experiment_ontology
+from repro.registry.wsdl import (
+    MessagePart,
+    OperationDescription,
+    PartKey,
+    ServiceDescription,
+)
+from repro.registry.service import GrimoiresRegistry
+from repro.registry.client import RegistryClient
+
+__all__ = [
+    "GrimoiresRegistry",
+    "MessagePart",
+    "Ontology",
+    "OperationDescription",
+    "PartKey",
+    "RegistryClient",
+    "ServiceDescription",
+    "build_experiment_ontology",
+]

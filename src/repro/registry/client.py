@@ -1,0 +1,87 @@
+"""Bus client for the registry: one network call per method.
+
+The semantic validator's cost structure — about 10 registry invocations per
+interaction validated — is the origin of Figure 5's ~11x slope ratio, so the
+client deliberately performs exactly one bus call per method and counts them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.registry.ontology import Ontology
+from repro.registry.wsdl import (
+    MessagePart,
+    OperationDescription,
+    PartKey,
+    ServiceDescription,
+)
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement
+
+
+class RegistryClient:
+    """Typed wrapper over the registry actor's operations."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        registry_endpoint: str = "registry",
+        client_endpoint: str = "registry-client",
+    ):
+        self.bus = bus
+        self.registry_endpoint = registry_endpoint
+        self.client_endpoint = client_endpoint
+        self.calls = 0
+
+    def _call(self, op_name: str, **attrs: str) -> XmlElement:
+        self.calls += 1
+        return self.bus.call(
+            source=self.client_endpoint,
+            target=self.registry_endpoint,
+            operation=op_name,
+            payload=XmlElement("request", attrs=dict(attrs)),
+        )
+
+    def lookup_service(self, service: str) -> Dict[str, str]:
+        el = self._call("lookup_service", service=service)
+        return dict(el.attrs)
+
+    def get_interface(self, service: str) -> ServiceDescription:
+        return ServiceDescription.from_xml(self._call("get_interface", service=service))
+
+    def get_operation(self, service: str, operation: str) -> OperationDescription:
+        return OperationDescription.from_xml(
+            self._call("get_operation", service=service, operation=operation)
+        )
+
+    def get_message(
+        self, service: str, operation: str, direction: str
+    ) -> List[MessagePart]:
+        el = self._call(
+            "get_message", service=service, operation=operation, direction=direction
+        )
+        return [MessagePart.from_xml(p) for p in el.find_all("part")]
+
+    def get_part(self, key: PartKey) -> str:
+        el = self._call("get_part", key=key.as_string())
+        return el.attrs["key"]
+
+    def get_metadata(self, key: PartKey) -> Dict[str, str]:
+        el = self._call("get_metadata", key=key.as_string())
+        return {e.attrs["name"]: e.text for e in el.find_all("entry")}
+
+    def semantic_type(self, key: PartKey) -> Optional[str]:
+        """Convenience over :meth:`get_metadata`: the part's semantic type."""
+        return self.get_metadata(key).get("semantic-type")
+
+    def find_by_metadata(self, name: str, value: str) -> List[PartKey]:
+        el = self._call("find_by_metadata", name=name, value=value)
+        return [PartKey.parse(p.attrs["key"]) for p in el.find_all("part-ref")]
+
+    def get_ontology(self) -> Ontology:
+        return Ontology.from_xml(self._call("get_ontology"))
+
+    def subsumes(self, general: str, specific: str) -> bool:
+        el = self._call("subsumes", general=general, specific=specific)
+        return el.attrs["result"] == "true"

@@ -1,0 +1,136 @@
+"""The semantic-type ontology.
+
+"Each message part ... is annotated by some metadata identifying its
+semantic type, which we have expressed in an ontology fragment for this
+specific application." (Section 6)
+
+Types form a DAG under ``is-a``; :meth:`Ontology.subsumes` is reachability.
+:func:`build_experiment_ontology` constructs the fragment for the protein
+compressibility application, in which the crucial fact is that
+``nucleotide-sequence`` is *not* a subtype of ``amino-acid-sequence`` even
+though their textual alphabets overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import networkx as nx
+
+from repro.soa.xmldoc import XmlElement
+
+
+class Ontology:
+    """A DAG of semantic types with multiple inheritance and subsumption."""
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        # Edge child -> parent.
+        self._graph = nx.DiGraph()
+
+    def add_type(self, type_name: str, parents: Iterable[str] = ()) -> None:
+        if not type_name:
+            raise ValueError("type name must be non-empty")
+        parents = list(parents)
+        for parent in parents:
+            if parent not in self._graph:
+                raise KeyError(f"unknown parent type {parent!r}")
+        if type_name in self._graph and parents:
+            pass  # adding extra parents to an existing type is allowed
+        self._graph.add_node(type_name)
+        for parent in parents:
+            self._graph.add_edge(type_name, parent)
+            if not nx.is_directed_acyclic_graph(self._graph):
+                self._graph.remove_edge(type_name, parent)
+                raise ValueError(
+                    f"adding {type_name!r} -> {parent!r} would create a cycle"
+                )
+
+    def has_type(self, type_name: str) -> bool:
+        return type_name in self._graph
+
+    def types(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    def parents(self, type_name: str) -> List[str]:
+        self._require(type_name)
+        return sorted(self._graph.successors(type_name))
+
+    def ancestors(self, type_name: str) -> Set[str]:
+        self._require(type_name)
+        return set(nx.descendants(self._graph, type_name))
+
+    def subsumes(self, general: str, specific: str) -> bool:
+        """True if ``specific`` is-a ``general`` (reflexive, transitive)."""
+        self._require(general)
+        self._require(specific)
+        if general == specific:
+            return True
+        return general in nx.descendants(self._graph, specific)
+
+    def compatible(self, produced: str, consumed: str) -> bool:
+        """Can data of type ``produced`` feed an input expecting ``consumed``?
+
+        Compatibility is subsumption: the produced type must be the consumed
+        type or a subtype of it.
+        """
+        return self.subsumes(consumed, produced)
+
+    def _require(self, type_name: str) -> None:
+        if type_name not in self._graph:
+            raise KeyError(f"unknown semantic type {type_name!r}")
+
+    # -- serialization (the registry ships the ontology to validators) -------
+    def to_xml(self) -> XmlElement:
+        root = XmlElement("ontology", attrs={"name": self.name})
+        for type_name in self.types():
+            el = root.element("type", name=type_name)
+            for parent in self.parents(type_name):
+                el.element("parent", parent)
+        return root
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "Ontology":
+        if el.name != "ontology":
+            raise ValueError(f"expected <ontology>, got <{el.name}>")
+        onto = cls(name=el.attrs.get("name", "ontology"))
+        # Two passes: nodes first so parents can appear in any order.
+        for type_el in el.find_all("type"):
+            onto._graph.add_node(type_el.attrs["name"])
+        for type_el in el.find_all("type"):
+            for parent_el in type_el.find_all("parent"):
+                onto.add_type(type_el.attrs["name"], [parent_el.text])
+        return onto
+
+
+#: Semantic type names used by the compressibility experiment's services.
+T_DATA = "data"
+T_SEQUENCE = "sequence"
+T_AA_SEQUENCE = "amino-acid-sequence"
+T_NT_SEQUENCE = "nucleotide-sequence"
+T_SAMPLE = "protein-sample"
+T_ENCODED = "group-encoded-sample"
+T_PERMUTATION = "permuted-encoded-sample"
+T_COMPRESSED = "compressed-data"
+T_SIZE = "size-measurement"
+T_SIZES_TABLE = "sizes-table"
+T_RESULT = "compressibility-result"
+
+
+def build_experiment_ontology() -> Ontology:
+    """The ontology fragment for the protein compressibility application."""
+    onto = Ontology(name="protein-compressibility")
+    onto.add_type(T_DATA)
+    onto.add_type(T_SEQUENCE, [T_DATA])
+    # The trap at the heart of use case 2: the two sequence kinds are
+    # siblings — neither subsumes the other.
+    onto.add_type(T_AA_SEQUENCE, [T_SEQUENCE])
+    onto.add_type(T_NT_SEQUENCE, [T_SEQUENCE])
+    onto.add_type(T_SAMPLE, [T_AA_SEQUENCE])
+    onto.add_type(T_ENCODED, [T_DATA])
+    onto.add_type(T_PERMUTATION, [T_ENCODED])
+    onto.add_type(T_COMPRESSED, [T_DATA])
+    onto.add_type(T_SIZE, [T_DATA])
+    onto.add_type(T_SIZES_TABLE, [T_DATA])
+    onto.add_type(T_RESULT, [T_DATA])
+    return onto

@@ -1,0 +1,168 @@
+"""The Grimoires registry actor.
+
+"The registry provides an interface that supports metadata publication and
+metadata-based service discovery." (Section 6)
+
+Operations are deliberately fine-grained — service lookup, interface
+retrieval, operation retrieval, message retrieval, part retrieval, metadata
+fetch — because the paper's semantic-validation cost is structured as ~10
+registry calls per interaction; the client mirrors that call pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.registry.ontology import Ontology
+from repro.registry.wsdl import PartKey, ServiceDescription
+from repro.soa.actor import Actor
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement
+
+
+class GrimoiresRegistry(Actor):
+    """UDDI-style registry with per-part metadata and an ontology."""
+
+    def __init__(self, ontology: Ontology, endpoint: str = "registry"):
+        super().__init__(endpoint, description="Grimoires service registry")
+        self.ontology = ontology
+        self._services: Dict[str, ServiceDescription] = {}
+        self._metadata: Dict[str, Dict[str, str]] = {}
+
+    # -- direct (in-process) API -----------------------------------------
+    def publish(self, description: ServiceDescription) -> None:
+        if description.service in self._services:
+            raise ValueError(f"service {description.service!r} already published")
+        self._services[description.service] = description
+
+    def unpublish(self, service: str) -> None:
+        self._services.pop(service, None)
+
+    def annotate(self, key: PartKey, name: str, value: str) -> None:
+        """Attach metadata ``name=value`` to a message part."""
+        self._require_part(key)
+        self._metadata.setdefault(key.as_string(), {})[name] = value
+
+    def metadata_of(self, key: PartKey) -> Dict[str, str]:
+        return dict(self._metadata.get(key.as_string(), {}))
+
+    def services(self) -> List[str]:
+        return sorted(self._services)
+
+    def description_of(self, service: str) -> ServiceDescription:
+        try:
+            return self._services[service]
+        except KeyError:
+            raise KeyError(f"service {service!r} not published") from None
+
+    def _require_part(self, key: PartKey) -> None:
+        desc = self.description_of(key.service)
+        op = desc.operation(key.operation)
+        names = {p.name for p in op.parts(key.direction)}
+        if key.part not in names:
+            raise KeyError(
+                f"no part {key.part!r} in {key.direction} of "
+                f"{key.service}#{key.operation}"
+            )
+
+    # -- service operations (the 10-call surface) ---------------------------
+    def op_lookup_service(self, payload: XmlElement) -> XmlElement:
+        """Does the registry know this service?  Returns its summary."""
+        service = payload.attrs.get("service", "")
+        desc = self._services.get(service)
+        if desc is None:
+            raise Fault("not-found", f"service {service!r} not published")
+        return XmlElement(
+            "service-summary",
+            attrs={
+                "service": desc.service,
+                "operations": str(len(desc.operations)),
+            },
+        )
+
+    def op_get_interface(self, payload: XmlElement) -> XmlElement:
+        """The full abstract WSDL of a service."""
+        service = payload.attrs.get("service", "")
+        desc = self._services.get(service)
+        if desc is None:
+            raise Fault("not-found", f"service {service!r} not published")
+        return desc.to_xml()
+
+    def op_get_operation(self, payload: XmlElement) -> XmlElement:
+        service = payload.attrs.get("service", "")
+        operation = payload.attrs.get("operation", "")
+        try:
+            return self.description_of(service).operation(operation).to_xml()
+        except KeyError as exc:
+            raise Fault("not-found", str(exc)) from exc
+
+    def op_get_message(self, payload: XmlElement) -> XmlElement:
+        """The parts of one direction of one operation."""
+        service = payload.attrs.get("service", "")
+        operation = payload.attrs.get("operation", "")
+        direction = payload.attrs.get("direction", "")
+        try:
+            op = self.description_of(service).operation(operation)
+            parts = op.parts(direction)
+        except (KeyError, ValueError) as exc:
+            raise Fault("not-found", str(exc)) from exc
+        root = XmlElement(
+            "message",
+            attrs={"service": service, "operation": operation, "direction": direction},
+        )
+        for part in parts:
+            root.add(part.to_xml())
+        return root
+
+    def op_get_part(self, payload: XmlElement) -> XmlElement:
+        key = self._part_key_from(payload)
+        try:
+            self._require_part(key)
+        except KeyError as exc:
+            raise Fault("not-found", str(exc)) from exc
+        return XmlElement("part-ref", attrs={"key": key.as_string()})
+
+    def op_get_metadata(self, payload: XmlElement) -> XmlElement:
+        key = self._part_key_from(payload)
+        try:
+            self._require_part(key)
+        except KeyError as exc:
+            raise Fault("not-found", str(exc)) from exc
+        root = XmlElement("metadata", attrs={"key": key.as_string()})
+        for name in sorted(self._metadata.get(key.as_string(), {})):
+            root.element("entry", self._metadata[key.as_string()][name], name=name)
+        return root
+
+    def op_find_by_metadata(self, payload: XmlElement) -> XmlElement:
+        """Metadata-based discovery: parts annotated with name=value."""
+        name = payload.attrs.get("name", "")
+        value = payload.attrs.get("value", "")
+        root = XmlElement("discovery-result")
+        for key_str in sorted(self._metadata):
+            if self._metadata[key_str].get(name) == value:
+                root.element("part-ref", key=key_str)
+        return root
+
+    def op_get_ontology(self, payload: XmlElement) -> XmlElement:
+        return self.ontology.to_xml()
+
+    def op_subsumes(self, payload: XmlElement) -> XmlElement:
+        general = payload.attrs.get("general", "")
+        specific = payload.attrs.get("specific", "")
+        try:
+            result = self.ontology.subsumes(general, specific)
+        except KeyError as exc:
+            raise Fault("not-found", str(exc)) from exc
+        return XmlElement("subsumes", attrs={"result": "true" if result else "false"})
+
+    @staticmethod
+    def _part_key_from(payload: XmlElement) -> PartKey:
+        key_str = payload.attrs.get("key")
+        if key_str:
+            return PartKey.parse(key_str)
+        return PartKey(
+            service=payload.attrs.get("service", ""),
+            operation=payload.attrs.get("operation", ""),
+            direction=payload.attrs.get("direction", ""),
+            part=payload.attrs.get("part", ""),
+        )

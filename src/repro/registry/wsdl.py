@@ -1,0 +1,169 @@
+"""WSDL-like service descriptions.
+
+"Each workflow activity is described by a WSDL interface: we use here the
+abstract part of a WSDL interface to characterise the type of inputs or
+outputs taken by services." (Section 6)
+
+The abstract part only: a service has operations; an operation has an input
+message and an output message; each message has named parts with a
+*syntactic* type.  *Semantic* types are not stored here — they are metadata
+attached through the registry, addressed by :class:`PartKey`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.soa.xmldoc import XmlElement
+
+_DIRECTIONS = ("input", "output")
+
+
+@dataclass(frozen=True)
+class PartKey:
+    """Addresses one message part of one operation of one service."""
+
+    service: str
+    operation: str
+    direction: str
+    part: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+
+    def as_string(self) -> str:
+        return f"{self.service}#{self.operation}/{self.direction}/{self.part}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PartKey":
+        try:
+            service, rest = text.split("#", 1)
+            operation, direction, part = rest.split("/", 2)
+        except ValueError:
+            raise ValueError(f"malformed part key {text!r}") from None
+        return cls(service=service, operation=operation, direction=direction, part=part)
+
+
+@dataclass(frozen=True)
+class MessagePart:
+    """One named part of a message, with its syntactic type."""
+
+    name: str
+    syntactic_type: str = "xsd:string"
+
+    def to_xml(self) -> XmlElement:
+        return XmlElement(
+            "part", attrs={"name": self.name, "type": self.syntactic_type}
+        )
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "MessagePart":
+        return cls(name=el.attrs["name"], syntactic_type=el.attrs.get("type", ""))
+
+
+@dataclass(frozen=True)
+class OperationDescription:
+    """One operation: its input and output message parts."""
+
+    name: str
+    inputs: Tuple[MessagePart, ...] = ()
+    outputs: Tuple[MessagePart, ...] = ()
+
+    def parts(self, direction: str) -> Tuple[MessagePart, ...]:
+        if direction == "input":
+            return self.inputs
+        if direction == "output":
+            return self.outputs
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def to_xml(self) -> XmlElement:
+        root = XmlElement("operation", attrs={"name": self.name})
+        input_el = root.element("input")
+        for part in self.inputs:
+            input_el.add(part.to_xml())
+        output_el = root.element("output")
+        for part in self.outputs:
+            output_el.add(part.to_xml())
+        return root
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "OperationDescription":
+        inputs = tuple(
+            MessagePart.from_xml(p) for p in el.require("input").find_all("part")
+        )
+        outputs = tuple(
+            MessagePart.from_xml(p) for p in el.require("output").find_all("part")
+        )
+        return cls(name=el.attrs["name"], inputs=inputs, outputs=outputs)
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """The abstract WSDL of one service."""
+
+    service: str
+    description: str = ""
+    operations: Tuple[OperationDescription, ...] = ()
+    _by_name: Dict[str, OperationDescription] = field(
+        init=False, repr=False, hash=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        by_name: Dict[str, OperationDescription] = {}
+        for op in self.operations:
+            if op.name in by_name:
+                raise ValueError(
+                    f"service {self.service!r} declares operation {op.name!r} twice"
+                )
+            by_name[op.name] = op
+        object.__setattr__(self, "_by_name", by_name)
+
+    def operation(self, name: str) -> OperationDescription:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"service {self.service!r} has no operation {name!r}"
+            ) from None
+
+    def operation_names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def part_keys(self) -> List[PartKey]:
+        """All addressable message parts of this service."""
+        keys: List[PartKey] = []
+        for op in self.operations:
+            for direction in _DIRECTIONS:
+                for part in op.parts(direction):
+                    keys.append(
+                        PartKey(
+                            service=self.service,
+                            operation=op.name,
+                            direction=direction,
+                            part=part.name,
+                        )
+                    )
+        return keys
+
+    def to_xml(self) -> XmlElement:
+        root = XmlElement(
+            "service-description",
+            attrs={"service": self.service, "description": self.description},
+        )
+        for op in self.operations:
+            root.add(op.to_xml())
+        return root
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "ServiceDescription":
+        return cls(
+            service=el.attrs["service"],
+            description=el.attrs.get("description", ""),
+            operations=tuple(
+                OperationDescription.from_xml(op) for op in el.find_all("operation")
+            ),
+        )

@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel used to model Grid execution.
+
+The paper's evaluation ran on a physical testbed (Windows XP PCs, VMWare,
+100 Mb ethernet).  This package provides the virtual substrate we substitute
+for that testbed: a deterministic discrete-event simulator with
+
+* :class:`~repro.simkit.kernel.Simulator` — the event loop / virtual clock,
+* generator-based :class:`~repro.simkit.kernel.Process` coroutines,
+* :class:`~repro.simkit.resources.Resource` slot pools (CPU slots, Condor
+  worker slots),
+* :class:`~repro.simkit.hosts.Host` / :class:`~repro.simkit.hosts.Network`
+  latency+bandwidth models,
+* seeded randomness helpers in :mod:`repro.simkit.rng`.
+
+All simulated timings in the figure harnesses flow through this kernel so
+that figure regeneration is exactly reproducible.
+"""
+
+from repro.simkit.kernel import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simkit.resources import Resource, Store
+from repro.simkit.hosts import Host, Link, Network
+from repro.simkit.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Event",
+    "Host",
+    "Interrupt",
+    "Link",
+    "Network",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "derive_seed",
+]

@@ -1,0 +1,104 @@
+"""Hosts and network links for the simulated testbed.
+
+The paper's deployment: two Windows XP PCs (P4 2.8 GHz, 1.5 GB RAM) joined by
+100 Mb ethernet, one running the application under VMWare, the other running
+PReServ.  We model hosts as named entities with a CPU-slot pool and a speed
+factor (VMWare slowdown is a factor < 1.0), and links with latency +
+bandwidth.  Message transfer time = latency + size / bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Tuple
+
+from repro.simkit.kernel import Event, Simulator
+from repro.simkit.resources import Resource
+
+#: 100 Mb/s ethernet expressed in bytes per (simulated) second.
+ETHERNET_100MB_BPS = 100_000_000 / 8
+
+
+@dataclass
+class Host:
+    """A compute host: name, CPU slots and a relative speed factor."""
+
+    name: str
+    sim: Simulator
+    cpus: int = 1
+    speed: float = 1.0
+    cpu_pool: Resource = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        self.cpu_pool = Resource(self.sim, self.cpus)
+
+    def compute_time(self, reference_seconds: float) -> float:
+        """Wall time on this host for work taking ``reference_seconds`` at speed 1."""
+        return reference_seconds / self.speed
+
+    def compute(self, reference_seconds: float) -> Generator[Event, None, None]:
+        """Process: acquire a CPU slot, burn the scaled time, release."""
+        req = self.cpu_pool.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.compute_time(reference_seconds))
+        finally:
+            self.cpu_pool.release()
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional network link with fixed latency and bandwidth."""
+
+    latency_s: float
+    bandwidth_bps: float = ETHERNET_100MB_BPS
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+class Network:
+    """A directory of hosts and the links between them.
+
+    Loopback (src == dst) traffic uses a configurable, near-zero latency —
+    the paper benchmarks PReServ with client and server on the same host.
+    """
+
+    def __init__(self, sim: Simulator, loopback_latency_s: float = 0.0001):
+        self.sim = sim
+        self.hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.loopback = Link(latency_s=loopback_latency_s, bandwidth_bps=10 * ETHERNET_100MB_BPS)
+        self.default_link = Link(latency_s=0.0005)
+
+    def add_host(self, name: str, cpus: int = 1, speed: float = 1.0) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(name=name, sim=self.sim, cpus=cpus, speed=speed)
+        self.hosts[name] = host
+        return host
+
+    def connect(self, src: str, dst: str, link: Link, bidirectional: bool = True) -> None:
+        for end in (src, dst):
+            if end not in self.hosts:
+                raise KeyError(f"unknown host {end!r}")
+        self._links[(src, dst)] = link
+        if bidirectional:
+            self._links[(dst, src)] = link
+
+    def link(self, src: str, dst: str) -> Link:
+        if src == dst:
+            return self.loopback
+        return self._links.get((src, dst), self.default_link)
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        return self.link(src, dst).transfer_time(nbytes)
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Event:
+        """Event that fires when the transfer completes."""
+        return self.sim.timeout(self.transfer_time(src, dst, nbytes))

@@ -1,0 +1,331 @@
+"""Core discrete-event simulation kernel.
+
+A deliberately small, deterministic event loop in the style of SimPy:
+processes are Python generators that ``yield`` events; the simulator advances
+a virtual clock from event to event.  Determinism is guaranteed by a strict
+(total) event ordering: events fire in ``(time, priority, sequence)`` order,
+where ``sequence`` is the order of scheduling.
+
+The kernel is intentionally independent of everything else in ``repro`` so it
+can be reused by the grid scheduler, the network model and the figure
+harnesses alike.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (e.g. running a stopped sim)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for urgent events (fire before normal events at equal time).
+PRIORITY_URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, may be *triggered* with a value (scheduled to
+    fire), and finally *fires*, invoking its callbacks.  Processes wait on
+    events by yielding them.  Events may also fail: waiting processes then see
+    the exception re-raised at their ``yield``.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        self._trigger(value, ok=True, delay=delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire carrying an exception."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(exc, ok=False, delay=delay)
+        return self
+
+    def _trigger(self, value: Any, ok: bool, delay: float) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._triggered = True
+        self._value = value
+        self._ok = ok
+        self.sim._push(self, delay, PRIORITY_NORMAL)
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; created already triggered."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._push(self, delay, PRIORITY_NORMAL)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired (any failure propagates)."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in events:
+            ev.callbacks.append(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(None)
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            self.succeed(None)
+            return
+        for ev in events:
+            ev.callbacks.append(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed(ev._value)
+        else:
+            self.fail(ev._value)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the simulator.
+
+    The generator yields :class:`Event` instances; when a yielded event
+    fires, the process resumes with the event's value (or the event's
+    exception raised at the yield point).  The :class:`Process` itself is an
+    event that fires with the generator's return value, so processes can wait
+    on each other.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at simulation start (urgent so that
+        # processes created at t start before timers scheduled at t).
+        boot = Event(sim)
+        boot._triggered = True
+        boot._value = None
+        boot.callbacks.append(self._resume)
+        sim._push(boot, 0.0, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick._triggered = True
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.callbacks.append(self._resume)
+        self.sim._push(kick, 0.0, PRIORITY_URGENT)
+
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        try:
+            if ev.ok:
+                nxt = self.generator.send(ev._value)
+            else:
+                nxt = self.generator.throw(ev._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process as a failure.
+            self.fail(exc)
+            return
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield Events"
+            )
+        if nxt.fired:
+            raise SimulationError(
+                f"process {self.name!r} yielded an already-fired event"
+            )
+        self._waiting_on = nxt
+        nxt.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _push(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue empties or the clock reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("simulator already running (reentrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error."""
+        self.run()
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} did not complete (deadlock?)"
+            )
+        if not process.ok:
+            raise process._value
+        return process._value

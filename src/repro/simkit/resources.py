@@ -1,0 +1,113 @@
+"""Shared-resource primitives for the simulation kernel.
+
+:class:`Resource` models a pool of identical slots (e.g. Condor worker slots
+or CPU cores): processes request a slot, hold it while working, and release
+it.  :class:`Store` models a FIFO buffer of items (e.g. a job queue): one set
+of processes puts items, another gets them, with blocking semantics on empty.
+Both preserve strict FIFO ordering of waiters for determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simkit.kernel import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """Event fired when the requesting process acquires a slot."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A counted pool of interchangeable slots with FIFO queuing."""
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Acquire a slot; the returned event fires when a slot is granted.
+
+        The caller *must* eventually call :meth:`release` once per granted
+        request.
+        """
+        req = Request(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed(self)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one slot to the pool, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; in_use is unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def cancel(self, request: Request) -> bool:
+        """Withdraw a still-queued request. Returns True if it was queued."""
+        try:
+            self._waiters.remove(request)
+            return True
+        except ValueError:
+            return False
+
+
+class Store:
+    """An unbounded FIFO item buffer with blocking ``get``."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

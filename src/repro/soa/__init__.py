@@ -1,0 +1,39 @@
+"""Service-oriented architecture substrate.
+
+The paper's provenance model is defined for SOAs: actors (clients and
+services) exchange messages, and provenance documents those interactions.
+This package supplies the technology layer we substitute for SOAP/WSDL over
+HTTP:
+
+* :mod:`repro.soa.xmldoc` — a from-scratch XML document model, serializer
+  and parser (p-assertions are XML documents in PReServ),
+* :mod:`repro.soa.envelope` — SOAP-style envelopes (headers + body),
+* :mod:`repro.soa.actor` — the actor abstraction,
+* :mod:`repro.soa.bus` — an in-process message bus with interceptors and a
+  virtual-time latency model, standing in for the 100 Mb ethernet testbed.
+"""
+
+from repro.soa.xmldoc import XmlElement, parse_xml, xml_escape
+from repro.soa.envelope import Envelope, Fault
+from repro.soa.actor import Actor, ActorIdentity, OperationError
+from repro.soa.bus import (
+    CallRecord,
+    LatencyModel,
+    MessageBus,
+    VirtualClock,
+)
+
+__all__ = [
+    "Actor",
+    "ActorIdentity",
+    "CallRecord",
+    "Envelope",
+    "Fault",
+    "LatencyModel",
+    "MessageBus",
+    "OperationError",
+    "VirtualClock",
+    "XmlElement",
+    "parse_xml",
+    "xml_escape",
+]

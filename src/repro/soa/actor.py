@@ -1,0 +1,76 @@
+"""Actors: the clients and services of the SOA.
+
+"We will use the term actor to denote either a client or a service in a
+SOA" (Section 5).  An :class:`Actor` exposes named operations taking and
+returning XML payloads; subclasses implement ``op_<name>`` methods, which
+the base class discovers and dispatches to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.soa.xmldoc import XmlElement
+
+
+class OperationError(Exception):
+    """Raised by operations for application-level failures."""
+
+
+@dataclass(frozen=True)
+class ActorIdentity:
+    """A stable actor identifier (endpoint name + human description)."""
+
+    endpoint: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.endpoint:
+            raise ValueError("actor endpoint must be non-empty")
+
+
+class Actor:
+    """Base class for services and clients.
+
+    Operations are methods named ``op_<operation>`` with signature
+    ``(payload: XmlElement) -> XmlElement``.
+    """
+
+    def __init__(self, endpoint: str, description: str = ""):
+        self.identity = ActorIdentity(endpoint=endpoint, description=description)
+
+    @property
+    def endpoint(self) -> str:
+        return self.identity.endpoint
+
+    def operations(self) -> List[str]:
+        """Names of the operations this actor exposes."""
+        return sorted(
+            name[3:]
+            for name in dir(self)
+            if name.startswith("op_") and callable(getattr(self, name))
+        )
+
+    def handler(self, operation: str) -> Callable[[XmlElement], XmlElement]:
+        method = getattr(self, f"op_{operation}", None)
+        if method is None or not callable(method):
+            raise OperationError(
+                f"actor {self.endpoint!r} has no operation {operation!r}"
+            )
+        return method
+
+    def handle(self, operation: str, payload: XmlElement) -> XmlElement:
+        """Dispatch ``operation`` to its ``op_`` method."""
+        return self.handler(operation)(payload)
+
+    # -- introspection used by the registry --------------------------------
+    def describe(self) -> Dict[str, str]:
+        return {
+            "endpoint": self.endpoint,
+            "description": self.identity.description,
+            "operations": ",".join(self.operations()),
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} endpoint={self.endpoint!r}>"

@@ -1,0 +1,199 @@
+"""In-process message bus with virtual-time accounting.
+
+The bus plays the role of the testbed network: actors register at endpoints;
+callers invoke ``bus.call(...)``; a :class:`LatencyModel` charges each call's
+modelled cost (round-trip latency + bandwidth + service time) to a
+:class:`VirtualClock` without sleeping.  Interceptors observe every call —
+this is where provenance instrumentation hooks in without the application
+knowing about it.
+
+The split between *real work* (the actor's Python code runs for real) and
+*modelled time* (the clock advances by testbed-calibrated amounts) is what
+lets the figure harness reproduce the paper's measured shapes determinist-
+ically on any machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.soa.actor import Actor, OperationError
+from repro.soa.envelope import Envelope, Fault
+from repro.soa.xmldoc import XmlElement
+
+#: 100 Mb/s ethernet in bytes/second, as in the paper's testbed.
+ETHERNET_100MB_BPS = 100_000_000 / 8
+
+
+class VirtualClock:
+    """An accumulating virtual clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        self._now += seconds
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-call cost model: fixed round trip + bandwidth + service time."""
+
+    round_trip_s: float = 0.0
+    bandwidth_bps: float = ETHERNET_100MB_BPS
+    service_time_s: float = 0.0
+
+    def cost(self, request_bytes: int, response_bytes: int) -> float:
+        wire = (request_bytes + response_bytes) / self.bandwidth_bps
+        return self.round_trip_s + wire + self.service_time_s
+
+
+@dataclass
+class CallRecord:
+    """One completed bus call, as seen by interceptors and statistics."""
+
+    message_id: str
+    source: str
+    target: str
+    operation: str
+    request: Envelope
+    response: Envelope
+    virtual_cost_s: float
+    ok: bool
+
+
+Interceptor = Callable[[CallRecord], None]
+
+
+class MessageBus:
+    """Endpoint registry + synchronous invocation + virtual time."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock = clock or VirtualClock()
+        self._actors: Dict[str, Actor] = {}
+        self._latency: Dict[str, LatencyModel] = {}
+        self._default_latency = LatencyModel()
+        self._interceptors: List[Interceptor] = []
+        self._ids = itertools.count(1)
+        self.calls = 0
+
+    # -- wiring -------------------------------------------------------------
+    def register(self, actor: Actor, latency: Optional[LatencyModel] = None) -> None:
+        if actor.endpoint in self._actors:
+            raise ValueError(f"endpoint {actor.endpoint!r} already registered")
+        self._actors[actor.endpoint] = actor
+        if latency is not None:
+            self._latency[actor.endpoint] = latency
+
+    def unregister(self, endpoint: str) -> None:
+        self._actors.pop(endpoint, None)
+        self._latency.pop(endpoint, None)
+
+    def lookup(self, endpoint: str) -> Actor:
+        try:
+            return self._actors[endpoint]
+        except KeyError:
+            raise KeyError(
+                f"no actor at endpoint {endpoint!r}; "
+                f"registered: {sorted(self._actors)}"
+            ) from None
+
+    def endpoints(self) -> List[str]:
+        return sorted(self._actors)
+
+    def set_default_latency(self, model: LatencyModel) -> None:
+        self._default_latency = model
+
+    def latency_for(self, endpoint: str) -> LatencyModel:
+        return self._latency.get(endpoint, self._default_latency)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    def next_message_id(self) -> str:
+        return f"msg-{next(self._ids):08d}"
+
+    # -- invocation ----------------------------------------------------------
+    def call(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        payload: XmlElement,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> XmlElement:
+        """Invoke ``operation`` on the actor at ``target``.
+
+        Runs the actor's code for real, charges the modelled cost to the
+        virtual clock, notifies interceptors, and returns the response body.
+        Service faults are charged and notified too, then re-raised.
+        """
+        message_id = self.next_message_id()
+        headers = {
+            "source": source,
+            "target": target,
+            "operation": operation,
+            "message-id": message_id,
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        request = Envelope(headers=headers, body=payload)
+        request.validate()
+        actor = self.lookup(target)
+
+        ok = True
+        try:
+            response_body = actor.handle(operation, payload)
+            if not isinstance(response_body, XmlElement):
+                raise OperationError(
+                    f"operation {operation!r} on {target!r} returned "
+                    f"{type(response_body).__name__}, expected XmlElement"
+                )
+        except Fault as fault:
+            ok = False
+            response_body = fault.to_xml()
+        response = Envelope(
+            headers={
+                "source": target,
+                "target": source,
+                "operation": f"{operation}-response",
+                "message-id": f"{message_id}-r",
+            },
+            body=response_body,
+        )
+
+        model = self.latency_for(target)
+        cost = model.cost(request.byte_size(), response.byte_size())
+        self.clock.charge(cost)
+        self.calls += 1
+
+        record = CallRecord(
+            message_id=message_id,
+            source=source,
+            target=target,
+            operation=operation,
+            request=request,
+            response=response,
+            virtual_cost_s=cost,
+            ok=ok,
+        )
+        for interceptor in list(self._interceptors):
+            interceptor(record)
+
+        if not ok:
+            raise Fault.from_xml(response_body)
+        return response_body

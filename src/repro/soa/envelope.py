@@ -1,0 +1,102 @@
+"""SOAP-style message envelopes.
+
+Every message on the bus is an :class:`Envelope`: a header block (routing
+and provenance metadata as flat key/value pairs) and an XML body.  PReServ's
+"SOAP Message Translator" strips the envelope and dispatches the body to a
+plug-in, exactly as in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.soa.xmldoc import XmlElement, parse_xml
+
+
+class Fault(Exception):
+    """A service-side failure transported back to the caller."""
+
+    def __init__(self, code: str, reason: str):
+        super().__init__(f"{code}: {reason}")
+        self.code = code
+        self.reason = reason
+
+    def to_xml(self) -> XmlElement:
+        el = XmlElement("fault")
+        el.element("code", self.code)
+        el.element("reason", self.reason)
+        return el
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "Fault":
+        return cls(code=el.require("code").text, reason=el.require("reason").text)
+
+
+@dataclass
+class Envelope:
+    """A message: headers + body.
+
+    Headers carry transport-level metadata (source, target, operation,
+    message id); the body is the application payload.
+    """
+
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: Optional[XmlElement] = None
+
+    REQUIRED_HEADERS = ("source", "target", "operation", "message-id")
+
+    def validate(self) -> None:
+        missing = [h for h in self.REQUIRED_HEADERS if h not in self.headers]
+        if missing:
+            raise ValueError(f"envelope missing headers: {missing}")
+        if self.body is None:
+            raise ValueError("envelope has no body")
+
+    @property
+    def source(self) -> str:
+        return self.headers["source"]
+
+    @property
+    def target(self) -> str:
+        return self.headers["target"]
+
+    @property
+    def operation(self) -> str:
+        return self.headers["operation"]
+
+    @property
+    def message_id(self) -> str:
+        return self.headers["message-id"]
+
+    def to_xml(self) -> XmlElement:
+        root = XmlElement("envelope")
+        header_el = root.element("header")
+        for key in sorted(self.headers):
+            header_el.element("entry", self.headers[key], key=key)
+        body_el = root.element("body")
+        if self.body is not None:
+            body_el.add(self.body)
+        return root
+
+    @classmethod
+    def from_xml(cls, el: XmlElement) -> "Envelope":
+        if el.name != "envelope":
+            raise ValueError(f"expected <envelope>, got <{el.name}>")
+        headers: Dict[str, str] = {}
+        for entry in el.require("header").find_all("entry"):
+            headers[entry.attrs["key"]] = entry.text
+        body_el = el.require("body")
+        inner = next(body_el.iter_elements(), None)
+        return cls(headers=headers, body=inner)
+
+    def serialize(self) -> str:
+        return self.to_xml().serialize()
+
+    @classmethod
+    def deserialize(cls, text: str) -> "Envelope":
+        return cls.from_xml(parse_xml(text))
+
+    def byte_size(self) -> int:
+        """Serialized size, used by the latency model for bandwidth costs."""
+        return len(self.serialize().encode("utf-8"))

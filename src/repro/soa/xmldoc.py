@@ -1,0 +1,316 @@
+"""A small XML document model with serializer and parser, from scratch.
+
+PReServ stores p-assertions as XML conforming to published schemas; this
+module provides the equivalent document layer for the reproduction.  The
+supported subset is what the provenance documents need:
+
+* elements with attributes and ordered children,
+* children are elements or text,
+* the five standard entity references (``&amp; &lt; &gt; &quot; &apos;``),
+* an optional XML declaration and comments (skipped on parse).
+
+Not supported (by design): namespaces-as-semantics (colons in names are just
+characters), DOCTYPEs, processing instructions, and CDATA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;"), ("'", "&apos;")]
+_UNESCAPES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+def xml_escape(text: str) -> str:
+    """Escape the five standard XML entities."""
+    for raw, ent in _ESCAPES:
+        text = text.replace(raw, ent)
+    return text
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "&":
+            end = text.find(";", i + 1)
+            if end == -1:
+                raise ValueError(f"unterminated entity reference at offset {i}")
+            name = text[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            else:
+                try:
+                    out.append(_UNESCAPES[name])
+                except KeyError:
+                    raise ValueError(f"unknown entity &{name};") from None
+            i = end + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+Child = Union["XmlElement", str]
+
+
+def _name_ok(name: str) -> bool:
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first in "_:"):
+        return False
+    return all(c.isalnum() or c in "_:.-" for c in name)
+
+
+@dataclass
+class XmlElement:
+    """An XML element: tag name, attributes, ordered children."""
+
+    name: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List[Child] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not _name_ok(self.name):
+            raise ValueError(f"invalid element name {self.name!r}")
+        for key in self.attrs:
+            if not _name_ok(key):
+                raise ValueError(f"invalid attribute name {key!r}")
+
+    # -- construction helpers ----------------------------------------------
+    def add(self, child: Child) -> "XmlElement":
+        """Append a child; returns self for chaining."""
+        if not isinstance(child, (XmlElement, str)):
+            raise TypeError(f"child must be XmlElement or str, got {type(child)}")
+        self.children.append(child)
+        return self
+
+    def element(self, tag: str, text: Optional[str] = None, **attrs: str) -> "XmlElement":
+        """Create, append and return a child element named ``tag``.
+
+        Attribute names arrive as keyword arguments; the positional
+        parameter is called ``tag`` (not ``name``) so that ``name=...`` can
+        be used as an attribute.
+        """
+        el = XmlElement(name=tag, attrs=dict(attrs))
+        if text is not None:
+            el.add(text)
+        self.add(el)
+        return el
+
+    # -- navigation -------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """Concatenated direct text children."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def iter_elements(self) -> Iterator["XmlElement"]:
+        for c in self.children:
+            if isinstance(c, XmlElement):
+                yield c
+
+    def find(self, name: str) -> Optional["XmlElement"]:
+        for el in self.iter_elements():
+            if el.name == name:
+                return el
+        return None
+
+    def find_all(self, name: str) -> List["XmlElement"]:
+        return [el for el in self.iter_elements() if el.name == name]
+
+    def require(self, name: str) -> "XmlElement":
+        el = self.find(name)
+        if el is None:
+            raise KeyError(f"element <{self.name}> has no child <{name}>")
+        return el
+
+    def path(self, *names: str) -> Optional["XmlElement"]:
+        """Descend through a chain of child names; None if any hop is missing."""
+        cur: Optional[XmlElement] = self
+        for n in names:
+            if cur is None:
+                return None
+            cur = cur.find(n)
+        return cur
+
+    # -- serialization -----------------------------------------------------
+    def serialize(self, indent: Optional[int] = None) -> str:
+        out: List[str] = []
+        self._write(out, indent, 0)
+        return "".join(out)
+
+    def _write(self, out: List[str], indent: Optional[int], depth: int) -> None:
+        pad = "" if indent is None else "\n" + " " * (indent * depth)
+        if depth or indent is not None:
+            out.append(pad if depth else "")
+        out.append(f"<{self.name}")
+        for key in sorted(self.attrs):
+            out.append(f' {key}="{xml_escape(self.attrs[key])}"')
+        if not self.children:
+            out.append("/>")
+            return
+        out.append(">")
+        only_text = all(isinstance(c, str) for c in self.children)
+        for child in self.children:
+            if isinstance(child, str):
+                out.append(xml_escape(child))
+            else:
+                child._write(out, indent, depth + 1)
+        if indent is not None and not only_text:
+            out.append("\n" + " " * (indent * depth))
+        out.append(f"</{self.name}>")
+
+    def byte_size(self) -> int:
+        """UTF-8 size of the serialized document (message-size modelling)."""
+        return len(self.serialize().encode("utf-8"))
+
+    # -- structural equality is provided by dataclass --------------------
+
+
+class _Parser:
+    """Recursive-descent parser for the supported XML subset."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ValueError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return ValueError(f"XML parse error at line {line}: {message}")
+
+    def parse(self) -> XmlElement:
+        self._skip_prolog()
+        el = self._parse_element()
+        self._skip_misc()
+        if self.pos != len(self.text):
+            raise self.error("content after document element")
+        return el
+
+    # -- lexing helpers -----------------------------------------------------
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _skip_comment(self) -> bool:
+        if self.text.startswith("<!--", self.pos):
+            end = self.text.find("-->", self.pos + 4)
+            if end == -1:
+                raise self.error("unterminated comment")
+            self.pos = end + 3
+            return True
+        return False
+
+    def _skip_prolog(self) -> None:
+        self._skip_ws()
+        if self.text.startswith("<?xml", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end == -1:
+                raise self.error("unterminated XML declaration")
+            self.pos = end + 2
+        self._skip_misc()
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_ws()
+            if not self._skip_comment():
+                return
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_:.-"
+        ):
+            self.pos += 1
+        name = self.text[start : self.pos]
+        if not _name_ok(name):
+            raise self.error(f"invalid name {name!r}")
+        return name
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            found = self.text[self.pos : self.pos + 10]
+            raise self.error(f"expected {literal!r}, found {found!r}")
+        self.pos += len(literal)
+
+    # -- grammar ---------------------------------------------------------
+    def _parse_element(self) -> XmlElement:
+        self._expect("<")
+        name = self._read_name()
+        attrs: Dict[str, str] = {}
+        while True:
+            self._skip_ws()
+            if self.text.startswith("/>", self.pos):
+                self.pos += 2
+                return XmlElement(name=name, attrs=attrs)
+            if self.text.startswith(">", self.pos):
+                self.pos += 1
+                break
+            key, value = self._parse_attribute()
+            if key in attrs:
+                raise self.error(f"duplicate attribute {key!r}")
+            attrs[key] = value
+        el = XmlElement(name=name, attrs=attrs)
+        self._parse_content(el)
+        self._expect("</")
+        closing = self._read_name()
+        if closing != name:
+            raise self.error(f"mismatched close tag </{closing}> for <{name}>")
+        self._skip_ws_inside_tag()
+        self._expect(">")
+        return el
+
+    def _skip_ws_inside_tag(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _parse_attribute(self) -> Tuple[str, str]:
+        key = self._read_name()
+        self._skip_ws()
+        self._expect("=")
+        self._skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            raise self.error("attribute value must be quoted")
+        quote = self.text[self.pos]
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise self.error("unterminated attribute value")
+        raw = self.text[self.pos : end]
+        self.pos = end + 1
+        return key, _unescape(raw)
+
+    def _parse_content(self, el: XmlElement) -> None:
+        buffer: List[str] = []
+
+        def flush_text() -> None:
+            if buffer:
+                text = _unescape("".join(buffer))
+                if text.strip():
+                    el.add(text)
+                buffer.clear()
+
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error(f"unterminated element <{el.name}>")
+            if self.text.startswith("</", self.pos):
+                flush_text()
+                return
+            if self._skip_comment():
+                continue
+            if self.text.startswith("<", self.pos):
+                flush_text()
+                el.add(self._parse_element())
+            else:
+                buffer.append(self.text[self.pos])
+                self.pos += 1
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse an XML document and return its root element."""
+    return _Parser(text).parse()

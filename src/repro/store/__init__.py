@@ -1,0 +1,69 @@
+"""PReServ: Provenance Recording for Services.
+
+The store side of the architecture (paper Section 5, Figure 3):
+
+* :mod:`repro.store.interface` — the Provenance Store Interface and the
+  shared in-memory index,
+* :mod:`repro.store.backends` — memory / file-system / database backends,
+* :mod:`repro.store.kvlog` — the embedded log-structured KV database
+  (Berkeley DB substitute) underlying the database backend,
+* :mod:`repro.store.plugins` — Store and Query plug-ins,
+* :mod:`repro.store.service` — the message translator and the PReServ actor.
+"""
+
+from repro.store.interface import (
+    DuplicateAssertionError,
+    ProvenanceStoreInterface,
+    StoreCounts,
+    StoreIndex,
+)
+from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+from repro.store.kvlog import CorruptRecordError, KVLog
+from repro.store.plugins import PlugIn, QueryPlugIn, StorePlugIn
+from repro.store.service import (
+    MessageTranslator,
+    PAPER_RECORD_ROUND_TRIP_S,
+    PReServActor,
+)
+from repro.store.distributed import (
+    CrossLink,
+    FederatedQueryClient,
+    StoreRouter,
+    consolidate,
+)
+from repro.store.curation import (
+    ArchiveError,
+    RetentionPolicy,
+    apply_retention,
+    export_archive,
+    import_archive,
+    verify_archive,
+)
+
+__all__ = [
+    "ArchiveError",
+    "CorruptRecordError",
+    "CrossLink",
+    "FederatedQueryClient",
+    "RetentionPolicy",
+    "StoreRouter",
+    "apply_retention",
+    "consolidate",
+    "export_archive",
+    "import_archive",
+    "verify_archive",
+    "DuplicateAssertionError",
+    "FileSystemBackend",
+    "KVLog",
+    "KVLogBackend",
+    "MemoryBackend",
+    "MessageTranslator",
+    "PAPER_RECORD_ROUND_TRIP_S",
+    "PReServActor",
+    "PlugIn",
+    "ProvenanceStoreInterface",
+    "QueryPlugIn",
+    "StoreCounts",
+    "StoreIndex",
+    "StorePlugIn",
+]

@@ -1,0 +1,106 @@
+"""The three PReServ backends: in-memory, file system, database.
+
+"Currently, PReServ comes with in-memory, file system and database
+backends" (Section 5).  All three implement
+:class:`~repro.store.interface.ProvenanceStoreInterface`; the persistent two
+serialize assertions as XML documents and rebuild their in-memory indexes by
+re-reading those documents on open.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.core.passertion import GroupAssertion, parse_passertion
+from repro.core.prep import PrepRecord
+from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.interface import Assertion, ProvenanceStoreInterface
+from repro.store.kvlog import KVLog
+
+
+def _assertion_to_text(assertion: Assertion) -> str:
+    return assertion.to_xml().serialize()
+
+
+def _assertion_from_text(text: str) -> Assertion:
+    el = parse_xml(text)
+    if el.name == "group-assertion":
+        return GroupAssertion.from_xml(el)
+    return parse_passertion(el)
+
+
+class MemoryBackend(ProvenanceStoreInterface):
+    """Volatile backend: the index *is* the store."""
+
+    def _persist(self, assertion: Assertion) -> None:
+        pass  # nothing beyond the in-memory index
+
+
+class FileSystemBackend(ProvenanceStoreInterface):
+    """One XML file per assertion under a directory tree.
+
+    Layout: ``root/NNNNNNNN.xml`` in insertion order; the monotonically
+    increasing sequence number keeps replay order identical to insertion
+    order when the index is rebuilt on open.
+    """
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+        self._replay()
+
+    def _replay(self) -> None:
+        for path in sorted(self.root.glob("*.xml")):
+            text = path.read_text(encoding="utf-8")
+            assertion = _assertion_from_text(text)
+            self._index.add(assertion)
+            stem_seq = int(path.stem)
+            self._seq = max(self._seq, stem_seq + 1)
+
+    def _persist(self, assertion: Assertion) -> None:
+        path = self.root / f"{self._seq:08d}.xml"
+        self._seq += 1
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(_assertion_to_text(assertion), encoding="utf-8")
+        os.replace(tmp, path)
+
+
+class KVLogBackend(ProvenanceStoreInterface):
+    """Database backend over the embedded :class:`KVLog` store.
+
+    Plays the role of the paper's Berkeley DB JE backend: assertions are
+    values keyed by an insertion sequence number; the index is rebuilt by
+    scanning the log on open.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]):
+        super().__init__()
+        self._log = KVLog(path)
+        self._seq = 0
+        self._replay()
+
+    def _replay(self) -> None:
+        for key, value in self._log.items():
+            assertion = _assertion_from_text(value.decode("utf-8"))
+            self._index.add(assertion)
+            self._seq = max(self._seq, int(key.decode("ascii")) + 1)
+
+    def _persist(self, assertion: Assertion) -> None:
+        key = f"{self._seq:016d}".encode("ascii")
+        self._seq += 1
+        self._log.put(key, _assertion_to_text(assertion).encode("utf-8"))
+
+    def compact(self) -> None:
+        self._log.compact()
+
+    def close(self) -> None:
+        self._log.close()
+
+
+def record_to_xml(record: PrepRecord) -> XmlElement:
+    """Convenience used by tests: a PReP record's wire form."""
+    return record.to_xml()

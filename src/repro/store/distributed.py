@@ -1,0 +1,238 @@
+"""Distributed PReServ: the paper's §7 scalability design, implemented.
+
+"PReServ may become a bottleneck when handling p-assertion submission
+requests.  To combat such scalability concern, we are undertaking the
+design of a distributed version of PReServ, which would allow parallel
+submissions into several provenance store instances; additionally,
+documentation recorded in different stores should be cross-linked to allow
+navigation; a facility is also required to consolidate data into a single
+provenance store."
+
+Three pieces:
+
+* :class:`StoreRouter` — deterministically routes each assertion to one of
+  several PReServ instances (hash of the interaction key), so submissions
+  can proceed in parallel; group assertions are broadcast so every store
+  can answer membership queries for navigation.
+* **cross-links** — when the router places an interaction's assertion, it
+  records a :class:`CrossLink` naming the owning store, and each store keeps
+  a ``link`` table mapping foreign interaction ids to their home store, so
+  a navigator can hop between stores.
+* :func:`consolidate` — merges several stores' contents into one backend,
+  deduplicating broadcast group assertions and verifying that no
+  p-assertion was lost or duplicated.
+
+The federated query side is :class:`FederatedQueryClient`, which fans a
+query out to all member stores and merges results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+    PAssertion,
+    ViewKind,
+)
+from repro.store.interface import (
+    DuplicateAssertionError,
+    ProvenanceStoreInterface,
+    StoreCounts,
+)
+
+Assertion = Union[PAssertion, GroupAssertion]
+
+
+@dataclass(frozen=True)
+class CrossLink:
+    """A navigation pointer: this interaction's records live at ``store``."""
+
+    interaction_key: InteractionKey
+    store: str
+
+
+def _hash_to_bucket(key: InteractionKey, n: int) -> int:
+    digest = hashlib.sha256(
+        f"{key.interaction_id}|{key.sender}|{key.receiver}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % n
+
+
+class StoreRouter:
+    """Routes assertions across several named PReServ backends.
+
+    Placement is deterministic (rendezvous by key hash), so every client
+    computes the same owner without coordination — the property that makes
+    *parallel submission* safe.
+    """
+
+    def __init__(self, stores: Dict[str, ProvenanceStoreInterface]):
+        if not stores:
+            raise ValueError("router needs at least one store")
+        self._names: List[str] = sorted(stores)
+        self._stores = dict(stores)
+        #: per-store cross-link tables: store name -> {interaction key -> owner}.
+        self._links: Dict[str, Dict[InteractionKey, str]] = {
+            name: {} for name in self._names
+        }
+        self.records_routed = 0
+
+    @property
+    def store_names(self) -> List[str]:
+        return list(self._names)
+
+    def store(self, name: str) -> ProvenanceStoreInterface:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise KeyError(f"unknown store {name!r}") from None
+
+    def owner_of(self, key: InteractionKey) -> str:
+        """The store that owns this interaction's p-assertions."""
+        return self._names[_hash_to_bucket(key, len(self._names))]
+
+    def put(self, assertion: Assertion) -> str:
+        """Route one assertion; returns the name of the store that took it.
+
+        Group assertions are broadcast (membership supports navigation from
+        any store); p-assertions go to their owner, and every *other* store
+        gains a cross-link to the owner.
+        """
+        self.records_routed += 1
+        if isinstance(assertion, GroupAssertion):
+            for name in self._names:
+                self._stores[name].put(assertion)
+            owner = self.owner_of(assertion.member)
+            self._note_link(assertion.member, owner)
+            return "*"
+        owner = self.owner_of(assertion.interaction_key)
+        self._stores[owner].put(assertion)
+        self._note_link(assertion.interaction_key, owner)
+        return owner
+
+    def _note_link(self, key: InteractionKey, owner: str) -> None:
+        for name in self._names:
+            if name != owner:
+                self._links[name][key] = owner
+
+    def cross_links(self, store_name: str) -> List[CrossLink]:
+        """The navigation table held at ``store_name``."""
+        table = self._links.get(store_name)
+        if table is None:
+            raise KeyError(f"unknown store {store_name!r}")
+        return [
+            CrossLink(interaction_key=key, store=owner)
+            for key, owner in sorted(table.items())
+        ]
+
+    def resolve(self, start_store: str, key: InteractionKey) -> str:
+        """Navigate: from ``start_store``, find where ``key`` lives.
+
+        Returns ``start_store`` itself when the records are local; otherwise
+        follows the cross-link.
+        """
+        store = self.store(start_store)
+        if store.interaction_passertions(key) or store.actor_state_passertions(key):
+            return start_store
+        owner = self._links[start_store].get(key)
+        if owner is None:
+            raise KeyError(
+                f"no records or cross-link for {key} at store {start_store!r}"
+            )
+        return owner
+
+
+class FederatedQueryClient:
+    """Answers store-interface queries over all members of a router."""
+
+    def __init__(self, router: StoreRouter):
+        self.router = router
+
+    def interaction_keys(self) -> List[InteractionKey]:
+        keys = set()
+        for name in self.router.store_names:
+            keys.update(self.router.store(name).interaction_keys())
+        return sorted(keys)
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        owner = self.router.owner_of(key)
+        return self.router.store(owner).interaction_passertions(key, view)
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        owner = self.router.owner_of(key)
+        return self.router.store(owner).actor_state_passertions(key, view, state_type)
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        # Groups are broadcast; any store can answer.
+        first = self.router.store_names[0]
+        return self.router.store(first).group_members(group_id)
+
+    def counts(self) -> StoreCounts:
+        """Aggregate counts (group assertions counted once, not per replica)."""
+        inter = state = 0
+        records = set()
+        for name in self.router.store_names:
+            store = self.router.store(name)
+            c = store.counts()
+            inter += c.interaction_passertions
+            state += c.actor_state_passertions
+            records.update(store.interaction_keys())
+        first = self.router.store(self.router.store_names[0])
+        groups = first.counts().group_assertions
+        return StoreCounts(
+            interaction_passertions=inter,
+            actor_state_passertions=state,
+            group_assertions=groups,
+            interaction_records=len(records),
+        )
+
+
+def consolidate(
+    router: StoreRouter, target: ProvenanceStoreInterface
+) -> Tuple[int, int]:
+    """§7's consolidation facility: merge all member stores into ``target``.
+
+    Returns ``(p_assertions_moved, group_assertions_moved)``.  Broadcast
+    group assertions are deduplicated; duplicate p-assertions (which should
+    not exist under routing) are detected and reported as errors.
+    """
+    moved_p = 0
+    moved_g = 0
+    seen_groups: set = set()
+    for name in router.store_names:
+        for assertion in router.store(name).all_assertions():
+            if isinstance(assertion, GroupAssertion):
+                dedupe_key = (
+                    assertion.group_id,
+                    assertion.member,
+                    assertion.asserter,
+                    assertion.sequence,
+                )
+                if dedupe_key in seen_groups:
+                    continue
+                seen_groups.add(dedupe_key)
+                target.put(assertion)
+                moved_g += 1
+            else:
+                try:
+                    target.put(assertion)
+                except DuplicateAssertionError as exc:
+                    raise RuntimeError(
+                        f"consolidation found a duplicated p-assertion "
+                        f"(routing invariant violated): {exc}"
+                    ) from exc
+                moved_p += 1
+    return moved_p, moved_g

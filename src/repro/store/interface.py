@@ -1,0 +1,238 @@
+"""The Provenance Store Interface.
+
+"Each of these backends implements the same API, the Provenance Store
+Interface.  This abstraction makes it easy to integrate new backend stores
+without having to change already developed PlugIns and provides an API that
+maps directly to the PReP protocol specification." (Section 5)
+
+Backends persist assertions however they like; querying is served from an
+in-memory :class:`StoreIndex` every backend maintains (and rebuilds on open,
+for the persistent ones).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+    PAssertion,
+    ViewKind,
+)
+
+Assertion = Union[PAssertion, GroupAssertion]
+
+
+@dataclass(frozen=True)
+class StoreCounts:
+    """Store statistics, as reported by the ``count`` query."""
+
+    interaction_passertions: int
+    actor_state_passertions: int
+    group_assertions: int
+    #: distinct interaction keys with at least one p-assertion — the paper's
+    #: "number of interaction records" (Figure 5's x axis).
+    interaction_records: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.interaction_passertions
+            + self.actor_state_passertions
+            + self.group_assertions
+        )
+
+
+class DuplicateAssertionError(Exception):
+    """A p-assertion with an identical store key was already recorded."""
+
+
+class StoreIndex:
+    """In-memory indexes over the assertions of one store.
+
+    Maintains: per-interaction p-assertions (by view), actor-state
+    p-assertions (by state type), group membership (both directions), and
+    insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._order: List[Assertion] = []
+        self._seen_keys: Set[Tuple[InteractionKey, str, str, str]] = set()
+        self._interactions: Dict[InteractionKey, List[InteractionPAssertion]] = {}
+        self._actor_state: Dict[InteractionKey, List[ActorStatePAssertion]] = {}
+        self._groups: Dict[str, GroupKindMembers] = {}
+        self._by_group_member: Dict[InteractionKey, Set[str]] = {}
+
+    def add(self, assertion: Assertion) -> None:
+        if isinstance(assertion, GroupAssertion):
+            entry = self._groups.setdefault(
+                assertion.group_id, GroupKindMembers(kind=assertion.kind.value)
+            )
+            if entry.kind != assertion.kind.value:
+                raise ValueError(
+                    f"group {assertion.group_id!r} asserted with kinds "
+                    f"{entry.kind!r} and {assertion.kind.value!r}"
+                )
+            entry.add(assertion.member, assertion.sequence)
+            self._by_group_member.setdefault(assertion.member, set()).add(
+                assertion.group_id
+            )
+            self._order.append(assertion)
+            return
+        if assertion.store_key in self._seen_keys:
+            raise DuplicateAssertionError(
+                f"duplicate p-assertion {assertion.store_key}"
+            )
+        self._seen_keys.add(assertion.store_key)
+        if isinstance(assertion, InteractionPAssertion):
+            self._interactions.setdefault(assertion.interaction_key, []).append(
+                assertion
+            )
+        elif isinstance(assertion, ActorStatePAssertion):
+            self._actor_state.setdefault(assertion.interaction_key, []).append(
+                assertion
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown assertion type {type(assertion)}")
+        self._order.append(assertion)
+
+    # -- lookups -----------------------------------------------------------
+    def interaction_keys(self) -> List[InteractionKey]:
+        keys = set(self._interactions) | set(self._actor_state)
+        return sorted(keys)
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        found = self._interactions.get(key, [])
+        if view is None:
+            return list(found)
+        return [p for p in found if p.view == view]
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        found = self._actor_state.get(key, [])
+        return [
+            p
+            for p in found
+            if (view is None or p.view == view)
+            and (state_type is None or p.state_type == state_type)
+        ]
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        entry = self._groups.get(group_id)
+        return entry.ordered_members() if entry else []
+
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        return sorted(self._by_group_member.get(key, ()))
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        return sorted(
+            gid
+            for gid, entry in self._groups.items()
+            if kind is None or entry.kind == kind
+        )
+
+    def group_kind(self, group_id: str) -> Optional[str]:
+        entry = self._groups.get(group_id)
+        return entry.kind if entry else None
+
+    def all_assertions(self) -> Iterator[Assertion]:
+        return iter(self._order)
+
+    def counts(self) -> StoreCounts:
+        n_inter = sum(len(v) for v in self._interactions.values())
+        n_state = sum(len(v) for v in self._actor_state.values())
+        n_group = sum(len(e.members) for e in self._groups.values())
+        return StoreCounts(
+            interaction_passertions=n_inter,
+            actor_state_passertions=n_state,
+            group_assertions=n_group,
+            interaction_records=len(self.interaction_keys()),
+        )
+
+
+class GroupKindMembers:
+    """Membership of one group: kind plus (optionally sequenced) members."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.members: List[Tuple[Optional[int], InteractionKey]] = []
+        self._member_set: Set[InteractionKey] = set()
+
+    def add(self, member: InteractionKey, sequence: Optional[int]) -> None:
+        if member in self._member_set:
+            return  # membership assertions are idempotent
+        self._member_set.add(member)
+        self.members.append((sequence, member))
+
+    def ordered_members(self) -> List[InteractionKey]:
+        def sort_key(item: Tuple[Optional[int], InteractionKey]):
+            seq, member = item
+            return (0, seq, member) if seq is not None else (1, 0, member)
+
+        return [m for _, m in sorted(self.members, key=sort_key)]
+
+
+class ProvenanceStoreInterface(ABC):
+    """The backend API the plug-ins program against."""
+
+    def __init__(self) -> None:
+        self._index = StoreIndex()
+
+    # -- write path ---------------------------------------------------------
+    def put(self, assertion: Assertion) -> None:
+        """Record one assertion: index it, then persist it."""
+        self._index.add(assertion)
+        self._persist(assertion)
+
+    @abstractmethod
+    def _persist(self, assertion: Assertion) -> None:
+        """Backend-specific durability for one assertion."""
+
+    def close(self) -> None:
+        """Release backend resources (default: nothing to do)."""
+
+    # -- read path (delegated to the index) ----------------------------------
+    def interaction_keys(self) -> List[InteractionKey]:
+        return self._index.interaction_keys()
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        return self._index.interaction_passertions(key, view)
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        return self._index.actor_state_passertions(key, view, state_type)
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        return self._index.group_members(group_id)
+
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        return self._index.groups_of(key)
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        return self._index.group_ids(kind)
+
+    def group_kind(self, group_id: str) -> Optional[str]:
+        return self._index.group_kind(group_id)
+
+    def all_assertions(self) -> Iterator[Assertion]:
+        return self._index.all_assertions()
+
+    def counts(self) -> StoreCounts:
+        return self._index.counts()

@@ -1,0 +1,192 @@
+"""An embedded append-only key-value store (the Berkeley DB substitute).
+
+PReServ's evaluated configuration used "a database backend based on the
+Berkeley DB Java Edition".  We substitute a from-scratch log-structured KV
+store in the Bitcask style:
+
+* writes append ``(crc, key_len, val_len, tombstone, key, value)`` records
+  to a single data file and update an in-memory hash index
+  ``key -> (offset, length)``;
+* reads seek directly via the index;
+* deletes append tombstones;
+* :meth:`KVLog.compact` rewrites only live records into a fresh file;
+* every record is CRC32-checked on read, and a truncated/corrupt tail is
+  detected (and ignored) on open, giving crash-safe recovery semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+#: record header: crc32, key length, value length, tombstone flag
+_HEADER = struct.Struct("<IIIB")
+
+
+class CorruptRecordError(Exception):
+    """A record failed its CRC or structural check."""
+
+
+class KVLog:
+    """A single-file, CRC-checked, log-structured key-value store."""
+
+    def __init__(self, path: "os.PathLike[str] | str"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # key -> (value offset, value length); tombstoned keys absent.
+        self._index: Dict[bytes, Tuple[int, int]] = {}
+        self._dead_bytes = 0
+        self._file = open(self.path, "a+b")
+        self._rebuild_index()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "KVLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._file.closed:
+            raise ValueError("operation on closed KVLog")
+
+    # -- index reconstruction ----------------------------------------------
+    def _rebuild_index(self) -> None:
+        """Scan the log, building the index; truncate a corrupt tail."""
+        self._index.clear()
+        self._dead_bytes = 0
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        self._file.seek(0)
+        pos = 0
+        valid_end = 0
+        while pos < size:
+            try:
+                key, value_span, tombstone, next_pos = self._read_record_at(pos)
+            except (CorruptRecordError, EOFError):
+                break
+            if tombstone:
+                old = self._index.pop(key, None)
+                if old is not None:
+                    self._dead_bytes += _HEADER.size + len(key) + old[1]
+                self._dead_bytes += _HEADER.size + len(key)
+            else:
+                old = self._index.get(key)
+                if old is not None:
+                    self._dead_bytes += _HEADER.size + len(key) + old[1]
+                self._index[key] = value_span
+            pos = next_pos
+            valid_end = pos
+        if valid_end < size:
+            # Crash recovery: drop the torn tail so future appends are clean.
+            self._file.truncate(valid_end)
+        self._file.seek(0, os.SEEK_END)
+
+    def _read_record_at(
+        self, pos: int
+    ) -> Tuple[bytes, Tuple[int, int], bool, int]:
+        self._file.seek(pos)
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise EOFError
+        crc, key_len, val_len, tombstone = _HEADER.unpack(header)
+        payload = self._file.read(key_len + val_len)
+        if len(payload) < key_len + val_len:
+            raise CorruptRecordError("truncated record payload")
+        if zlib.crc32(payload) != crc:
+            raise CorruptRecordError(f"CRC mismatch at offset {pos}")
+        key = payload[:key_len]
+        value_offset = pos + _HEADER.size + key_len
+        next_pos = pos + _HEADER.size + key_len + val_len
+        return key, (value_offset, val_len), bool(tombstone), next_pos
+
+    # -- operations --------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise ValueError("key must be non-empty bytes")
+        payload = bytes(key) + bytes(value)
+        record = _HEADER.pack(zlib.crc32(payload), len(key), len(value), 0) + payload
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(record)
+        self._file.flush()
+        old = self._index.get(bytes(key))
+        if old is not None:
+            self._dead_bytes += _HEADER.size + len(key) + old[1]
+        self._index[bytes(key)] = (offset + _HEADER.size + len(key), len(value))
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        span = self._index.get(bytes(key))
+        if span is None:
+            return None
+        offset, length = span
+        self._file.seek(offset)
+        value = self._file.read(length)
+        if len(value) < length:
+            raise CorruptRecordError(f"short read for key {key!r}")
+        return value
+
+    def delete(self, key: bytes) -> bool:
+        """Append a tombstone; returns True if the key was present."""
+        self._check_open()
+        key = bytes(key)
+        if key not in self._index:
+            return False
+        payload = key
+        record = _HEADER.pack(zlib.crc32(payload), len(key), 0, 1) + payload
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(record)
+        self._file.flush()
+        old = self._index.pop(key)
+        self._dead_bytes += 2 * (_HEADER.size + len(key)) + old[1]
+        return True
+
+    def __contains__(self, key: bytes) -> bool:
+        return bytes(key) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(sorted(self._index))
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for key in sorted(self._index):
+            value = self.get(key)
+            assert value is not None
+            yield key, value
+
+    # -- maintenance -------------------------------------------------------
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes occupied by superseded/tombstoned records."""
+        return self._dead_bytes
+
+    def compact(self) -> None:
+        """Rewrite only live records into a fresh log file."""
+        self._check_open()
+        tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+        live = list(self.items())
+        with open(tmp_path, "wb") as tmp:
+            for key, value in live:
+                payload = key + value
+                tmp.write(
+                    _HEADER.pack(zlib.crc32(payload), len(key), len(value), 0) + payload
+                )
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a+b")
+        self._rebuild_index()
+
+    def file_size(self) -> int:
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()

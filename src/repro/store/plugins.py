@@ -1,0 +1,165 @@
+"""PReServ plug-ins: message handlers behind the SOAP translator.
+
+"Based on the port that the message was sent to, the SOAP Message Translator
+strips off the HTTP and SOAP Headers and passes the contents of the SOAP
+body to an appropriate PlugIn, which must conform to the schemas distributed
+with PReServ." (Section 5, Figure 3)
+
+* :class:`StorePlugIn` handles ``prep-record`` (and batch) submissions,
+* :class:`QueryPlugIn` handles ``prep-query`` retrieval requests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro.core.passertion import InteractionKey, ViewKind
+from repro.core.prep import PrepAck, PrepQuery, PrepRecord, PrepResult
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement
+from repro.store.interface import DuplicateAssertionError, ProvenanceStoreInterface
+
+
+class PlugIn(ABC):
+    """A handler for one family of body documents."""
+
+    #: element names this plug-in accepts.
+    handles: Tuple[str, ...] = ()
+
+    @abstractmethod
+    def handle(
+        self, body: XmlElement, backend: ProvenanceStoreInterface
+    ) -> XmlElement:
+        """Process ``body`` against ``backend`` and return the response body."""
+
+
+class StorePlugIn(PlugIn):
+    """Records p-assertions (singly or batched) into the backend."""
+
+    handles = ("prep-record", "prep-record-batch")
+
+    def handle(
+        self, body: XmlElement, backend: ProvenanceStoreInterface
+    ) -> XmlElement:
+        if body.name == "prep-record":
+            records = [PrepRecord.from_xml(body)]
+        else:
+            records = [PrepRecord.from_xml(el) for el in body.find_all("prep-record")]
+        stored = 0
+        for record in records:
+            try:
+                backend.put(record.assertion)
+            except DuplicateAssertionError as exc:
+                raise Fault("duplicate-assertion", str(exc)) from exc
+            stored += 1
+        return PrepAck(status="ok", count=stored).to_xml()
+
+
+class QueryPlugIn(PlugIn):
+    """Serves PReP queries from the backend's Provenance Store Interface."""
+
+    handles = ("prep-query",)
+
+    def handle(
+        self, body: XmlElement, backend: ProvenanceStoreInterface
+    ) -> XmlElement:
+        query = PrepQuery.from_xml(body)
+        handler = getattr(self, f"_q_{query.query_type.replace('-', '_')}", None)
+        if handler is None:
+            raise Fault("unknown-query", f"no such query type {query.query_type!r}")
+        try:
+            items = handler(query, backend)
+        except KeyError as exc:
+            raise Fault("bad-query", f"missing parameter: {exc}") from exc
+        return PrepResult(items=items).to_xml()
+
+    # -- individual query types ----------------------------------------------
+    @staticmethod
+    def _key_from_params(query: PrepQuery) -> InteractionKey:
+        return InteractionKey(
+            interaction_id=query.params["id"],
+            sender=query.params["sender"],
+            receiver=query.params["receiver"],
+        )
+
+    @staticmethod
+    def _view_from_params(query: PrepQuery) -> ViewKind | None:
+        view = query.params.get("view")
+        return ViewKind(view) if view else None
+
+    def _q_interaction(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        key = self._key_from_params(query)
+        found = backend.interaction_passertions(key, self._view_from_params(query))
+        return [p.to_xml() for p in found]
+
+    def _q_interactions(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        return [key.to_xml() for key in backend.interaction_keys()]
+
+    def _q_record(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        """The full interaction record: every p-assertion about one key."""
+        key = self._key_from_params(query)
+        items = [p.to_xml() for p in backend.interaction_passertions(key)]
+        items.extend(p.to_xml() for p in backend.actor_state_passertions(key))
+        return items
+
+    def _q_actor_state(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        key = self._key_from_params(query)
+        found = backend.actor_state_passertions(
+            key,
+            view=self._view_from_params(query),
+            state_type=query.params.get("state-type"),
+        )
+        return [p.to_xml() for p in found]
+
+    def _q_by_group(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        members = backend.group_members(query.params["group"])
+        return [m.to_xml() for m in members]
+
+    def _q_groups(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        kind = query.params.get("kind")
+        out = []
+        for gid in backend.group_ids(kind):
+            out.append(
+                XmlElement(
+                    "group",
+                    attrs={"id": gid, "kind": backend.group_kind(gid) or ""},
+                )
+            )
+        return out
+
+    def _q_groups_of(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        key = self._key_from_params(query)
+        return [
+            XmlElement("group", attrs={"id": gid, "kind": backend.group_kind(gid) or ""})
+            for gid in backend.groups_of(key)
+        ]
+
+    def _q_count(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        counts = backend.counts()
+        el = XmlElement(
+            "store-counts",
+            attrs={
+                "interaction-passertions": str(counts.interaction_passertions),
+                "actor-state-passertions": str(counts.actor_state_passertions),
+                "group-assertions": str(counts.group_assertions),
+                "interaction-records": str(counts.interaction_records),
+            },
+        )
+        return [el]

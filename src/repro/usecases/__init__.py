@@ -1,0 +1,33 @@
+"""The paper's provenance use cases, implemented over the recorded data.
+
+* :mod:`repro.usecases.comparison` — use case 1: did two runs of the same
+  experiment use the same algorithms/configurations?  Categorises service
+  scripts recorded as actor-state p-assertions and maps script equivalence
+  classes to sessions.
+* :mod:`repro.usecases.semantic` — use case 2: was every datum processed by
+  a service that meaningfully processes data of that semantic type?
+  Validates output-type/input-type compatibility along the trace using the
+  registry's annotations and ontology.
+"""
+
+from repro.usecases.comparison import (
+    ScriptCategorisation,
+    SessionComparison,
+    categorise_scripts,
+    compare_sessions,
+)
+from repro.usecases.semantic import (
+    SemanticValidationReport,
+    SemanticViolation,
+    validate_session,
+)
+
+__all__ = [
+    "ScriptCategorisation",
+    "SemanticValidationReport",
+    "SemanticViolation",
+    "SessionComparison",
+    "categorise_scripts",
+    "compare_sessions",
+    "validate_session",
+]

@@ -1,0 +1,186 @@
+"""Use case 2: semantic validation of a workflow execution.
+
+"Given a provenance trace for an execution that led to some data, the
+semantic type of each service output (obtained from interaction
+p-assertions and metadata stored in the registry) is verified to be equal
+to the semantic type of the service input it is fed into." (Section 6)
+
+Cost structure, matching the paper's measurement ("for each interaction, we
+perform one call to PReServ and 10 to Grimoires"): per interaction record,
+
+1.  one store call fetching the full interaction record,
+2.  ten registry calls: consumer service lookup, interface, operation,
+    input message, input part, input metadata; producer service lookup,
+    output message, output part, output metadata.
+
+Type compatibility (subsumption) is then checked against the ontology,
+fetched once per validation run.  The nucleotide-for-protein error of the
+paper — syntactically silent because {A,C,G,T} is a subset of the amino
+acid alphabet — surfaces here as ``nucleotide-sequence`` not being subsumed
+by ``amino-acid-sequence``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.client import ProvenanceQueryClient
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+)
+from repro.registry.client import RegistryClient
+from repro.registry.ontology import Ontology
+from repro.soa.envelope import Fault
+
+
+@dataclass(frozen=True)
+class SemanticViolation:
+    """One type-incompatible data flow found in a trace."""
+
+    interaction_id: str
+    consumer_service: str
+    consumer_operation: str
+    consumed_type: str
+    producer_service: str
+    producer_operation: str
+    produced_type: str
+
+    def describe(self) -> str:
+        return (
+            f"interaction {self.interaction_id}: "
+            f"{self.producer_service}.{self.producer_operation} produced "
+            f"{self.produced_type!r} but "
+            f"{self.consumer_service}.{self.consumer_operation} consumes "
+            f"{self.consumed_type!r}"
+        )
+
+
+@dataclass
+class SemanticValidationReport:
+    """Outcome of validating one session."""
+
+    session_id: str
+    interactions_checked: int = 0
+    violations: List[SemanticViolation] = field(default_factory=list)
+    #: interactions that could not be checked (service unknown to the
+    #: registry, missing annotations, no producer recorded).
+    unchecked: List[str] = field(default_factory=list)
+    store_calls: int = 0
+    registry_calls: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+
+def _first_part_semantic_type(
+    registry: RegistryClient, service: str, operation: str, direction: str
+) -> Optional[str]:
+    """Three registry calls: message -> part -> metadata."""
+    from repro.registry.wsdl import PartKey
+
+    parts = registry.get_message(service, operation, direction)
+    if not parts:
+        return None
+    key = PartKey(
+        service=service, operation=operation, direction=direction, part=parts[0].name
+    )
+    registry.get_part(key)
+    return registry.get_metadata(key).get("semantic-type")
+
+
+def validate_session(
+    store: ProvenanceQueryClient,
+    registry: RegistryClient,
+    session_id: str,
+    ontology: Optional[Ontology] = None,
+) -> SemanticValidationReport:
+    """Semantically validate every data flow recorded in one session."""
+    report = SemanticValidationReport(session_id=session_id)
+    store_calls_before = store.calls
+    registry_calls_before = registry.calls
+    if ontology is None:
+        ontology = registry.get_ontology()
+    members = store.group_members(session_id)
+
+    # First pass: one store call per interaction pulls the full record;
+    # index operations and caused-by links.
+    records: Dict[str, List[object]] = {}
+    key_by_id: Dict[str, InteractionKey] = {}
+    for key in members:
+        records[key.interaction_id] = store.interaction_record(key)
+        key_by_id[key.interaction_id] = key
+
+    def operation_of(interaction_id: str) -> Optional[str]:
+        for assertion in records.get(interaction_id, []):
+            if isinstance(assertion, InteractionPAssertion):
+                return assertion.operation
+        return None
+
+    def causes_of(interaction_id: str) -> List[str]:
+        out: List[str] = []
+        for assertion in records.get(interaction_id, []):
+            if (
+                isinstance(assertion, ActorStatePAssertion)
+                and assertion.state_type == "caused-by"
+            ):
+                out.extend(m.text for m in assertion.content.find_all("message"))
+        return out
+
+    # Second pass: per interaction, the ten registry calls and the check.
+    for key in members:
+        interaction_id = key.interaction_id
+        operation = operation_of(interaction_id)
+        if operation is None:
+            report.unchecked.append(interaction_id)
+            continue
+        causes = [c for c in causes_of(interaction_id) if c in key_by_id]
+        if not causes:
+            report.unchecked.append(interaction_id)
+            continue
+        producer_key = key_by_id[causes[0]]
+        producer_service = producer_key.receiver
+        producer_operation = operation_of(producer_key.interaction_id)
+        consumer_service = key.receiver
+        try:
+            # Consumer side: lookup, interface, operation, message/part/metadata.
+            registry.lookup_service(consumer_service)
+            registry.get_interface(consumer_service)
+            registry.get_operation(consumer_service, operation)
+            consumed = _first_part_semantic_type(
+                registry, consumer_service, operation, "input"
+            )
+            # Producer side: lookup, message/part/metadata.
+            registry.lookup_service(producer_service)
+            produced = (
+                _first_part_semantic_type(
+                    registry, producer_service, producer_operation or "", "output"
+                )
+                if producer_operation
+                else None
+            )
+        except Fault:
+            report.unchecked.append(interaction_id)
+            continue
+        if consumed is None or produced is None:
+            report.unchecked.append(interaction_id)
+            continue
+        report.interactions_checked += 1
+        if not ontology.compatible(produced=produced, consumed=consumed):
+            report.violations.append(
+                SemanticViolation(
+                    interaction_id=interaction_id,
+                    consumer_service=consumer_service,
+                    consumer_operation=operation,
+                    consumed_type=consumed,
+                    producer_service=producer_service,
+                    producer_operation=producer_operation or "",
+                    produced_type=produced,
+                )
+            )
+    report.store_calls = store.calls - store_calls_before
+    report.registry_calls = registry.calls - registry_calls_before
+    return report

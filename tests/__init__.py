@@ -1,0 +1,6 @@
+"""Test package for the reproduction.
+
+Being a package (rather than a loose directory) lets test modules share
+factories via ``from tests.test_store_backends import ...`` regardless of
+how pytest is invoked (``pytest`` or ``python -m pytest``).
+"""

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.experiment import Experiment, ExperimentConfig
+from repro.bio.refseq import RefSeqDatabase
+from repro.simkit.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def small_db() -> RefSeqDatabase:
+    """A small, session-shared synthetic database (read-only)."""
+    return RefSeqDatabase(seed=7, n_records=24, n_releases=3, mean_length=200)
+
+
+@pytest.fixture
+def experiment_factory(small_db, tmp_path):
+    """Builds Experiments with small defaults suitable for tests."""
+
+    def make(**overrides) -> Experiment:
+        defaults = dict(
+            sample_bytes=1200,
+            n_permutations=2,
+            record_scripts=True,
+        )
+        defaults.update(overrides)
+        config = ExperimentConfig(**defaults)
+        if config.store_backend != "memory" and config.store_path is None:
+            config.store_path = tmp_path / f"store-{config.store_backend}"
+        return Experiment(config, db=small_db)
+
+    return make

@@ -1,0 +1,207 @@
+"""Tests for the workflow service actors."""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from repro.app.services import (
+    AverageService,
+    CollateSampleService,
+    CollateSizesService,
+    CompressService,
+    EncodeByGroupsService,
+    MeasureSizeService,
+    NucleotideSourceService,
+    ShuffleService,
+)
+from repro.bio.alphabet import is_nucleotide_sequence
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement
+
+
+def payload(name="request", text=None, **attrs):
+    el = XmlElement(name, attrs={k: str(v) for k, v in attrs.items()})
+    if text is not None:
+        el.add(text)
+    return el
+
+
+class TestCollateSample:
+    def test_collate_by_target_bytes(self, small_db):
+        svc = CollateSampleService(small_db)
+        out = svc.op_collate(payload(**{"target-bytes": 500}))
+        assert out.name == "sample"
+        assert len(out.text) >= 500
+        assert out.attrs["accessions"]
+
+    def test_collate_specific_accessions(self, small_db):
+        svc = CollateSampleService(small_db)
+        acc = small_db.accessions()[0]
+        request = payload(**{"target-bytes": 0})
+        request.element("accession", acc)
+        out = svc.op_collate(request)
+        assert out.text == small_db.fetch(acc).sequence
+
+    def test_release_pinning(self, small_db):
+        svc = CollateSampleService(small_db)
+        revised = small_db.revised_between(1, small_db.n_releases)[0]
+        request_v1 = payload(**{"target-bytes": 0, "release": 1})
+        request_v1.element("accession", revised)
+        request_latest = payload(**{"target-bytes": 0})
+        request_latest.element("accession", revised)
+        assert svc.op_collate(request_v1).text != svc.op_collate(request_latest).text
+
+    def test_insufficient_data_faults(self, small_db):
+        svc = CollateSampleService(small_db)
+        with pytest.raises(Fault, match="insufficient-data"):
+            svc.op_collate(payload(**{"target-bytes": 10_000_000}))
+
+    def test_bad_target_faults(self, small_db):
+        svc = CollateSampleService(small_db)
+        with pytest.raises(Fault, match="bad-request"):
+            svc.op_collate(payload(**{"target-bytes": 0}))
+
+    def test_script_mentions_config(self, small_db):
+        svc = CollateSampleService(small_db)
+        script = svc.script_content()
+        assert "collate" in script and svc.version in script
+        assert 50 < len(script) < 200  # "around 100 bytes"
+
+
+class TestNucleotideSource:
+    def test_produces_dna(self):
+        svc = NucleotideSourceService()
+        out = svc.op_fetch(payload(length=120))
+        assert is_nucleotide_sequence(out.text)
+        assert len(out.text) == 120
+
+    def test_deterministic(self):
+        a = NucleotideSourceService(seed=5).op_fetch(payload(length=60)).text
+        b = NucleotideSourceService(seed=5).op_fetch(payload(length=60)).text
+        assert a == b
+
+
+class TestEncode:
+    def test_encodes_with_configured_grouping(self):
+        svc = EncodeByGroupsService(grouping="hp2")
+        out = svc.op_encode(payload(text="AIDE"))
+        assert out.text == "0011"
+        assert out.attrs["grouping"] == "hp2"
+
+    def test_reconfigure_changes_script(self):
+        svc = EncodeByGroupsService(grouping="hp2")
+        before = svc.script_content()
+        svc.reconfigure("dayhoff6", version="1.1")
+        after = svc.script_content()
+        assert before != after
+        assert "dayhoff6" in after
+
+    def test_dna_input_encodes_without_error(self):
+        """The UC2 trap at the service level."""
+        svc = EncodeByGroupsService(grouping="hp2")
+        out = svc.op_encode(payload(text="ACGTACGT"))
+        assert len(out.text) == 8
+
+    def test_invalid_symbols_fault(self):
+        svc = EncodeByGroupsService()
+        with pytest.raises(Fault, match="bad-sequence"):
+            svc.op_encode(payload(text="MKT!"))
+
+    def test_empty_input_faults(self):
+        with pytest.raises(Fault, match="bad-request"):
+            EncodeByGroupsService().op_encode(payload())
+
+
+class TestShuffle:
+    def test_preserves_multiset(self):
+        svc = ShuffleService(seed=1)
+        out = svc.op_shuffle(payload(text="AABBCC", index=0))
+        assert sorted(out.text) == sorted("AABBCC")
+
+    def test_index_selects_permutation(self):
+        svc = ShuffleService(seed=1)
+        seq = "ABCDEFGHIJ" * 3
+        p0 = svc.op_shuffle(payload(text=seq, index=0)).text
+        p1 = svc.op_shuffle(payload(text=seq, index=1)).text
+        p0_again = svc.op_shuffle(payload(text=seq, index=0)).text
+        assert p0 != p1
+        assert p0 == p0_again
+
+
+class TestCompressMeasure:
+    def test_compress_returns_base64_and_sizes(self):
+        svc = CompressService("gz-like")
+        data = "0101" * 200
+        out = svc.op_compress(payload(text=data))
+        assert out.attrs["codec"] == "gz-like"
+        assert int(out.attrs["original-size"]) == len(data)
+        blob = base64.b64decode(out.text)
+        assert len(blob) < len(data)
+
+    def test_measure_base64(self):
+        compress = CompressService("gzip")
+        measure = MeasureSizeService()
+        out = compress.op_compress(payload(text="hello " * 100))
+        size = measure.op_measure(
+            payload(text=out.text, encoding="base64")
+        )
+        blob = base64.b64decode(out.text)
+        assert int(size.attrs["bytes"]) == len(blob)
+
+    def test_measure_text(self):
+        size = MeasureSizeService().op_measure(payload(text="abcd", encoding="text"))
+        assert size.attrs["bytes"] == "4"
+
+    def test_measure_unknown_encoding_faults(self):
+        with pytest.raises(Fault, match="unknown encoding"):
+            MeasureSizeService().op_measure(payload(text="x", encoding="hex"))
+
+    def test_default_endpoint_includes_codec(self):
+        assert CompressService("ppm-like").endpoint == "compress-ppm-like"
+
+
+class TestCollateSizesAndAverage:
+    def test_accumulates_rows_per_run(self):
+        svc = CollateSizesService()
+        for label, size in (("sample", 400), ("perm-0", 500), ("perm-1", 520)):
+            svc.op_add_size(
+                payload(
+                    run="r1", label=label, codec="gz", original=1000, compressed=size
+                )
+            )
+        table = svc.op_table(payload(run="r1"))
+        assert len(table.find_all("row")) == 3
+
+    def test_runs_isolated(self):
+        svc = CollateSizesService()
+        svc.op_add_size(
+            payload(run="r1", label="sample", codec="gz", original=10, compressed=5)
+        )
+        with pytest.raises(Fault, match="not-found"):
+            svc.op_table(payload(run="r2"))
+
+    def test_missing_run_id_faults(self):
+        with pytest.raises(Fault, match="missing run id"):
+            CollateSizesService().op_add_size(
+                payload(label="x", codec="gz", original=1, compressed=1)
+            )
+
+    def test_average_computes_compressibility(self):
+        sizes = CollateSizesService()
+        for label, size in (("sample", 400), ("perm-0", 500), ("perm-1", 500)):
+            sizes.op_add_size(
+                payload(
+                    run="r1", label=label, codec="gz", original=1000, compressed=size
+                )
+            )
+        results = AverageService().op_average(sizes.op_table(payload(run="r1")))
+        result = results.find_all("result")[0]
+        assert result.attrs["codec"] == "gz"
+        assert float(result.attrs["compressibility"]) == pytest.approx(0.8)
+        assert result.attrs["n_permutations"] == "2"
+
+    def test_average_empty_table_faults(self):
+        with pytest.raises(Fault, match="empty sizes table"):
+            AverageService().op_average(XmlElement("sizes-table"))

@@ -1,0 +1,171 @@
+"""Tests for the end-to-end workflow engine and experiment assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prep import ProtocolTracker
+from repro.core.query import build_trace, data_lineage
+from repro.core.recorder import RecordingMode
+
+
+class TestWorkflowRun:
+    def test_produces_compressibility_result(self, experiment_factory):
+        exp = experiment_factory()
+        result = exp.run()
+        value = result.compressibility("gz-like")
+        assert 0.0 < value < 1.5
+        assert result.run.compressibility_std("gz-like") >= 0.0
+
+    def test_sizes_table_has_sample_and_permutations(self, experiment_factory):
+        exp = experiment_factory(n_permutations=3)
+        result = exp.run()
+        table = result.run.sizes_table
+        labels = {row.label for row in table.rows}
+        assert labels == {"sample", "perm-0", "perm-1", "perm-2"}
+
+    def test_interaction_count_matches_structure(self, experiment_factory):
+        """collate + encode + (1+n) chains*3 + n shuffles + table + average."""
+        n = 2
+        exp = experiment_factory(n_permutations=n)
+        result = exp.run()
+        expected_calls = 2 + (1 + n) * 3 + n + 2
+        assert exp.backend.counts().interaction_records == expected_calls
+
+    def test_three_interactions_per_permutation_chain(self, experiment_factory):
+        """The paper's 6 records/permutation = 3 interactions x 2 views."""
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        chain = [c for c in result.run.chains if c.label == "perm-0"][0]
+        store = exp.backend
+        for mid in (chain.compress_id, chain.measure_id, chain.collate_id):
+            keys = [k for k in store.interaction_keys() if k.interaction_id == mid]
+            assert len(keys) == 1
+            assert len(store.interaction_passertions(keys[0])) == 2
+
+    def test_every_interaction_fully_documented(self, experiment_factory):
+        exp = experiment_factory()
+        exp.run()
+        tracker = ProtocolTracker()
+        for assertion in exp.backend.all_assertions():
+            tracker.observe(assertion)
+        assert tracker.undocumented() == []
+
+    def test_deterministic_results_same_seed(self, experiment_factory):
+        r1 = experiment_factory(seed=5).run(session_id="s-fixed")
+        r2 = experiment_factory(seed=5).run(session_id="s-fixed2")
+        assert r1.compressibility("gz-like") == r2.compressibility("gz-like")
+
+    def test_multiple_codecs(self, experiment_factory):
+        exp = experiment_factory(codecs=("gz-like", "gzip"))
+        result = exp.run()
+        assert set(result.run.results) == {"gz-like", "gzip"}
+
+    def test_recording_none_leaves_store_empty(self, experiment_factory):
+        exp = experiment_factory(recording=RecordingMode.NONE)
+        result = exp.run()
+        assert exp.backend.counts().total == 0
+        assert result.records_submitted == 0
+        # The science still happens.
+        assert 0 < result.compressibility("gz-like") < 1.5
+
+    def test_sync_and_async_store_same_passertions(self, experiment_factory):
+        sync_exp = experiment_factory(recording=RecordingMode.SYNCHRONOUS)
+        sync_exp.run(session_id="mode-cmp-sync")
+        async_exp = experiment_factory(recording=RecordingMode.ASYNCHRONOUS)
+        async_exp.run(session_id="mode-cmp-async")
+        sc, ac = sync_exp.backend.counts(), async_exp.backend.counts()
+        assert sc.interaction_passertions == ac.interaction_passertions
+        assert sc.actor_state_passertions == ac.actor_state_passertions
+        assert sc.group_assertions == ac.group_assertions
+
+    def test_async_flush_required_for_persistence(self, experiment_factory):
+        exp = experiment_factory(recording=RecordingMode.ASYNCHRONOUS)
+        result = exp.run()  # run() flushes internally
+        assert result.records_flushed == result.records_submitted
+        assert exp.backend.counts().total == result.records_flushed
+
+
+class TestLineage:
+    def test_trace_reconstructs_workflow_shape(self, experiment_factory):
+        exp = experiment_factory(n_permutations=2)
+        result = exp.run()
+        trace = build_trace(exp.backend, result.session_id)
+        assert result.run.message_ids["collate"] in trace.roots()
+        assert result.run.message_ids["average"] in trace.leaves()
+
+    def test_average_descends_from_collate(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        trace = build_trace(exp.backend, result.session_id)
+        lineage = data_lineage(trace, result.run.message_ids["average"])
+        assert result.run.message_ids["collate"] in lineage
+        assert result.run.message_ids["encode"] in lineage
+
+    def test_permutation_chain_lineage(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        trace = build_trace(exp.backend, result.session_id)
+        chain = [c for c in result.run.chains if c.label == "perm-0"][0]
+        lineage = data_lineage(trace, chain.collate_id)
+        assert chain.compress_id in lineage
+        assert chain.measure_id in lineage
+
+    def test_thread_groups_sequence_measure_chain(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        thread = f"{result.session_id}/perm-0"
+        members = exp.backend.group_members(thread)
+        # shuffle + compress + measure + add_size
+        assert len(members) == 4
+        assert exp.backend.group_kind(thread) == "thread"
+
+    def test_concurrent_sessions_unambiguous(self, experiment_factory):
+        """Two runs through the same deployment stay cleanly separated."""
+        exp = experiment_factory(n_permutations=1)
+        r1 = exp.run()
+        r2 = exp.run()
+        assert r1.session_id != r2.session_id
+        t1 = build_trace(exp.backend, r1.session_id)
+        t2 = build_trace(exp.backend, r2.session_id)
+        assert set(t1.interactions).isdisjoint(set(t2.interactions))
+
+
+class TestExperimentAssembly:
+    def test_backend_selection(self, experiment_factory, tmp_path):
+        exp = experiment_factory(store_backend="kvlog", store_path=tmp_path / "s.db")
+        result = exp.run()
+        assert exp.backend.counts().total == result.records_flushed
+        exp.close()
+
+    def test_unknown_backend_rejected(self, experiment_factory):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            experiment_factory(store_backend="cloud")
+
+    def test_persistent_backend_requires_path(self):
+        from repro.app.experiment import Experiment, ExperimentConfig
+
+        with pytest.raises(ValueError, match="store_path"):
+            Experiment(ExperimentConfig(store_backend="filesystem"))
+
+    def test_script_provider_covers_all_services(self, experiment_factory):
+        exp = experiment_factory()
+        for endpoint in (
+            "collate-sample",
+            "encode-by-groups",
+            "shuffle",
+            "compress-gz-like",
+            "measure-size",
+            "collate-sizes",
+            "average",
+        ):
+            script = exp.script_for(endpoint)
+            assert script and script.startswith("#!")
+        assert exp.script_for("ghost") is None
+
+    def test_registry_published_for_all_services(self, experiment_factory):
+        exp = experiment_factory()
+        services = exp.registry.services()
+        assert "encode-by-groups" in services
+        assert "compress-gz-like" in services
+        assert "nucleotide-db" in services

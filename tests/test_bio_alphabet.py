@@ -1,0 +1,72 @@
+"""Tests for alphabets and sequence classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bio.alphabet import (
+    AMINO_ACIDS,
+    NUCLEOTIDES,
+    SequenceKind,
+    classify_sequence,
+    is_amino_acid_sequence,
+    is_nucleotide_sequence,
+    validate_sequence,
+)
+
+
+class TestAlphabets:
+    def test_twenty_amino_acids(self):
+        assert len(AMINO_ACIDS) == 20
+        assert len(set(AMINO_ACIDS)) == 20
+
+    def test_nucleotides_subset_of_amino_acids(self):
+        """The fact at the heart of use case 2."""
+        assert set(NUCLEOTIDES) <= set(AMINO_ACIDS)
+
+    def test_no_ambiguous_codes(self):
+        for banned in "BJOUXZ":
+            assert banned not in AMINO_ACIDS
+
+
+class TestPredicates:
+    def test_protein_recognised(self):
+        assert is_amino_acid_sequence("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+
+    def test_dna_recognised(self):
+        assert is_nucleotide_sequence("ACGTACGTAA")
+
+    def test_dna_also_passes_protein_check(self):
+        """Syntactic check cannot catch the UC2 error."""
+        assert is_amino_acid_sequence("ACGTACGT")
+
+    def test_empty_rejected(self):
+        assert not is_amino_acid_sequence("")
+        assert not is_nucleotide_sequence("")
+
+    def test_lowercase_rejected(self):
+        assert not is_amino_acid_sequence("mkta")
+
+
+class TestClassify:
+    def test_pure_acgt_is_ambiguous(self):
+        assert classify_sequence("ACGT") is SequenceKind.AMBIGUOUS
+
+    def test_protein_with_non_nucleotide_letters(self):
+        assert classify_sequence("MKTW") is SequenceKind.AMINO_ACID
+
+    def test_invalid_characters(self):
+        assert classify_sequence("MKT!") is SequenceKind.INVALID
+
+    def test_empty_invalid(self):
+        assert classify_sequence("") is SequenceKind.INVALID
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        validate_sequence("ACGT", NUCLEOTIDES)
+
+    def test_invalid_reports_offenders_sorted(self):
+        with pytest.raises(ValueError) as exc:
+            validate_sequence("AXGZT", NUCLEOTIDES)
+        assert "'X'" in str(exc.value) and "'Z'" in str(exc.value)

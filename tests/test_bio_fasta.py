@@ -1,0 +1,84 @@
+"""Tests for the FASTA reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bio.fasta import FastaRecord, parse_fasta, write_fasta
+
+
+class TestParse:
+    def test_single_record(self):
+        records = parse_fasta(">seq1 desc\nMKTA\nYIAK\n")
+        assert records == [FastaRecord(header="seq1 desc", sequence="MKTAYIAK")]
+
+    def test_multiple_records(self):
+        text = ">a\nAAA\n>b\nCCC\nGGG\n"
+        records = parse_fasta(text)
+        assert [r.header for r in records] == ["a", "b"]
+        assert records[1].sequence == "CCCGGG"
+
+    def test_blank_lines_tolerated(self):
+        records = parse_fasta("\n>a\nAAA\n\n\n>b\nTTT\n")
+        assert len(records) == 2
+
+    def test_accession_is_first_token(self):
+        rec = parse_fasta(">RP_000001.2 Escherichia coli\nMK\n")[0]
+        assert rec.accession == "RP_000001.2"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before any FASTA header"):
+            parse_fasta("AAA\n>x\nCCC\n")
+
+    def test_header_without_sequence_rejected(self):
+        with pytest.raises(ValueError, match="no sequence data"):
+            parse_fasta(">lonely\n>x\nAAA\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            parse_fasta(">\nAAA\n")
+
+    def test_empty_input_gives_no_records(self):
+        assert parse_fasta("") == []
+
+
+class TestWrite:
+    def test_wraps_at_width(self):
+        rec = FastaRecord(header="x", sequence="A" * 130)
+        lines = write_fasta([rec], width=60).splitlines()
+        assert lines[0] == ">x"
+        assert [len(l) for l in lines[1:]] == [60, 60, 10]
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            write_fasta([], width=0)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            write_fasta([FastaRecord(header="x", sequence="")])
+
+    def test_roundtrip(self):
+        records = [
+            FastaRecord(header="a one", sequence="MKTAYIAK" * 12),
+            FastaRecord(header="b two", sequence="ACDEFGHIKLMNPQRSTVWY"),
+        ]
+        assert parse_fasta(write_fasta(records)) == records
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                    min_size=1,
+                    max_size=20,
+                ),
+                st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=200),
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, pairs):
+        records = [FastaRecord(header=h, sequence=s) for h, s in pairs]
+        assert parse_fasta(write_fasta(records)) == records

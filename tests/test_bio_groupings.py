@@ -1,0 +1,134 @@
+"""Tests for amino-acid grouping schemes and group encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bio.alphabet import AMINO_ACIDS
+from repro.bio.encode import encode_by_groups, encode_nucleotides_by_codon_groups
+from repro.bio.groupings import (
+    GroupingScheme,
+    available_groupings,
+    get_grouping,
+    make_grouping,
+)
+
+
+class TestSchemes:
+    def test_builtin_schemes_exist(self):
+        names = available_groupings()
+        for expected in ("identity20", "hp2", "dayhoff6", "gbmr4", "chemical7", "sampath5"):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", ["identity20", "hp2", "dayhoff6", "gbmr4", "chemical7", "sampath5"])
+    def test_every_scheme_partitions_all_twenty(self, name):
+        scheme = get_grouping(name)
+        covered = "".join(scheme.groups)
+        assert sorted(covered) == sorted(AMINO_ACIDS)
+
+    def test_group_counts(self):
+        assert get_grouping("identity20").n_groups == 20
+        assert get_grouping("hp2").n_groups == 2
+        assert get_grouping("dayhoff6").n_groups == 6
+
+    def test_symbol_lookup_consistent_with_groups(self):
+        scheme = get_grouping("dayhoff6")
+        for aa in AMINO_ACIDS:
+            assert aa in scheme.group_of(aa)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_grouping("nonexistent")
+
+    def test_symbol_for_invalid_aa(self):
+        with pytest.raises(ValueError):
+            get_grouping("hp2").symbol_for("X")
+
+
+class TestMakeGrouping:
+    def test_missing_amino_acids_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            make_grouping("bad", ["AC"])
+
+    def test_duplicate_assignment_rejected(self):
+        groups = ["AILMFWVC", "DEGHKNPQRSTY", "A"]
+        with pytest.raises(ValueError, match="appears in groups"):
+            make_grouping("bad", groups)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="empty group"):
+            make_grouping("bad", ["", "ACDEFGHIKLMNPQRSTVWY"])
+
+    def test_non_amino_acid_rejected(self):
+        with pytest.raises(ValueError, match="not an amino acid"):
+            make_grouping("bad", ["ACDEFGHIKLMNPQRSTVWX"])
+
+    def test_valid_custom_scheme(self):
+        scheme = make_grouping("halves", ["ACDEFGHIKL", "MNPQRSTVWY"])
+        assert scheme.n_groups == 2
+        assert scheme.symbol_for("A") == "0"
+        assert scheme.symbol_for("Y") == "1"
+
+
+class TestEncodeByGroups:
+    def test_hp2_encoding(self):
+        # A, I hydrophobic -> group 0; D, E polar -> group 1.
+        assert encode_by_groups("AIDE", get_grouping("hp2")) == "0011"
+
+    def test_identity_preserves_distinctions(self):
+        scheme = get_grouping("identity20")
+        encoded = encode_by_groups(AMINO_ACIDS, scheme)
+        assert len(set(encoded)) == 20
+
+    def test_reduces_alphabet(self):
+        encoded = encode_by_groups(AMINO_ACIDS, get_grouping("hp2"))
+        assert set(encoded) == {"0", "1"}
+
+    def test_nucleotide_sequence_encodes_silently(self):
+        """The UC2 trap: DNA flows through without error."""
+        encoded = encode_by_groups("ACGTACGT", get_grouping("hp2"))
+        assert len(encoded) == 8
+
+    def test_invalid_symbol_raises(self):
+        with pytest.raises(ValueError):
+            encode_by_groups("MKTX", get_grouping("hp2"))
+
+    def test_length_preserved(self):
+        seq = "MKTAYIAKQRQISFVKSHFSRQ"
+        assert len(encode_by_groups(seq, get_grouping("dayhoff6"))) == len(seq)
+
+    @given(st.text(alphabet=AMINO_ACIDS, min_size=0, max_size=300))
+    def test_encoding_is_pointwise_property(self, seq):
+        """encode(a + b) == encode(a) + encode(b) symbol-wise."""
+        scheme = get_grouping("dayhoff6")
+        encoded = encode_by_groups(seq, scheme)
+        assert encoded == "".join(scheme.symbol_for(c) for c in seq)
+
+
+class TestCodonGroups:
+    CODON_GROUPS = [["AAA", "AAC"], ["GGG", "GGC"], ["ACG"]]
+
+    def test_encodes_triplets(self):
+        out = encode_nucleotides_by_codon_groups("AAAGGGACG", self.CODON_GROUPS)
+        assert out == "012"
+
+    def test_partial_codon_rejected(self):
+        with pytest.raises(ValueError, match="whole number of codons"):
+            encode_nucleotides_by_codon_groups("AAAG", self.CODON_GROUPS)
+
+    def test_uncovered_codon_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            encode_nucleotides_by_codon_groups("TTT", self.CODON_GROUPS)
+
+    def test_duplicate_codon_rejected(self):
+        with pytest.raises(ValueError, match="two groups"):
+            encode_nucleotides_by_codon_groups("AAA", [["AAA"], ["AAA"]])
+
+    def test_non_triplet_codon_rejected(self):
+        with pytest.raises(ValueError, match="not a triplet"):
+            encode_nucleotides_by_codon_groups("AAA", [["AAAA"]])
+
+    def test_non_nucleotide_input_rejected(self):
+        with pytest.raises(ValueError):
+            encode_nucleotides_by_codon_groups("MKT", self.CODON_GROUPS)

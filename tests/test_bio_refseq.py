@@ -1,0 +1,121 @@
+"""Tests for the synthetic RefSeq database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bio.alphabet import is_amino_acid_sequence
+from repro.bio.fasta import parse_fasta
+from repro.bio.refseq import RefSeqDatabase, sample_of_size
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefSeqDatabase(n_records=0)
+        with pytest.raises(ValueError):
+            RefSeqDatabase(n_releases=0)
+        with pytest.raises(ValueError):
+            RefSeqDatabase(revision_fraction=1.5)
+
+    def test_deterministic_from_seed(self):
+        a = RefSeqDatabase(seed=3, n_records=10)
+        b = RefSeqDatabase(seed=3, n_records=10)
+        for acc in a.accessions():
+            assert a.fetch(acc).sequence == b.fetch(acc).sequence
+
+    def test_different_seeds_differ(self):
+        a = RefSeqDatabase(seed=3, n_records=10)
+        b = RefSeqDatabase(seed=4, n_records=10)
+        assert any(
+            a.fetch(acc).sequence != b.fetch(acc).sequence for acc in a.accessions()
+        )
+
+    def test_sequences_are_valid_proteins(self, small_db):
+        for acc in small_db.accessions()[:10]:
+            assert is_amino_acid_sequence(small_db.fetch(acc).sequence)
+
+    def test_sequences_have_markov_structure(self, small_db):
+        """Hydrophobicity clustering: same-class successors above chance."""
+        hydro = set("AILMFWVC")
+        same = total = 0
+        for acc in small_db.accessions():
+            seq = small_db.fetch(acc).sequence
+            for a, b in zip(seq, seq[1:]):
+                total += 1
+                if (a in hydro) == (b in hydro):
+                    same += 1
+        # Unbiased expectation ~52%; the chain's bias pushes well above.
+        assert same / total > 0.6
+
+
+class TestVersioning:
+    def test_same_release_identical_bytes(self, small_db):
+        """UC1 premise: downloading the same data twice gives identical data."""
+        acc = small_db.accessions()[0]
+        assert (
+            small_db.download_fasta([acc], release=1)
+            == small_db.download_fasta([acc], release=1)
+        )
+
+    def test_some_records_revised_across_releases(self, small_db):
+        revised = small_db.revised_between(1, small_db.n_releases)
+        assert revised, "expected at least one revision across releases"
+
+    def test_revision_bumps_version(self, small_db):
+        revised = small_db.revised_between(1, small_db.n_releases)
+        acc = revised[0]
+        assert small_db.fetch(acc, 1).version < small_db.fetch(
+            acc, small_db.n_releases
+        ).version
+
+    def test_unrevised_records_stable(self, small_db):
+        revised = set(small_db.revised_between(1, small_db.n_releases))
+        stable = [a for a in small_db.accessions() if a not in revised]
+        assert stable
+        for acc in stable[:5]:
+            assert (
+                small_db.fetch(acc, 1).sequence
+                == small_db.fetch(acc, small_db.n_releases).sequence
+            )
+
+    def test_release_out_of_range(self, small_db):
+        with pytest.raises(ValueError):
+            small_db.fetch(small_db.accessions()[0], release=99)
+
+    def test_unknown_accession(self, small_db):
+        with pytest.raises(KeyError):
+            small_db.fetch("RP_999999")
+
+
+class TestQueries:
+    def test_query_organism_filters(self, small_db):
+        organisms = {small_db.fetch(a).organism for a in small_db.accessions()}
+        org = sorted(organisms)[0]
+        records = small_db.query_organism(org)
+        assert records
+        assert all(r.organism == org for r in records)
+
+    def test_download_fasta_parses_back(self, small_db):
+        accs = small_db.accessions()[:3]
+        records = parse_fasta(small_db.download_fasta(accs))
+        assert len(records) == 3
+        assert records[0].accession.startswith(accs[0])
+
+
+class TestSampleOfSize:
+    def test_reaches_target(self, small_db):
+        accs, text = sample_of_size(small_db, 1000)
+        assert len(text) >= 1000
+        assert accs
+
+    def test_deterministic(self, small_db):
+        assert sample_of_size(small_db, 800) == sample_of_size(small_db, 800)
+
+    def test_exhaustion_raises(self, small_db):
+        with pytest.raises(ValueError, match="exhausted"):
+            sample_of_size(small_db, 10_000_000)
+
+    def test_invalid_target(self, small_db):
+        with pytest.raises(ValueError):
+            sample_of_size(small_db, 0)

@@ -1,0 +1,153 @@
+"""Tests for shuffling and compressibility statistics."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bio.analysis import (
+    SizeRow,
+    SizesTable,
+    average_results,
+    compressibility,
+)
+from repro.bio.shuffle import permutation_list, permutations_of, shuffle_sequence
+from repro.compress.api import get_compressor
+
+
+class TestShuffle:
+    def test_preserves_multiset(self):
+        seq = "AAABBC"
+        shuffled = shuffle_sequence(seq, random.Random(1))
+        assert sorted(shuffled) == sorted(seq)
+
+    def test_permutations_reproducible(self):
+        a = permutation_list("ABCDEFGH" * 10, 5, seed=3)
+        b = permutation_list("ABCDEFGH" * 10, 5, seed=3)
+        assert a == b
+
+    def test_permutation_i_stable_regardless_of_count(self):
+        """Batching permutations into scripts must not change permutation i."""
+        seq = "MKTAYIAKQR" * 5
+        three = permutation_list(seq, 3, seed=9)
+        ten = permutation_list(seq, 10, seed=9)
+        assert ten[:3] == three
+
+    def test_distinct_permutations(self):
+        perms = permutation_list("ABCDEFGHIJKLMNOP" * 4, 6, seed=2)
+        assert len(set(perms)) == 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(permutations_of("AB", -1))
+
+    def test_shuffling_destroys_structure(self):
+        """The scientific premise: permutation removes context correlations."""
+        codec = get_compressor("gzip")
+        structured = "AB" * 2000
+        shuffled = shuffle_sequence(structured, random.Random(0))
+        assert codec.compressed_size(structured.encode()) < codec.compressed_size(
+            shuffled.encode()
+        )
+
+
+class TestSizesTable:
+    def make_table(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        table.add(SizeRow("perm-0", "gz", 1000, 500))
+        table.add(SizeRow("perm-1", "gz", 1000, 520))
+        table.add(SizeRow("sample", "bz", 1000, 380))
+        table.add(SizeRow("perm-0", "bz", 1000, 480))
+        return table
+
+    def test_filters(self):
+        table = self.make_table()
+        assert len(table.for_codec("gz")) == 3
+        assert len(table.labelled("sample")) == 2
+        assert table.codecs() == ["bz", "gz"]
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SizeRow("x", "gz", -1, 0)
+
+    def test_ratio(self):
+        assert SizeRow("x", "gz", 1000, 400).ratio == pytest.approx(0.4)
+
+    def test_ratio_zero_original_rejected(self):
+        with pytest.raises(ValueError):
+            _ = SizeRow("x", "gz", 0, 0).ratio
+
+
+class TestCompressibility:
+    def test_basic_value(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        table.add(SizeRow("perm-0", "gz", 1000, 500))
+        table.add(SizeRow("perm-1", "gz", 1000, 500))
+        result = compressibility(table, "gz")
+        assert result.compressibility == pytest.approx(400 / 500)
+        assert result.n_permutations == 2
+
+    def test_std_reflects_permutation_spread(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        table.add(SizeRow("perm-0", "gz", 1000, 480))
+        table.add(SizeRow("perm-1", "gz", 1000, 520))
+        result = compressibility(table, "gz")
+        mean = 500.0
+        expected_rel = math.sqrt(((480 - mean) ** 2 + (520 - mean) ** 2) / 1) / mean
+        assert result.compressibility_std == pytest.approx(
+            result.compressibility * expected_rel
+        )
+
+    def test_single_permutation_std_zero(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        table.add(SizeRow("perm-0", "gz", 1000, 500))
+        assert compressibility(table, "gz").compressibility_std == 0.0
+
+    def test_missing_sample_row_rejected(self):
+        table = SizesTable()
+        table.add(SizeRow("perm-0", "gz", 1000, 500))
+        with pytest.raises(ValueError, match="exactly one"):
+            compressibility(table, "gz")
+
+    def test_duplicate_sample_rows_rejected(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        table.add(SizeRow("sample", "gz", 1000, 410))
+        table.add(SizeRow("perm-0", "gz", 1000, 500))
+        with pytest.raises(ValueError, match="exactly one"):
+            compressibility(table, "gz")
+
+    def test_no_permutations_rejected(self):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, 400))
+        with pytest.raises(ValueError, match="no permutation rows"):
+            compressibility(table, "gz")
+
+    def test_average_results_covers_all_codecs(self):
+        table = SizesTable()
+        for codec in ("gz", "bz"):
+            table.add(SizeRow("sample", codec, 1000, 400))
+            table.add(SizeRow("perm-0", codec, 1000, 500))
+        results = average_results(table)
+        assert set(results) == {"gz", "bz"}
+
+    @given(
+        st.lists(
+            st.integers(min_value=300, max_value=700), min_size=2, max_size=20
+        ),
+        st.integers(min_value=100, max_value=700),
+    )
+    def test_compressibility_bounded_by_extremes(self, perm_sizes, sample_size):
+        table = SizesTable()
+        table.add(SizeRow("sample", "gz", 1000, sample_size))
+        for i, size in enumerate(perm_sizes):
+            table.add(SizeRow(f"perm-{i}", "gz", 1000, size))
+        value = compressibility(table, "gz").compressibility
+        assert sample_size / max(perm_sizes) <= value <= sample_size / min(perm_sizes)

@@ -1,0 +1,100 @@
+"""Tests for the compressor registry and stdlib-backed codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compress import (
+    Bz2Compressor,
+    StoredCompressor,
+    ZlibCompressor,
+    available_compressors,
+    compressed_size,
+    get_compressor,
+    register_compressor,
+)
+from repro.compress.api import Compressor
+
+
+class TestRegistry:
+    def test_expected_codecs_registered(self):
+        names = available_compressors()
+        for expected in ("gz-like", "bz-like", "ppm-like", "gzip", "bzip2", "stored"):
+            assert expected in names
+
+    def test_lookup_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            get_compressor("lzma-like")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(StoredCompressor):
+            name = "stored"
+
+        with pytest.raises(ValueError):
+            register_compressor(Dup())
+
+    def test_replace_flag_allows_override(self):
+        original = get_compressor("stored")
+
+        class Replacement(StoredCompressor):
+            name = "stored"
+
+        try:
+            register_compressor(Replacement(), replace=True)
+            assert isinstance(get_compressor("stored"), Replacement)
+        finally:
+            register_compressor(original, replace=True)
+
+    def test_unnamed_codec_rejected(self):
+        class NoName(Compressor):
+            def compress(self, data):
+                return data
+
+            def decompress(self, blob):
+                return blob
+
+        with pytest.raises(ValueError):
+            register_compressor(NoName())
+
+    def test_compressed_size_helper(self):
+        assert compressed_size("stored", b"12345") == 5
+
+
+class TestStdCodecs:
+    @pytest.mark.parametrize("name", ["gzip", "bzip2", "stored"])
+    def test_roundtrip(self, name):
+        codec = get_compressor(name)
+        data = b"standard library codecs " * 40
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_zlib_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCompressor(level=10)
+
+    def test_bz2_level_validation(self):
+        with pytest.raises(ValueError):
+            Bz2Compressor(level=0)
+
+    def test_stored_is_identity(self):
+        data = b"\x00\x01\x02"
+        codec = StoredCompressor()
+        assert codec.compress(data) == data
+        assert codec.ratio(data) == 1.0
+
+
+class TestCrossCodecAgreement:
+    """All codecs must agree that structure compresses and noise does not."""
+
+    STRUCTURED = b"0001" * 800
+    CODECS = ("gz-like", "bz-like", "ppm-like", "gzip", "bzip2")
+
+    @pytest.mark.parametrize("name", CODECS)
+    def test_structured_data_compresses(self, name):
+        codec = get_compressor(name)
+        assert codec.compressed_size(self.STRUCTURED) < len(self.STRUCTURED)
+
+    @pytest.mark.parametrize("name", CODECS)
+    def test_ratio_definition(self, name):
+        codec = get_compressor(name)
+        ratio = codec.ratio(self.STRUCTURED)
+        assert ratio == codec.compressed_size(self.STRUCTURED) / len(self.STRUCTURED)

@@ -1,0 +1,113 @@
+"""Tests for the arithmetic coder."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.arithmetic import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    MAX_TOTAL,
+)
+from repro.compress.bitio import BitReader, BitWriter
+
+
+def encode_symbols(symbols, model):
+    """model: symbol -> (cum_low, cum_high, total)."""
+    writer = BitWriter()
+    enc = ArithmeticEncoder(writer)
+    for s in symbols:
+        enc.encode(*model[s])
+    enc.finish()
+    return writer.getvalue()
+
+
+def decode_symbols(blob, count, model):
+    reader = BitReader(blob)
+    dec = ArithmeticDecoder(reader)
+    inverse = sorted(model.items(), key=lambda kv: kv[1][0])
+    out = []
+    for _ in range(count):
+        total = inverse[0][1][2]
+        target = dec.decode_target(total)
+        for symbol, (lo, hi, tot) in inverse:
+            if lo <= target < hi:
+                dec.consume(lo, hi, tot)
+                out.append(symbol)
+                break
+        else:
+            raise AssertionError("target not covered")
+    return out
+
+
+UNIFORM4 = {0: (0, 1, 4), 1: (1, 2, 4), 2: (2, 3, 4), 3: (3, 4, 4)}
+SKEWED = {0: (0, 97, 100), 1: (97, 99, 100), 2: (99, 100, 100)}
+
+
+class TestRoundtrip:
+    def test_uniform_roundtrip(self):
+        symbols = [0, 1, 2, 3, 3, 2, 1, 0, 2, 2]
+        blob = encode_symbols(symbols, UNIFORM4)
+        assert decode_symbols(blob, len(symbols), UNIFORM4) == symbols
+
+    def test_skewed_roundtrip(self):
+        rng = random.Random(3)
+        symbols = rng.choices([0, 1, 2], weights=[97, 2, 1], k=500)
+        blob = encode_symbols(symbols, SKEWED)
+        assert decode_symbols(blob, len(symbols), SKEWED) == symbols
+
+    def test_skewed_model_compresses(self):
+        """500 highly-likely symbols should need far fewer than 500 bits."""
+        symbols = [0] * 500
+        blob = encode_symbols(symbols, SKEWED)
+        # Entropy is ~0.044 bits/symbol; allow generous slack.
+        assert len(blob) * 8 < 100
+
+    def test_uniform_model_near_entropy(self):
+        rng = random.Random(5)
+        symbols = [rng.randrange(4) for _ in range(400)]
+        blob = encode_symbols(symbols, UNIFORM4)
+        # 2 bits/symbol entropy = 100 bytes; allow coder overhead.
+        assert len(blob) <= 105
+
+    def test_empty_stream(self):
+        blob = encode_symbols([], UNIFORM4)
+        assert decode_symbols(blob, 0, UNIFORM4) == []
+
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=800))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, symbols):
+        blob = encode_symbols(symbols, UNIFORM4)
+        assert decode_symbols(blob, len(symbols), UNIFORM4) == symbols
+
+
+class TestValidation:
+    def test_bad_range_rejected(self):
+        enc = ArithmeticEncoder(BitWriter())
+        with pytest.raises(ValueError):
+            enc.encode(3, 3, 10)  # empty range
+        with pytest.raises(ValueError):
+            enc.encode(5, 3, 10)  # inverted
+
+    def test_total_cap_enforced(self):
+        enc = ArithmeticEncoder(BitWriter())
+        with pytest.raises(ValueError):
+            enc.encode(0, 1, MAX_TOTAL + 1)
+
+    def test_encode_after_finish_rejected(self):
+        enc = ArithmeticEncoder(BitWriter())
+        enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.encode(0, 1, 4)
+
+    def test_finish_idempotent(self):
+        writer = BitWriter()
+        enc = ArithmeticEncoder(writer)
+        enc.encode(0, 1, 4)
+        enc.finish()
+        n = writer.bit_length
+        enc.finish()
+        assert writer.bit_length == n

@@ -1,0 +1,112 @@
+"""Tests for bit-level I/O and varints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.bitio import (
+    BitReader,
+    BitWriter,
+    pack_varints,
+    read_varint,
+    unpack_varints,
+    write_varint,
+)
+
+
+class TestBitWriter:
+    def test_msb_first_order(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 0, 0, 0, 0, 0):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == bytes([0b10000000])
+
+    def test_write_bits_width(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b01, 2)
+        assert w.getvalue() == bytes([0b10101000])
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(8, 3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_bit_length_tracks_written_bits(self):
+        w = BitWriter()
+        w.write_bits(0, 11)
+        assert w.bit_length == 11
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        r = BitReader(w.getvalue())
+        assert r.read_unary() == 3
+
+
+class TestBitReader:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        w.write_bits(0x2BAD, 16)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(16) == 0x2BAD
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_read_bit_padded_returns_zero_past_end(self):
+        r = BitReader(b"")
+        assert [r.read_bit_padded() for _ in range(5)] == [0] * 5
+
+    def test_start_byte_offset(self):
+        r = BitReader(b"\x00\xff", start_byte=1)
+        assert r.read_bits(8) == 0xFF
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+    def test_roundtrip_arbitrary_bitstrings(self, bits):
+        w = BitWriter()
+        for b in bits:
+            w.write_bit(b)
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in range(len(bits))] == bits
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        encoded = write_varint(value)
+        decoded, offset = read_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(-1)
+
+    def test_truncated_raises(self):
+        encoded = write_varint(300)
+        with pytest.raises(EOFError):
+            read_varint(encoded[:-1])
+
+    def test_single_byte_for_small_values(self):
+        assert len(write_varint(127)) == 1
+        assert len(write_varint(128)) == 2
+
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=30))
+    def test_pack_unpack_lists(self, values):
+        blob = pack_varints(values)
+        decoded, offset = unpack_varints(blob, len(values))
+        assert decoded == values
+        assert offset == len(blob)

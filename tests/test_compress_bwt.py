@@ -1,0 +1,144 @@
+"""Tests for the Burrows-Wheeler transform, MTF, ZRLE and the bz-like codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.bwt import bwt, ibwt, rotation_order
+from repro.compress.bzlike import BzLikeCompressor
+from repro.compress.mtf import mtf_decode, mtf_encode, zrle_decode, zrle_encode
+
+
+class TestRotationOrder:
+    def test_empty(self):
+        assert rotation_order(b"") == []
+
+    def test_banana(self):
+        # Rotations of "banana" sorted: abanan(5) anaban(3) ananab(1)
+        # banana(0) nabana(4) nanaba(2).
+        assert rotation_order(b"banana") == [5, 3, 1, 0, 4, 2]
+
+    def test_periodic_string_is_permutation(self):
+        order = rotation_order(b"abab")
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_is_sorted(self):
+        data = b"mississippi"
+        order = rotation_order(data)
+        rotations = [data[i:] + data[:i] for i in order]
+        assert rotations == sorted(rotations)
+
+
+class TestBwt:
+    def test_banana(self):
+        last, primary = bwt(b"banana")
+        assert last == b"nnbaaa"
+        assert primary == 3
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"ab", b"aaaa", b"abab", b"mississippi", bytes(range(256))],
+    )
+    def test_roundtrip(self, data):
+        last, primary = bwt(data)
+        assert ibwt(last, primary) == data
+
+    def test_ibwt_validates_primary(self):
+        with pytest.raises(ValueError):
+            ibwt(b"abc", 3)
+
+    def test_bwt_groups_symbols(self):
+        """BWT of repetitive text has longer same-byte runs than the input."""
+
+        def longest_run(b: bytes) -> int:
+            best = run = 1
+            for i in range(1, len(b)):
+                run = run + 1 if b[i] == b[i - 1] else 1
+                best = max(best, run)
+            return best
+
+        data = b"the quick brown fox " * 30
+        last, _ = bwt(data)
+        assert longest_run(last) > longest_run(data)
+
+    @given(st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        last, primary = bwt(data)
+        assert ibwt(last, primary) == data
+
+    @given(st.text(alphabet="ab", min_size=0, max_size=400).map(str.encode))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_periodic_heavy_property(self, data):
+        last, primary = bwt(data)
+        assert ibwt(last, primary) == data
+
+
+class TestMtf:
+    def test_first_occurrence_is_alphabet_index(self):
+        assert mtf_encode(b"\x05") == bytes([5])
+
+    def test_repeat_encodes_zero(self):
+        out = mtf_encode(b"zz")
+        assert out[1] == 0
+
+    def test_roundtrip(self):
+        data = b"move to front coding"
+        assert mtf_decode(mtf_encode(data)) == data
+
+    @given(st.binary(min_size=0, max_size=600))
+    def test_roundtrip_property(self, data):
+        assert mtf_decode(mtf_encode(data)) == data
+
+    def test_mtf_makes_repetitive_data_zero_heavy(self):
+        data = b"aaaaabbbbbaaaaa"
+        encoded = mtf_encode(data)
+        assert encoded.count(0) >= 10
+
+
+class TestZrle:
+    def test_zero_run_collapsed(self):
+        encoded = zrle_encode(b"\x00" * 200)
+        assert len(encoded) <= 4
+
+    def test_no_zeros_passthrough(self):
+        data = bytes(range(1, 100))
+        assert zrle_encode(data) == data
+
+    def test_roundtrip_mixed(self):
+        data = b"\x01\x00\x00\x00\x02\x00\x03"
+        assert zrle_decode(zrle_encode(data)) == data
+
+    @given(st.binary(min_size=0, max_size=600))
+    def test_roundtrip_property(self, data):
+        assert zrle_decode(zrle_encode(data)) == data
+
+
+class TestBzLike:
+    def setup_method(self):
+        self.codec = BzLikeCompressor(block_size=512)
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"ab" * 700, b"mississippi" * 100, bytes(range(256)) * 3],
+    )
+    def test_roundtrip(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_multi_block_roundtrip(self):
+        data = b"block boundary test " * 200  # > several 512-byte blocks
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_compresses_text(self):
+        data = b"to be or not to be that is the question " * 50
+        assert len(self.codec.compress(data)) < len(data)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BzLikeCompressor(block_size=0)
+
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data

@@ -1,0 +1,103 @@
+"""Tests for canonical Huffman coding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.bitio import BitReader, BitWriter
+from repro.compress.huffman import (
+    CanonicalDecoder,
+    build_code_lengths,
+    canonical_codes,
+    huffman_compress,
+    huffman_decompress,
+    huffman_encode_symbols,
+)
+
+
+class TestCodeLengths:
+    def test_empty_freqs(self):
+        assert build_code_lengths({}) == {}
+
+    def test_single_symbol_gets_length_one(self):
+        assert build_code_lengths({65: 100}) == {65: 1}
+
+    def test_zero_frequency_symbols_ignored(self):
+        lengths = build_code_lengths({65: 10, 66: 0})
+        assert lengths == {65: 1}
+
+    def test_more_frequent_symbols_shorter_codes(self):
+        lengths = build_code_lengths({0: 100, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] <= lengths[1]
+        assert lengths[1] <= lengths[3]
+
+    def test_kraft_inequality_is_tight(self):
+        """Huffman codes are complete: sum of 2^-len == 1."""
+        freqs = {i: (i + 1) ** 2 for i in range(17)}
+        lengths = build_code_lengths(freqs)
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        freqs = {i: 7 for i in range(10)}
+        assert build_code_lengths(freqs) == build_code_lengths(freqs)
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self):
+        lengths = build_code_lengths({i: i + 1 for i in range(12)})
+        codes = canonical_codes(lengths)
+        bitstrings = [format(c, f"0{l}b") for c, l in codes.values()]
+        for a in bitstrings:
+            for b in bitstrings:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_canonical_order(self):
+        # Equal lengths: codes increase with symbol value.
+        codes = canonical_codes({10: 2, 20: 2, 30: 2, 40: 2})
+        values = [codes[s][0] for s in (10, 20, 30, 40)]
+        assert values == sorted(values)
+        assert values == [0, 1, 2, 3]
+
+    def test_decoder_inverts_encoder(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        freqs = {}
+        for b in data:
+            freqs[b] = freqs.get(b, 0) + 1
+        lengths = build_code_lengths(freqs)
+        writer = BitWriter()
+        huffman_encode_symbols(data, lengths, writer)
+        decoder = CanonicalDecoder(lengths)
+        reader = BitReader(writer.getvalue())
+        decoded = bytes(decoder.decode_symbol(reader) for _ in range(len(data)))
+        assert decoded == data
+
+
+class TestSelfContainedFormat:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"aaaaaaa",
+            b"abcabcabc",
+            bytes(range(256)),
+            b"\x00" * 100 + b"\xff" * 3,
+        ],
+    )
+    def test_roundtrip(self, data):
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_compresses_skewed_data(self):
+        data = b"a" * 900 + b"b" * 100
+        assert len(huffman_compress(data)) < len(data)
+
+    def test_truncated_header_raises(self):
+        blob = huffman_compress(b"hello world")
+        with pytest.raises(EOFError):
+            huffman_decompress(blob[:10])
+
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, data):
+        assert huffman_decompress(huffman_compress(data)) == data

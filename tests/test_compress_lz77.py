@@ -1,0 +1,110 @@
+"""Tests for the LZ77 matcher and the gz-like codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.gzlike import GzLikeCompressor
+from repro.compress.lz77 import (
+    Literal,
+    Match,
+    MIN_MATCH,
+    detokenize,
+    tokenize,
+)
+
+
+class TestTokens:
+    def test_match_length_bounds(self):
+        with pytest.raises(ValueError):
+            Match(length=2, distance=1)
+        with pytest.raises(ValueError):
+            Match(length=259, distance=1)
+
+    def test_match_distance_bounds(self):
+        with pytest.raises(ValueError):
+            Match(length=4, distance=0)
+        with pytest.raises(ValueError):
+            Match(length=4, distance=40000)
+
+
+class TestTokenize:
+    def test_empty(self):
+        assert tokenize(b"") == []
+
+    def test_incompressible_all_literals(self):
+        data = bytes(range(200))
+        tokens = tokenize(data)
+        assert all(isinstance(t, Literal) for t in tokens)
+        assert detokenize(iter(tokens)) == data
+
+    def test_repeated_block_produces_match(self):
+        data = b"abcdefgh" * 10
+        tokens = tokenize(data)
+        assert any(isinstance(t, Match) for t in tokens)
+
+    def test_run_of_same_byte_uses_overlapping_match(self):
+        data = b"x" * 100
+        tokens = tokenize(data)
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches, "expected RLE-style self-referential match"
+        assert matches[0].distance == 1
+
+    def test_min_match_respected(self):
+        for token in tokenize(b"abcabcabc"):
+            if isinstance(token, Match):
+                assert token.length >= MIN_MATCH
+
+    def test_roundtrip_structured_text(self):
+        data = (b"MKTAYIAKQR" * 30) + (b"QISFVKSHFS" * 30)
+        assert detokenize(iter(tokenize(data))) == data
+
+
+class TestDetokenize:
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            detokenize(iter([Literal(65), Match(length=3, distance=5)]))
+
+
+class TestGzLike:
+    def setup_method(self):
+        self.codec = GzLikeCompressor()
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"abcabcabcabcabc",
+            b"x" * 1000,
+            bytes(range(256)) * 4,
+        ],
+    )
+    def test_roundtrip(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_compresses_redundant_data(self):
+        data = b"0101100110" * 500
+        assert len(self.codec.compress(data)) < len(data) // 2
+
+    def test_protein_like_text_compresses(self):
+        data = (b"AAAALLLLVVVV" * 200)
+        assert self.codec.compressed_size(data) < len(data)
+
+    def test_ratio_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            self.codec.ratio(b"")
+
+    @given(st.binary(min_size=0, max_size=4000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    @given(
+        st.text(alphabet="01", min_size=0, max_size=3000).map(str.encode)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_low_entropy_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data

@@ -1,0 +1,111 @@
+"""Tests for the PPM compressor (the ppmz stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.ppm import EOF_SYMBOL, NUM_SYMBOLS, PPMCompressor, PPMModel
+
+
+class TestModel:
+    def test_context_key_grows_with_history(self):
+        model = PPMModel(max_order=3)
+        assert model.context_key(0) == b""
+        assert model.context_key(1) is None  # no history yet
+        model.update(65, 0)
+        assert model.context_key(1) == b"A"
+
+    def test_update_exclusion_only_touches_high_orders(self):
+        model = PPMModel(max_order=2)
+        model.update(65, 0)
+        model.update(66, 0)
+        # Now code symbol 67 at order 1: orders 1..2 get it, order 0 not.
+        model.update(67, 1)
+        assert 67 not in model.contexts[0].get(b"", {})
+        assert 67 in model.contexts[1][b"B"]
+
+    def test_distribution_excludes_symbols(self):
+        model = PPMModel()
+        table = {1: 5, 2: 3, 3: 2}
+        dist = model.distribution(table, excluded={2})
+        symbols = [s for s, _, _ in dist.entries]
+        assert symbols == [1, 3]
+        assert dist.total == 7 + 2  # counts + distinct escape weight
+
+    def test_distribution_all_excluded_is_none(self):
+        model = PPMModel()
+        assert model.distribution({1: 5}, excluded={1}) is None
+
+    def test_order_minus_one_covers_alphabet(self):
+        model = PPMModel()
+        dist = model.order_minus_one(set())
+        assert dist.total == NUM_SYMBOLS
+        symbols = [s for s, _, _ in dist.entries]
+        assert symbols[0] == 0 and symbols[-1] == EOF_SYMBOL
+
+    def test_rescale_halves_and_drops(self):
+        table = {1: 5, 2: 1}
+        PPMModel._rescale(table)
+        assert table == {1: 2}
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            PPMModel(max_order=-1)
+
+
+class TestPPMCompressor:
+    def setup_method(self):
+        self.codec = PPMCompressor(max_order=3)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"aaaaaaaaaa",
+            b"abracadabra" * 20,
+            bytes(range(256)),
+            b"\x00\xff" * 100,
+        ],
+    )
+    def test_roundtrip(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    def test_roundtrip_order_zero(self):
+        codec = PPMCompressor(max_order=0)
+        data = b"zero order context model"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_roundtrip_order_one(self):
+        codec = PPMCompressor(max_order=1)
+        data = b"the theremin theory " * 10
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_compresses_repetitive_text(self):
+        data = b"protein compressibility " * 60
+        assert len(self.codec.compress(data)) < len(data) // 3
+
+    def test_beats_no_context_on_structured_data(self):
+        """Order-3 should beat order-0 on strongly contextual input."""
+        data = b"ABABABACABABABAC" * 60
+        o3 = PPMCompressor(max_order=3).compress(data)
+        o0 = PPMCompressor(max_order=0).compress(data)
+        assert len(o3) < len(o0)
+
+    def test_declared_length_mismatch_detected(self):
+        blob = bytearray(self.codec.compress(b"hello world"))
+        blob[0] ^= 0x01  # corrupt the declared length varint
+        with pytest.raises(ValueError):
+            self.codec.decompress(bytes(blob))
+
+    @given(st.binary(min_size=0, max_size=800))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert self.codec.decompress(self.codec.compress(data)) == data
+
+    @given(st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=0, max_size=600))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_protein_alphabet_property(self, text):
+        data = text.encode()
+        assert self.codec.decompress(self.codec.compress(data)) == data

@@ -1,0 +1,174 @@
+"""Tests for the provenance bus interceptor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instrument import ProvenanceInterceptor
+from repro.core.passertion import ViewKind
+from repro.core.recorder import ProvenanceRecorder, RecordingMode
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import MemoryBackend
+from repro.store.service import PReServActor
+from tests.test_soa_bus import EchoService
+
+
+@pytest.fixture
+def deployment():
+    bus = MessageBus()
+    backend = MemoryBackend()
+    bus.register(PReServActor(backend))
+    bus.register(EchoService())
+    recorder = ProvenanceRecorder(bus, mode=RecordingMode.SYNCHRONOUS)
+    return bus, backend, recorder
+
+
+def call_echo(bus, text="hello", headers=None):
+    payload = XmlElement("data")
+    payload.add(text)
+    return bus.call("client", "echo", "echo", payload, extra_headers=headers or {})
+
+
+class TestInterceptor:
+    def test_documents_both_views(self, deployment):
+        bus, backend, recorder = deployment
+        interceptor = ProvenanceInterceptor(recorder, session_id="s-1")
+        bus.add_interceptor(interceptor)
+        call_echo(bus)
+        keys = backend.interaction_keys()
+        assert len(keys) == 1
+        passertions = backend.interaction_passertions(keys[0])
+        views = {p.view for p in passertions}
+        assert views == {ViewKind.SENDER, ViewKind.RECEIVER}
+        # Asserters match the paper's model: each side asserts its own view.
+        by_view = {p.view: p.asserter for p in passertions}
+        assert by_view[ViewKind.SENDER] == "client"
+        assert by_view[ViewKind.RECEIVER] == "echo"
+
+    def test_session_membership_recorded(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-42"))
+        call_echo(bus)
+        call_echo(bus)
+        assert len(backend.group_members("s-42")) == 2
+        assert backend.group_ids(kind="session") == ["s-42"]
+
+    def test_store_calls_not_self_documented(self, deployment):
+        """Recording to the store must not recursively document itself."""
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        call_echo(bus)
+        counts = backend.counts()
+        # Exactly one interaction documented (the echo), none for preserv.
+        assert counts.interaction_records == 1
+        for key in backend.interaction_keys():
+            assert key.receiver == "echo"
+
+    def test_thread_header_creates_sequenced_thread_group(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        call_echo(bus, headers={"thread": "t-1"})
+        call_echo(bus, headers={"thread": "t-1"})
+        members = backend.group_members("t-1")
+        assert len(members) == 2
+        assert backend.group_kind("t-1") == "thread"
+
+    def test_caused_by_header_recorded_as_state(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        call_echo(bus, headers={"caused-by": "msg-a, msg-b"})
+        key = backend.interaction_keys()[0]
+        states = backend.actor_state_passertions(key, state_type="caused-by")
+        assert len(states) == 1
+        messages = [m.text for m in states[0].content.find_all("message")]
+        assert messages == ["msg-a", "msg-b"]
+
+    def test_script_recording_when_enabled(self, deployment):
+        bus, backend, recorder = deployment
+        interceptor = ProvenanceInterceptor(
+            recorder,
+            session_id="s-1",
+            script_provider=lambda ep: f"#!/bin/sh\n# {ep}\n" if ep == "echo" else None,
+            record_scripts=True,
+        )
+        bus.add_interceptor(interceptor)
+        call_echo(bus)
+        key = backend.interaction_keys()[0]
+        scripts = backend.actor_state_passertions(key, state_type="script")
+        assert len(scripts) == 1
+        assert "# echo" in scripts[0].content.text
+        assert scripts[0].asserter == "echo"
+
+    def test_no_scripts_when_disabled(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(
+            ProvenanceInterceptor(
+                recorder,
+                session_id="s-1",
+                script_provider=lambda ep: "#!/bin/sh",
+                record_scripts=False,
+            )
+        )
+        call_echo(bus)
+        key = backend.interaction_keys()[0]
+        assert backend.actor_state_passertions(key, state_type="script") == []
+
+    def test_records_per_interaction_matches_paper(self, deployment):
+        """2 interaction p-assertions + 1 session group per call (base mode)."""
+        bus, backend, recorder = deployment
+        interceptor = ProvenanceInterceptor(recorder, session_id="s-1")
+        bus.add_interceptor(interceptor)
+        call_echo(bus)
+        counts = backend.counts()
+        assert counts.interaction_passertions == 2
+        assert counts.group_assertions == 1
+        assert interceptor.interactions_documented == 1
+
+    def test_faulting_calls_still_documented(self, deployment):
+        """Failures are part of the process; provenance must capture them."""
+        from repro.soa.envelope import Fault
+
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        call_echo(bus)  # one successful call first
+        payload = XmlElement("data")
+        payload.add("x")
+        with pytest.raises(Fault):
+            bus.call("client", "echo", "fail", payload)
+        keys = backend.interaction_keys()
+        operations = set()
+        for key in keys:
+            for pa in backend.interaction_passertions(key):
+                operations.add(pa.operation)
+        assert "fail" in operations
+
+    def test_input_digests_recorded_from_stamped_payload(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        payload = XmlElement("data", attrs={"digest": "abc123"})
+        payload.element("nested", "x", digest="def456")
+        payload.add("body")
+        bus.call("client", "echo", "echo", payload)
+        key = backend.interaction_keys()[0]
+        states = backend.actor_state_passertions(key, state_type="input-digests")
+        assert len(states) == 1
+        digests = [d.text for d in states[0].content.find_all("digest")]
+        assert digests == ["abc123", "def456"]
+
+    def test_no_digest_state_for_unstamped_payload(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(ProvenanceInterceptor(recorder, session_id="s-1"))
+        call_echo(bus)
+        key = backend.interaction_keys()[0]
+        assert backend.actor_state_passertions(key, state_type="input-digests") == []
+
+    def test_excluded_endpoints_configurable(self, deployment):
+        bus, backend, recorder = deployment
+        bus.add_interceptor(
+            ProvenanceInterceptor(
+                recorder, session_id="s-1", exclude_endpoints=("echo", "preserv")
+            )
+        )
+        call_echo(bus)
+        assert backend.counts().total == 0

@@ -1,0 +1,202 @@
+"""Tests for the p-assertion data model and its XML mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+    parse_passertion,
+)
+from repro.core.validation import (
+    validate_group_assertion_xml,
+    validate_passertion_xml,
+)
+from repro.soa.xmldoc import XmlElement, parse_xml
+
+
+def make_key(i: int = 1) -> InteractionKey:
+    return InteractionKey(interaction_id=f"msg-{i}", sender="client", receiver="svc")
+
+
+def make_content(text: str = "payload") -> XmlElement:
+    el = XmlElement("content-doc")
+    el.add(text)
+    return el
+
+
+class TestInteractionKey:
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionKey(interaction_id="", sender="a", receiver="b")
+        with pytest.raises(ValueError):
+            InteractionKey(interaction_id="m", sender="", receiver="b")
+
+    def test_xml_roundtrip(self):
+        key = make_key()
+        assert InteractionKey.from_xml(key.to_xml()) == key
+
+    def test_wrong_element_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionKey.from_xml(XmlElement("nope"))
+
+    def test_hashable_and_ordered(self):
+        keys = {make_key(1), make_key(2), make_key(1)}
+        assert len(keys) == 2
+        assert sorted(keys) == [make_key(1), make_key(2)]
+
+
+class TestInteractionPAssertion:
+    def make(self) -> InteractionPAssertion:
+        return InteractionPAssertion(
+            interaction_key=make_key(),
+            view=ViewKind.SENDER,
+            asserter="client",
+            local_id="pa-1",
+            operation="compress",
+            content=make_content(),
+        )
+
+    def test_xml_roundtrip(self):
+        pa = self.make()
+        restored = parse_passertion(parse_xml(pa.to_xml().serialize()))
+        assert isinstance(restored, InteractionPAssertion)
+        assert restored.interaction_key == pa.interaction_key
+        assert restored.view == pa.view
+        assert restored.operation == "compress"
+        assert restored.content.text == "payload"
+
+    def test_store_key_includes_all_identity_parts(self):
+        pa = self.make()
+        assert pa.store_key == (make_key(), "sender", "client", "pa-1")
+
+    def test_empty_asserter_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionPAssertion(
+                interaction_key=make_key(),
+                view=ViewKind.SENDER,
+                asserter="",
+                local_id="x",
+                operation="op",
+                content=make_content(),
+            )
+
+    def test_valid_against_validator(self):
+        assert validate_passertion_xml(self.make().to_xml()) == []
+
+
+class TestActorStatePAssertion:
+    def make(self) -> ActorStatePAssertion:
+        return ActorStatePAssertion(
+            interaction_key=make_key(),
+            view=ViewKind.RECEIVER,
+            asserter="svc",
+            local_id="pa-2",
+            state_type="script",
+            content=make_content("#!/bin/sh"),
+        )
+
+    def test_xml_roundtrip(self):
+        pa = self.make()
+        restored = parse_passertion(parse_xml(pa.to_xml().serialize()))
+        assert isinstance(restored, ActorStatePAssertion)
+        assert restored.state_type == "script"
+        assert restored.content.text == "#!/bin/sh"
+
+    def test_empty_state_type_rejected(self):
+        with pytest.raises(ValueError):
+            ActorStatePAssertion(
+                interaction_key=make_key(),
+                view=ViewKind.RECEIVER,
+                asserter="svc",
+                local_id="x",
+                state_type="",
+                content=make_content(),
+            )
+
+    def test_valid_against_validator(self):
+        assert validate_passertion_xml(self.make().to_xml()) == []
+
+
+class TestGroupAssertion:
+    def make(self, seq=3) -> GroupAssertion:
+        return GroupAssertion(
+            group_id="session-1",
+            kind=GroupKind.THREAD,
+            member=make_key(),
+            asserter="client",
+            sequence=seq,
+        )
+
+    def test_xml_roundtrip(self):
+        ga = self.make()
+        restored = GroupAssertion.from_xml(parse_xml(ga.to_xml().serialize()))
+        assert restored == ga
+
+    def test_roundtrip_without_sequence(self):
+        ga = self.make(seq=None)
+        restored = GroupAssertion.from_xml(ga.to_xml())
+        assert restored.sequence is None
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(seq=-1)
+
+    def test_valid_against_validator(self):
+        assert validate_group_assertion_xml(self.make().to_xml()) == []
+
+
+class TestParseErrors:
+    def test_unknown_kind_rejected(self):
+        el = InteractionPAssertion(
+            interaction_key=make_key(),
+            view=ViewKind.SENDER,
+            asserter="a",
+            local_id="x",
+            operation="op",
+            content=make_content(),
+        ).to_xml()
+        el.attrs["kind"] = "mystery"
+        with pytest.raises(ValueError, match="unknown p-assertion kind"):
+            parse_passertion(el)
+
+    def test_empty_content_rejected(self):
+        el = parse_xml(
+            '<p-assertion kind="interaction">'
+            '<interaction-key id="m" sender="a" receiver="b"/>'
+            "<view>sender</view><asserter>a</asserter>"
+            "<local-id>x</local-id><operation>op</operation>"
+            "<content/></p-assertion>"
+        )
+        with pytest.raises(ValueError, match="empty"):
+            parse_passertion(el)
+
+
+class TestValidator:
+    def test_reports_all_problems(self):
+        el = parse_xml('<p-assertion kind="interaction"><view>weird</view></p-assertion>')
+        problems = validate_passertion_xml(el)
+        joined = " | ".join(problems)
+        assert "interaction-key" in joined
+        assert "invalid view" in joined
+        assert "asserter" in joined
+        assert "content" in joined
+
+    def test_wrong_root(self):
+        assert validate_passertion_xml(XmlElement("other"))
+
+    def test_group_validator_checks_kind_and_sequence(self):
+        el = parse_xml(
+            '<group-assertion id="g" kind="bogus" sequence="x">'
+            '<interaction-key id="m" sender="a" receiver="b"/>'
+            "<asserter>a</asserter></group-assertion>"
+        )
+        problems = validate_group_assertion_xml(el)
+        joined = " | ".join(problems)
+        assert "invalid kind" in joined
+        assert "non-numeric sequence" in joined

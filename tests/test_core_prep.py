@@ -1,0 +1,150 @@
+"""Tests for PReP protocol messages and the protocol tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.core.prep import (
+    PrepAck,
+    PrepQuery,
+    PrepRecord,
+    PrepResult,
+    ProtocolTracker,
+    parse_prep_message,
+)
+from repro.core.validation import validate_prep_record_xml
+from repro.soa.xmldoc import XmlElement, parse_xml
+
+
+def interaction_pa(i=1, view=ViewKind.SENDER):
+    key = InteractionKey(interaction_id=f"m-{i}", sender="c", receiver="s")
+    content = XmlElement("doc")
+    content.add("x")
+    return InteractionPAssertion(
+        interaction_key=key,
+        view=view,
+        asserter="c" if view is ViewKind.SENDER else "s",
+        local_id=f"pa-{i}-{view.value}",
+        operation="op",
+        content=content,
+    )
+
+
+def state_pa(i=1):
+    key = InteractionKey(interaction_id=f"m-{i}", sender="c", receiver="s")
+    content = XmlElement("script")
+    content.add("#!/bin/sh")
+    return ActorStatePAssertion(
+        interaction_key=key,
+        view=ViewKind.RECEIVER,
+        asserter="s",
+        local_id=f"st-{i}",
+        state_type="script",
+        content=content,
+    )
+
+
+class TestPrepRecord:
+    def test_roundtrip_interaction(self):
+        record = PrepRecord(assertion=interaction_pa())
+        restored = PrepRecord.from_xml(parse_xml(record.to_xml().serialize()))
+        assert restored.assertion.interaction_key == record.assertion.interaction_key
+
+    def test_roundtrip_group(self):
+        ga = GroupAssertion(
+            group_id="g",
+            kind=GroupKind.SESSION,
+            member=interaction_pa().interaction_key,
+            asserter="c",
+        )
+        restored = PrepRecord.from_xml(PrepRecord(assertion=ga).to_xml())
+        assert restored.assertion == ga
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            PrepRecord.from_xml(XmlElement("prep-record"))
+
+    def test_validator_accepts_record(self):
+        assert validate_prep_record_xml(PrepRecord(interaction_pa()).to_xml()) == []
+
+    def test_validator_flags_empty_batch(self):
+        assert validate_prep_record_xml(XmlElement("prep-record-batch"))
+
+
+class TestPrepAckQueryResult:
+    def test_ack_roundtrip(self):
+        ack = PrepAck(status="ok", count=5, detail="fine")
+        restored = PrepAck.from_xml(parse_xml(ack.to_xml().serialize()))
+        assert restored == ack
+        assert restored.ok
+
+    def test_ack_not_ok(self):
+        assert not PrepAck(status="error", count=0).ok
+
+    def test_query_roundtrip(self):
+        query = PrepQuery(query_type="actor-state", params={"id": "m", "view": "sender"})
+        restored = PrepQuery.from_xml(parse_xml(query.to_xml().serialize()))
+        assert restored == query
+
+    def test_result_roundtrip(self):
+        items = [interaction_pa(i).to_xml() for i in range(3)]
+        result = PrepResult(items=items)
+        restored = PrepResult.from_xml(parse_xml(result.to_xml().serialize()))
+        assert len(restored.items) == 3
+
+    def test_dispatch_parser(self):
+        assert isinstance(parse_prep_message(PrepAck("ok", 1).to_xml()), PrepAck)
+        assert isinstance(
+            parse_prep_message(PrepQuery("count").to_xml()), PrepQuery
+        )
+        with pytest.raises(ValueError, match="not a PReP message"):
+            parse_prep_message(XmlElement("something"))
+
+
+class TestProtocolTracker:
+    def test_interaction_documented_needs_both_views(self):
+        tracker = ProtocolTracker()
+        key = interaction_pa(1).interaction_key
+        tracker.observe(interaction_pa(1, ViewKind.SENDER))
+        assert not tracker.is_documented(key)
+        assert tracker.undocumented() == [key]
+        tracker.observe(interaction_pa(1, ViewKind.RECEIVER))
+        assert tracker.is_documented(key)
+        assert tracker.undocumented() == []
+
+    def test_actor_state_does_not_document_views(self):
+        tracker = ProtocolTracker()
+        tracker.observe(state_pa(1))
+        key = state_pa(1).interaction_key
+        assert not tracker.is_documented(key)
+        assert tracker.actor_state_count(key) == 1
+
+    def test_group_assertions_counted_separately(self):
+        tracker = ProtocolTracker()
+        tracker.observe(
+            GroupAssertion(
+                group_id="g",
+                kind=GroupKind.SESSION,
+                member=interaction_pa().interaction_key,
+                asserter="c",
+            )
+        )
+        assert tracker.group_assertions == 1
+        assert tracker.interactions() == []
+
+    def test_views_recorded_reporting(self):
+        tracker = ProtocolTracker()
+        tracker.observe(interaction_pa(1, ViewKind.SENDER))
+        key = interaction_pa(1).interaction_key
+        assert tracker.views_recorded(key) == {ViewKind.SENDER}
+        assert tracker.views_recorded(
+            InteractionKey(interaction_id="zz", sender="a", receiver="b")
+        ) is None

@@ -1,0 +1,128 @@
+"""Tests for pre-packaged p-assertions (§7 static workflow analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import InteractionPAssertion, ViewKind
+from repro.core.prep import PrepRecord
+from repro.core.prepackage import (
+    CONTENT_TOKEN,
+    ID_TOKEN,
+    InteractionTemplate,
+    PrepackagedTemplates,
+    analyse_workflow,
+    build_from_scratch,
+)
+from repro.grid.dag import Activity, WorkflowDag
+from repro.soa.xmldoc import parse_xml
+
+
+def small_dag() -> WorkflowDag:
+    dag = WorkflowDag("w")
+    dag.add_activity(Activity("collate"))
+    dag.add_activity(Activity("encode"), after=["collate"])
+    dag.add_activity(Activity("measure"), after=["encode"])
+    return dag
+
+
+class TestAnalysis:
+    def test_templates_in_topological_order(self):
+        templates = analyse_workflow(small_dag())
+        assert [t.activity for t in templates] == ["collate", "encode", "measure"]
+
+    def test_static_lineage_captured(self):
+        templates = analyse_workflow(small_dag())
+        by_name = {t.activity: t for t in templates}
+        assert by_name["encode"].upstream == ("collate",)
+        assert by_name["collate"].upstream == ()
+
+    def test_overrides(self):
+        templates = analyse_workflow(
+            small_dag(),
+            service_of={"encode": "encode-by-groups"},
+            operation_of={"encode": "encode"},
+            thread_of={"encode": "main"},
+        )
+        encode = [t for t in templates if t.activity == "encode"][0]
+        assert encode.receiver == "encode-by-groups"
+        assert encode.operation == "encode"
+
+    def test_defaults(self):
+        t = analyse_workflow(small_dag())[0]
+        assert t.sender == "workflow-engine"
+        assert t.receiver == "collate"
+        assert t.operation == "run"
+
+
+class TestInstantiation:
+    def make(self):
+        return PrepackagedTemplates(analyse_workflow(small_dag()), session_id="s-1")
+
+    def test_instantiated_document_is_valid_record(self):
+        pkg = self.make()
+        text = pkg.instantiate("encode", ViewKind.SENDER, "msg-42", "digest-abc")
+        record = PrepRecord.from_xml(parse_xml(text))
+        assertion = record.assertion
+        assert isinstance(assertion, InteractionPAssertion)
+        assert assertion.interaction_key.interaction_id == "msg-42"
+        assert assertion.view is ViewKind.SENDER
+        assert "digest-abc" in assertion.content.require("digest").text
+
+    def test_no_leftover_placeholders(self):
+        pkg = self.make()
+        text = pkg.instantiate("measure", ViewKind.RECEIVER, "m-1", "d-1")
+        assert ID_TOKEN not in text
+        assert CONTENT_TOKEN not in text
+
+    def test_matches_from_scratch_construction(self):
+        """Prepackaging is an optimisation, not a format change."""
+        template = analyse_workflow(small_dag())[1]
+        pkg = self.make()
+        fast = pkg.instantiate(template.activity, ViewKind.SENDER, "m-9", "d-9")
+        slow = build_from_scratch(template, ViewKind.SENDER, "m-9", "d-9")
+        assert fast == slow
+
+    def test_both_views(self):
+        pkg = self.make()
+        sender, receiver = pkg.instantiate_pair("collate", "m-1", "d-1")
+        a = PrepRecord.from_xml(parse_xml(sender)).assertion
+        b = PrepRecord.from_xml(parse_xml(receiver)).assertion
+        assert a.view is ViewKind.SENDER and b.view is ViewKind.RECEIVER
+        assert a.asserter == "workflow-engine"
+        assert b.asserter == "collate"
+
+    def test_unknown_activity_raises(self):
+        with pytest.raises(KeyError):
+            self.make().instantiate("ghost", ViewKind.SENDER, "m", "d")
+
+    def test_distinct_interactions_distinct_store_keys(self):
+        pkg = self.make()
+        a = PrepRecord.from_xml(
+            parse_xml(pkg.instantiate("encode", ViewKind.SENDER, "m-1", "d"))
+        ).assertion
+        b = PrepRecord.from_xml(
+            parse_xml(pkg.instantiate("encode", ViewKind.SENDER, "m-2", "d"))
+        ).assertion
+        assert a.store_key != b.store_key
+
+    def test_prepackaging_is_faster(self):
+        """The §7 motivation: less work at runtime."""
+        import time
+
+        templates = analyse_workflow(small_dag())
+        pkg = PrepackagedTemplates(templates, session_id="s")
+        template = templates[0]
+
+        n = 300
+        start = time.perf_counter()
+        for i in range(n):
+            pkg.instantiate("collate", ViewKind.SENDER, f"m-{i}", f"d-{i}")
+        fast = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for i in range(n):
+            build_from_scratch(template, ViewKind.SENDER, f"m-{i}", f"d-{i}")
+        slow = time.perf_counter() - start
+
+        assert fast < slow

@@ -1,0 +1,215 @@
+"""Tests for provenance trace reconstruction, lineage, and the query client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import ProvenanceQueryClient
+from repro.core.passertion import ViewKind
+from repro.core.query import (
+    build_trace,
+    data_lineage,
+    derived_from,
+    used_as_input,
+)
+from repro.soa.bus import MessageBus
+from repro.store.backends import MemoryBackend
+from repro.store.service import PReServActor
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+)
+from repro.soa.xmldoc import XmlElement
+
+
+def plant_chain(store, session="s-1", ids=("m-1", "m-2", "m-3")):
+    """A linear chain: m-1 -> m-2 -> m-3 with full documentation."""
+    prev = None
+    for i, mid in enumerate(ids):
+        key = InteractionKey(interaction_id=mid, sender="engine", receiver=f"svc-{i}")
+        doc = XmlElement("doc")
+        doc.add(mid)
+        for view, asserter in ((ViewKind.SENDER, "engine"), (ViewKind.RECEIVER, key.receiver)):
+            store.put(
+                InteractionPAssertion(
+                    interaction_key=key,
+                    view=view,
+                    asserter=asserter,
+                    local_id=f"{mid}-{view.value}",
+                    operation=f"op-{i}",
+                    content=doc,
+                )
+            )
+        if prev is not None:
+            caused = XmlElement("caused-by")
+            caused.element("message", prev)
+            store.put(
+                ActorStatePAssertion(
+                    interaction_key=key,
+                    view=ViewKind.RECEIVER,
+                    asserter=key.receiver,
+                    local_id=f"{mid}-cause",
+                    state_type="caused-by",
+                    content=caused,
+                )
+            )
+        store.put(
+            GroupAssertion(
+                group_id=session, kind=GroupKind.SESSION, member=key, asserter="engine"
+            )
+        )
+        prev = mid
+    return store
+
+
+class TestBuildTrace:
+    def test_reconstructs_interactions(self):
+        store = plant_chain(MemoryBackend())
+        trace = build_trace(store, "s-1")
+        assert sorted(trace.interactions) == ["m-1", "m-2", "m-3"]
+        assert trace.interaction("m-2").operation == "op-1"
+
+    def test_unknown_session_raises(self):
+        with pytest.raises(KeyError, match="no members"):
+            build_trace(MemoryBackend(), "ghost")
+
+    def test_graph_edges_follow_caused_by(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        assert list(trace.graph.edges) == [("m-1", "m-2"), ("m-2", "m-3")]
+
+    def test_roots_and_leaves(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        assert trace.roots() == ["m-1"]
+        assert trace.leaves() == ["m-3"]
+
+    def test_topological_order_respects_causality(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        order = trace.topological_order()
+        assert order.index("m-1") < order.index("m-2") < order.index("m-3")
+
+    def test_fully_documented_flag(self):
+        store = plant_chain(MemoryBackend())
+        # Remove nothing: all documented.
+        trace = build_trace(store, "s-1")
+        assert trace.undocumented() == []
+
+    def test_partial_documentation_detected(self):
+        store = MemoryBackend()
+        key = InteractionKey(interaction_id="m-x", sender="a", receiver="b")
+        doc = XmlElement("doc")
+        doc.add("x")
+        store.put(
+            InteractionPAssertion(
+                interaction_key=key,
+                view=ViewKind.SENDER,
+                asserter="a",
+                local_id="only-sender",
+                operation="op",
+                content=doc,
+            )
+        )
+        store.put(
+            GroupAssertion(
+                group_id="s-1", kind=GroupKind.SESSION, member=key, asserter="a"
+            )
+        )
+        trace = build_trace(store, "s-1")
+        assert trace.undocumented() == ["m-x"]
+
+
+class TestLineage:
+    def test_data_lineage_ancestors(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        assert data_lineage(trace, "m-3") == ["m-1", "m-2"]
+        assert data_lineage(trace, "m-1") == []
+
+    def test_derived_from_descendants(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        assert derived_from(trace, "m-1") == ["m-2", "m-3"]
+
+    def test_unknown_interaction_raises(self):
+        trace = build_trace(plant_chain(MemoryBackend()), "s-1")
+        with pytest.raises(KeyError):
+            data_lineage(trace, "nope")
+
+    def test_used_as_input_finds_digest(self):
+        store = plant_chain(MemoryBackend())
+        key = InteractionKey(interaction_id="m-2", sender="engine", receiver="svc-1")
+        digests = XmlElement("input-digests")
+        digests.element("digest", "abc123")
+        store.put(
+            ActorStatePAssertion(
+                interaction_key=key,
+                view=ViewKind.RECEIVER,
+                asserter="svc-1",
+                local_id="digests",
+                state_type="input-digests",
+                content=digests,
+            )
+        )
+        trace = build_trace(store, "s-1")
+        assert used_as_input(trace, "abc123") == ["m-2"]
+        assert used_as_input(trace, "zzz") == []
+
+    def test_simultaneous_sessions_stay_separate(self):
+        """The paper's accuracy requirement under concurrent workflows."""
+        store = MemoryBackend()
+        plant_chain(store, session="s-a", ids=("a-1", "a-2"))
+        plant_chain(store, session="s-b", ids=("b-1", "b-2"))
+        trace_a = build_trace(store, "s-a")
+        trace_b = build_trace(store, "s-b")
+        assert sorted(trace_a.interactions) == ["a-1", "a-2"]
+        assert sorted(trace_b.interactions) == ["b-1", "b-2"]
+        assert data_lineage(trace_a, "a-2") == ["a-1"]
+
+
+class TestQueryClient:
+    @pytest.fixture
+    def deployment(self):
+        bus = MessageBus()
+        backend = plant_chain(MemoryBackend())
+        bus.register(PReServActor(backend))
+        return bus, ProvenanceQueryClient(bus)
+
+    def test_interaction_keys(self, deployment):
+        _, client = deployment
+        keys = client.interaction_keys()
+        assert [k.interaction_id for k in keys] == ["m-1", "m-2", "m-3"]
+        assert client.calls == 1
+
+    def test_interaction_passertions_with_view(self, deployment):
+        _, client = deployment
+        key = client.interaction_keys()[0]
+        found = client.interaction_passertions(key, ViewKind.SENDER)
+        assert len(found) == 1
+        assert found[0].view is ViewKind.SENDER
+
+    def test_actor_state_filter(self, deployment):
+        _, client = deployment
+        keys = client.interaction_keys()
+        states = client.actor_state_passertions(keys[1], state_type="caused-by")
+        assert len(states) == 1
+
+    def test_interaction_record_one_call(self, deployment):
+        _, client = deployment
+        key = client.interaction_keys()[1]
+        calls_before = client.calls
+        record = client.interaction_record(key)
+        assert client.calls == calls_before + 1
+        assert len(record) == 3  # 2 views + caused-by
+
+    def test_group_queries(self, deployment):
+        _, client = deployment
+        assert client.group_ids(kind="session") == ["s-1"]
+        members = client.group_members("s-1")
+        assert len(members) == 3
+
+    def test_counts(self, deployment):
+        _, client = deployment
+        counts = client.counts()
+        assert counts.interaction_records == 3
+        assert counts.interaction_passertions == 6

@@ -1,0 +1,200 @@
+"""Tests for the client-side recorder, journal, and recording modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import GroupKind, InteractionKey, ViewKind
+from repro.core.prep import PrepRecord
+from repro.core.recorder import Journal, ProvenanceRecorder, RecordingMode
+from repro.soa.bus import LatencyModel, MessageBus
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import MemoryBackend
+from repro.store.service import PReServActor
+
+
+@pytest.fixture
+def deployment():
+    bus = MessageBus()
+    backend = MemoryBackend()
+    bus.register(PReServActor(backend), latency=LatencyModel(round_trip_s=0.018))
+    return bus, backend
+
+
+def content(text="x") -> XmlElement:
+    el = XmlElement("doc")
+    el.add(text)
+    return el
+
+
+def make_key(i=1) -> InteractionKey:
+    return InteractionKey(interaction_id=f"m-{i}", sender="a", receiver="b")
+
+
+class TestJournal:
+    def test_append_drain(self):
+        journal = Journal()
+        journal.append(PrepRecord(assertion=_ipa(1)))
+        assert len(journal) == 1
+        drained = journal.drain()
+        assert len(drained) == 1
+        assert len(journal) == 0
+
+    def test_peek_does_not_drain(self):
+        journal = Journal()
+        journal.append(PrepRecord(assertion=_ipa(1)))
+        assert len(journal.peek()) == 1
+        assert len(journal) == 1
+
+    def test_file_persistence_and_replay(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = Journal(path)
+        for i in range(3):
+            journal.append(PrepRecord(assertion=_ipa(i)))
+        journal.close()
+        replayed = Journal.load(path)
+        assert len(replayed) == 3
+        restored = replayed.drain()[1].assertion
+        assert restored.interaction_key == make_key(1)
+
+    def test_truncated_journal_detected(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = Journal(path)
+        journal.append(PrepRecord(assertion=_ipa(1)))
+        journal.close()
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            Journal.load(path)
+
+
+def _ipa(i):
+    from repro.core.passertion import InteractionPAssertion
+
+    return InteractionPAssertion(
+        interaction_key=make_key(i),
+        view=ViewKind.SENDER,
+        asserter="a",
+        local_id=f"pa-{i}",
+        operation="op",
+        content=content(),
+    )
+
+
+class TestRecordingModes:
+    def test_none_mode_records_nothing(self, deployment):
+        bus, backend = deployment
+        recorder = ProvenanceRecorder(bus, mode=RecordingMode.NONE)
+        recorder.record_interaction(
+            make_key(), ViewKind.SENDER, "a", "op", content()
+        )
+        assert backend.counts().total == 0
+        assert recorder.submitted == 0
+        assert bus.calls == 0
+
+    def test_sync_mode_ships_immediately(self, deployment):
+        bus, backend = deployment
+        recorder = ProvenanceRecorder(bus, mode=RecordingMode.SYNCHRONOUS)
+        recorder.record_interaction(make_key(), ViewKind.SENDER, "a", "op", content())
+        assert backend.counts().interaction_passertions == 1
+        assert recorder.acked == 1
+        assert bus.calls == 1
+
+    def test_async_mode_defers_until_flush(self, deployment):
+        bus, backend = deployment
+        recorder = ProvenanceRecorder(bus, mode=RecordingMode.ASYNCHRONOUS)
+        for i in range(5):
+            recorder.record_interaction(
+                make_key(i), ViewKind.SENDER, "a", "op", content()
+            )
+        assert backend.counts().total == 0
+        assert recorder.pending == 5
+        assert bus.calls == 0
+        flushed = recorder.flush()
+        assert flushed == 5
+        assert recorder.pending == 0
+        assert backend.counts().interaction_passertions == 5
+
+    def test_async_flush_batches_calls(self, deployment):
+        """Batching is the async mode's cost advantage: fewer round trips."""
+        bus, backend = deployment
+        recorder = ProvenanceRecorder(
+            bus, mode=RecordingMode.ASYNCHRONOUS, flush_batch_size=10
+        )
+        for i in range(25):
+            recorder.record_interaction(
+                make_key(i), ViewKind.SENDER, "a", "op", content()
+            )
+        recorder.flush()
+        assert bus.calls == 3  # ceil(25 / 10)
+
+    def test_async_cheaper_than_sync_in_virtual_time(self, deployment):
+        bus, _ = deployment
+        sync_rec = ProvenanceRecorder(bus, mode=RecordingMode.SYNCHRONOUS)
+        for i in range(10):
+            sync_rec.record_interaction(
+                make_key(i), ViewKind.SENDER, "a", "op", content()
+            )
+        sync_cost = bus.clock.now
+
+        bus2 = MessageBus()
+        bus2.register(
+            PReServActor(MemoryBackend()), latency=LatencyModel(round_trip_s=0.018)
+        )
+        async_rec = ProvenanceRecorder(
+            bus2, mode=RecordingMode.ASYNCHRONOUS, flush_batch_size=64
+        )
+        for i in range(10):
+            async_rec.record_interaction(
+                make_key(i + 100), ViewKind.SENDER, "a", "op", content()
+            )
+        async_rec.flush()
+        assert bus2.clock.now < sync_cost
+
+    def test_record_actor_state_and_group(self, deployment):
+        bus, backend = deployment
+        recorder = ProvenanceRecorder(bus, mode=RecordingMode.SYNCHRONOUS)
+        recorder.record_actor_state(
+            make_key(), ViewKind.RECEIVER, "b", "script", content("#!/bin/sh")
+        )
+        recorder.record_group(
+            "session-1", GroupKind.SESSION, make_key(), "a"
+        )
+        counts = backend.counts()
+        assert counts.actor_state_passertions == 1
+        assert counts.group_assertions == 1
+
+    def test_local_ids_unique(self, deployment):
+        bus, _ = deployment
+        recorder = ProvenanceRecorder(bus, mode=RecordingMode.ASYNCHRONOUS)
+        a = recorder.record_interaction(
+            make_key(1), ViewKind.SENDER, "a", "op", content()
+        )
+        b = recorder.record_interaction(
+            make_key(1), ViewKind.RECEIVER, "b", "op", content()
+        )
+        assert a.local_id != b.local_id
+
+    def test_flush_batch_size_validated(self, deployment):
+        bus, _ = deployment
+        with pytest.raises(ValueError):
+            ProvenanceRecorder(bus, flush_batch_size=0)
+
+    def test_crash_recovery_via_on_disk_journal(self, deployment, tmp_path):
+        """Async journal on disk survives a 'crash' before flush."""
+        bus, backend = deployment
+        path = tmp_path / "journal.log"
+        recorder = ProvenanceRecorder(
+            bus, mode=RecordingMode.ASYNCHRONOUS, journal=Journal(path)
+        )
+        for i in range(4):
+            recorder.record_interaction(
+                make_key(i), ViewKind.SENDER, "a", "op", content()
+            )
+        recorder.journal.close()  # crash before flush
+        # Recovery: reload the journal and flush through a new recorder.
+        recovered = ProvenanceRecorder(
+            bus, mode=RecordingMode.ASYNCHRONOUS, journal=Journal.load(path)
+        )
+        assert recovered.flush() == 4
+        assert backend.counts().interaction_passertions == 4

@@ -1,0 +1,60 @@
+"""Tests for the distributed-store scaling harness and CLI additions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.cli import main
+from repro.figures.distributed import (
+    run_scaling,
+    scaling_table,
+    simulate_submission,
+)
+
+
+class TestScalingHarness:
+    def test_single_store_is_serial_pipeline(self):
+        point = simulate_submission(1, n_submitters=4, n_records=100)
+        assert point.makespan_s == pytest.approx(100 * 0.018, rel=0.01)
+
+    def test_more_stores_more_throughput(self):
+        points = run_scaling(store_counts=(1, 2, 4), n_submitters=8, n_records=400)
+        rates = [p.records_per_second for p in points]
+        assert rates == sorted(rates)
+        assert rates[1] > 1.5 * rates[0]
+
+    def test_submitter_bound_when_fewer_submitters_than_stores(self):
+        """With 1 submitter, extra stores cannot help at all."""
+        one = simulate_submission(1, n_submitters=1, n_records=100)
+        many = simulate_submission(8, n_submitters=1, n_records=100)
+        assert many.makespan_s == pytest.approx(one.makespan_s, rel=0.01)
+
+    def test_custom_service_time(self):
+        point = simulate_submission(
+            1, n_submitters=1, n_records=10, service_time_s=0.5
+        )
+        assert point.makespan_s == pytest.approx(5.0, rel=0.01)
+
+    def test_deterministic(self):
+        a = simulate_submission(3, n_submitters=5, n_records=200)
+        b = simulate_submission(3, n_submitters=5, n_records=200)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_submission(0)
+        with pytest.raises(ValueError):
+            simulate_submission(1, n_submitters=0)
+
+    def test_table_renders(self):
+        points = run_scaling(store_counts=(1, 2), n_submitters=4, n_records=50)
+        text = scaling_table(points)
+        assert "speedup" in text
+        assert "1.00x" in text
+
+
+class TestCliScaling:
+    def test_scaling_command(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "records/s" in out

@@ -1,0 +1,122 @@
+"""Figure 5 regeneration and the synthetic store generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.experiment import Experiment, ExperimentConfig
+from repro.core.client import ProvenanceQueryClient
+from repro.core.prep import ProtocolTracker
+from repro.figures.fig5 import fig5_table, measure_point, run_fig5
+from repro.figures.synthstore import populate_store
+from repro.registry.client import RegistryClient
+from repro.usecases.semantic import validate_session
+
+
+@pytest.fixture(scope="module")
+def series():
+    return run_fig5(sizes=(100, 200, 400))
+
+
+class TestSynthStore:
+    def make_exp(self):
+        return Experiment(ExperimentConfig())
+
+    def test_record_structure_matches_real_instrumentation(self):
+        """Synthetic records mirror what the interceptor produces."""
+        exp = self.make_exp()
+        populate_store(exp.backend, 10, script_for=exp.script_for)
+        tracker = ProtocolTracker()
+        for assertion in exp.backend.all_assertions():
+            tracker.observe(assertion)
+        assert tracker.undocumented() == []
+        for key in exp.backend.interaction_keys():
+            scripts = exp.backend.actor_state_passertions(key, state_type="script")
+            assert len(scripts) == 1
+
+    def test_scripts_are_the_real_service_scripts(self):
+        exp = self.make_exp()
+        populate_store(exp.backend, 10, script_for=exp.script_for)
+        encode_keys = [
+            k for k in exp.backend.interaction_keys() if k.receiver == "encode-by-groups"
+        ]
+        script = exp.backend.actor_state_passertions(
+            encode_keys[0], state_type="script"
+        )[0]
+        assert script.content.text == exp.script_for("encode-by-groups")
+
+    def test_session_partitioning(self):
+        exp = self.make_exp()
+        spec = populate_store(exp.backend, 45, script_for=exp.script_for, session_size=20)
+        assert len(spec.sessions) == 3
+        assert sum(
+            len(exp.backend.group_members(s)) for s in spec.sessions
+        ) == 45
+
+    def test_count_matches_request(self):
+        exp = self.make_exp()
+        spec = populate_store(exp.backend, 37, script_for=exp.script_for)
+        assert spec.interaction_records == 37
+        assert exp.backend.counts().interaction_records == 37
+
+    def test_clean_store_semantically_valid(self):
+        exp = self.make_exp()
+        spec = populate_store(exp.backend, 25, script_for=exp.script_for)
+        store = ProvenanceQueryClient(exp.bus)
+        registry = RegistryClient(exp.bus)
+        for session in spec.sessions:
+            report = validate_session(store, registry, session)
+            assert report.valid
+
+    def test_planted_violations_found(self):
+        exp = self.make_exp()
+        spec = populate_store(
+            exp.backend, 25, script_for=exp.script_for, violation_every=2
+        )
+        assert spec.violations
+        store = ProvenanceQueryClient(exp.bus)
+        registry = RegistryClient(exp.bus)
+        found = []
+        for session in spec.sessions:
+            report = validate_session(store, registry, session)
+            found.extend(v.interaction_id for v in report.violations)
+        assert sorted(found) == sorted(spec.violations)
+
+    def test_invalid_args_rejected(self):
+        exp = self.make_exp()
+        with pytest.raises(ValueError):
+            populate_store(exp.backend, -1, script_for=exp.script_for)
+        with pytest.raises(ValueError):
+            populate_store(exp.backend, 1, script_for=exp.script_for, session_size=0)
+
+
+class TestFigure5Shape:
+    def test_both_curves_linear(self, series):
+        assert series.script_fit().is_linear
+        assert series.semantic_fit().is_linear
+
+    def test_slope_ratio_near_eleven(self, series):
+        """Paper: semantic-validity slope ~11x script comparison."""
+        assert 9.0 <= series.slope_ratio() <= 12.0
+
+    def test_script_cost_near_15ms_per_record(self, series):
+        """Paper: ~15 ms to retrieve and map one script."""
+        slope = series.script_fit().slope
+        assert 0.014 <= slope <= 0.017
+
+    def test_semantic_time_dominated_by_registry_calls(self):
+        point = measure_point(100)
+        assert point.semantic_registry_calls > 9 * 0.9 * 100 * 0.9
+
+    def test_monotone_in_store_size(self, series):
+        xs = series.xs()
+        script = [p.script_comparison_s for p in series.points]
+        semantic = [p.semantic_validity_s for p in series.points]
+        assert xs == sorted(xs)
+        assert script == sorted(script)
+        assert semantic == sorted(semantic)
+
+    def test_table_renders(self, series):
+        text = fig5_table(series)
+        assert "slope ratio" in text
+        assert "ms/record" in text

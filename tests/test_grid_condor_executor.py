@@ -1,0 +1,180 @@
+"""Tests for the Condor-style scheduler and the local executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.condor import CondorScheduler, GridJob
+from repro.grid.dag import Activity, WorkflowDag
+from repro.grid.executor import LocalExecutor
+from repro.simkit.hosts import Link, Network
+from repro.simkit.kernel import Simulator
+
+
+def make_cluster(workers=1, cpus=1, matchmaking=2.0, overhead=0.5):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("submit")
+    hosts = [net.add_host(f"w{i}", cpus=cpus) for i in range(workers)]
+    for h in hosts:
+        net.connect("submit", h.name, Link(latency_s=0.001))
+    sched = CondorScheduler(
+        sim,
+        net,
+        submit_host="submit",
+        workers=hosts,
+        matchmaking_delay_s=matchmaking,
+        per_job_overhead_s=overhead,
+    )
+    return sim, sched
+
+
+class TestCondorScheduler:
+    def test_single_job_timing(self):
+        sim, sched = make_cluster()
+        report = sched.run([GridJob(name="j", duration_s=10.0)])
+        timing = report.timing("j")
+        # matchmaking (2) + overhead (0.5) before start; 10 s run.
+        assert timing.started == pytest.approx(2.5)
+        assert timing.run_s == pytest.approx(10.0)
+        assert report.makespan_s == pytest.approx(12.5)
+
+    def test_file_transfer_counted(self):
+        sim, sched = make_cluster()
+        big = 12_500_000  # 1 s at 100 Mb/s
+        report = sched.run([GridJob(name="j", duration_s=1.0, input_bytes=big)])
+        assert report.makespan_s > 3.5  # 2 + ~1 transfer + 0.5 + 1
+
+    def test_dependencies_serialise(self):
+        sim, sched = make_cluster()
+        jobs = [
+            GridJob(name="a", duration_s=5.0),
+            GridJob(name="b", duration_s=5.0, dependencies=("a",)),
+        ]
+        report = sched.run(jobs)
+        assert report.timing("b").started >= report.timing("a").finished
+        assert report.order_finished() == ["a", "b"]
+
+    def test_single_slot_serialises_independent_jobs(self):
+        sim, sched = make_cluster(workers=1)
+        report = sched.run(
+            [GridJob(name=f"j{i}", duration_s=10.0) for i in range(3)]
+        )
+        starts = sorted(t.started for t in report.timings.values())
+        assert starts[1] >= starts[0] + 10.0
+        assert starts[2] >= starts[1] + 10.0
+
+    def test_two_slots_halve_makespan(self):
+        _, one = make_cluster(workers=1, matchmaking=0.0, overhead=0.0)
+        serial = one.run(
+            [GridJob(name=f"j{i}", duration_s=10.0) for i in range(4)]
+        ).makespan_s
+        _, two = make_cluster(workers=2, matchmaking=0.0, overhead=0.0)
+        parallel = two.run(
+            [GridJob(name=f"j{i}", duration_s=10.0) for i in range(4)]
+        ).makespan_s
+        assert parallel == pytest.approx(serial / 2, rel=0.05)
+
+    def test_unknown_dependency_rejected(self):
+        _, sched = make_cluster()
+        with pytest.raises(KeyError):
+            sched.run([GridJob(name="j", duration_s=1.0, dependencies=("ghost",))])
+
+    def test_duplicate_job_names_rejected(self):
+        _, sched = make_cluster()
+        with pytest.raises(ValueError, match="duplicate"):
+            sched.run(
+                [GridJob(name="j", duration_s=1.0), GridJob(name="j", duration_s=2.0)]
+            )
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            GridJob(name="j", duration_s=-1.0)
+
+    def test_no_workers_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("submit")
+        with pytest.raises(ValueError):
+            CondorScheduler(sim, net, submit_host="submit", workers=[])
+
+    def test_deterministic(self):
+        def run_once():
+            _, sched = make_cluster(workers=2)
+            jobs = [
+                GridJob(name="a", duration_s=3.0),
+                GridJob(name="b", duration_s=1.0),
+                GridJob(name="c", duration_s=2.0, dependencies=("a", "b")),
+            ]
+            report = sched.run(jobs)
+            return [(t.name, t.started, t.finished) for t in report.timings.values()]
+
+        assert run_once() == run_once()
+
+
+class TestLocalExecutor:
+    def make_dag(self):
+        dag = WorkflowDag("w")
+        dag.add_activity(Activity("a", params=(("value", "10"),)))
+        dag.add_activity(Activity("b"), after=["a"])
+        dag.add_activity(Activity("c"), after=["a"])
+        dag.add_activity(Activity("d"), after=["b", "c"])
+        return dag
+
+    def test_runs_in_topological_order_threading_outputs(self):
+        impls = {
+            "a": lambda params, inputs: int(params["value"]),
+            "b": lambda params, inputs: inputs["a"] * 2,
+            "c": lambda params, inputs: inputs["a"] + 5,
+            "d": lambda params, inputs: inputs["b"] + inputs["c"],
+        }
+        result = LocalExecutor(impls).run(self.make_dag())
+        assert result.ok
+        assert result.output("d") == 35
+        assert result.order[0] == "a" and result.order[-1] == "d"
+
+    def test_missing_implementation_rejected(self):
+        with pytest.raises(KeyError, match="no implementation"):
+            LocalExecutor({"a": lambda p, i: 1}).run(self.make_dag())
+
+    def test_failure_skips_dependents_but_runs_siblings(self):
+        impls = {
+            "a": lambda p, i: 1,
+            "b": lambda p, i: 1 / 0,
+            "c": lambda p, i: inputs_ok(i),
+            "d": lambda p, i: 99,
+        }
+
+        def inputs_ok(i):
+            return i["a"] + 1
+
+        result = LocalExecutor(impls).run(self.make_dag())
+        assert not result.ok
+        assert isinstance(result.errors["b"], ZeroDivisionError)
+        assert result.output("c") == 2  # sibling branch still ran
+        assert "d" in result.skipped
+
+    def test_output_accessors_raise_informatively(self):
+        impls = {
+            "a": lambda p, i: 1,
+            "b": lambda p, i: 1 / 0,
+            "c": lambda p, i: 2,
+            "d": lambda p, i: 3,
+        }
+        result = LocalExecutor(impls).run(self.make_dag())
+        with pytest.raises(RuntimeError, match="failed"):
+            result.output("b")
+        with pytest.raises(RuntimeError, match="skipped"):
+            result.output("d")
+        with pytest.raises(KeyError):
+            result.output("zz")
+
+    def test_run_or_raise(self):
+        impls = {
+            "a": lambda p, i: 1,
+            "b": lambda p, i: 1 / 0,
+            "c": lambda p, i: 2,
+            "d": lambda p, i: 3,
+        }
+        with pytest.raises(RuntimeError, match="'b' failed"):
+            LocalExecutor(impls).run_or_raise(self.make_dag())

@@ -1,0 +1,149 @@
+"""Tests for the workflow DAG model and the VDL-like language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.dag import Activity, CycleError, WorkflowDag
+from repro.grid.vdl import VdlSyntaxError, parse_vdl, render_vdl
+
+
+def fig1_dag() -> WorkflowDag:
+    """The paper's Figure 1 workflow as a DAG."""
+    dag = WorkflowDag("compressibility")
+    dag.add_activity(Activity("collate", script="collate.sh"))
+    dag.add_activity(Activity("encode", script="encode.sh"), after=["collate"])
+    dag.add_activity(Activity("shuffle", script="shuffle.sh"), after=["encode"])
+    dag.add_activity(Activity("measure_sample", script="measure.sh"), after=["encode"])
+    dag.add_activity(Activity("measure_perms", script="measure.sh"), after=["shuffle"])
+    dag.add_activity(
+        Activity("collate_sizes", script="sizes.sh"),
+        after=["measure_sample", "measure_perms"],
+    )
+    dag.add_activity(Activity("average", script="avg.sh"), after=["collate_sizes"])
+    return dag
+
+
+class TestDag:
+    def test_duplicate_activity_rejected(self):
+        dag = WorkflowDag("w")
+        dag.add_activity(Activity("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add_activity(Activity("a"))
+
+    def test_dependency_on_unknown_rejected(self):
+        dag = WorkflowDag("w")
+        dag.add_activity(Activity("a"))
+        with pytest.raises(KeyError):
+            dag.add_dependency("a", "ghost")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dag = WorkflowDag("w")
+        dag.add_activity(Activity("a"))
+        dag.add_activity(Activity("b"), after=["a"])
+        with pytest.raises(CycleError):
+            dag.add_dependency("b", "a")
+        # The offending edge must not remain.
+        assert dag.dependencies_of("a") == []
+
+    def test_sources_and_sinks(self):
+        dag = fig1_dag()
+        assert dag.sources() == ["collate"]
+        assert dag.sinks() == ["average"]
+
+    def test_topological_order_respects_dependencies(self):
+        dag = fig1_dag()
+        order = dag.topological_order()
+        for name in dag.names():
+            for dep in dag.dependencies_of(name):
+                assert order.index(dep) < order.index(name)
+
+    def test_levels_are_antichains(self):
+        dag = fig1_dag()
+        levels = dag.levels()
+        assert levels[0] == ["collate"]
+        assert ["measure_sample", "shuffle"] == levels[2]
+
+    def test_subgraph_closure(self):
+        dag = fig1_dag()
+        sub = dag.subgraph_closure(["measure_perms"])
+        assert set(sub.names()) == {"collate", "encode", "shuffle", "measure_perms"}
+        assert sub.dependencies_of("measure_perms") == ["shuffle"]
+
+    def test_activity_params(self):
+        act = Activity("a", params=(("k", "v"),))
+        updated = act.with_params(n="5")
+        assert updated.param_dict == {"k": "v", "n": "5"}
+        assert act.param_dict == {"k": "v"}  # original untouched
+
+
+VDL_TEXT = """
+# The compressibility experiment
+workflow compressibility {
+  activity collate  script="collate.sh" sample_kb="100";
+  activity encode   script="encode.sh" after="collate" grouping="hp2";
+  activity shuffle  after="encode";                      # shuffles
+  activity measure  script="measure.sh" after="shuffle,encode" codec="gz-like";
+}
+"""
+
+
+class TestVdl:
+    def test_parse_structure(self):
+        dag = parse_vdl(VDL_TEXT)
+        assert dag.name == "compressibility"
+        assert dag.names() == ["collate", "encode", "measure", "shuffle"]
+        assert dag.dependencies_of("measure") == ["encode", "shuffle"]
+        assert dag.activity("encode").param_dict == {"grouping": "hp2"}
+        assert dag.activity("collate").script == "collate.sh"
+
+    def test_roundtrip_via_render(self):
+        dag = parse_vdl(VDL_TEXT)
+        reparsed = parse_vdl(render_vdl(dag))
+        assert reparsed.names() == dag.names()
+        for name in dag.names():
+            assert reparsed.activity(name) == dag.activity(name)
+            assert reparsed.dependencies_of(name) == dag.dependencies_of(name)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(VdlSyntaxError, match="';'"):
+            parse_vdl('workflow w {\n  activity a script="x"\n}')
+
+    def test_missing_header(self):
+        with pytest.raises(VdlSyntaxError, match="workflow"):
+            parse_vdl("activity a;")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(VdlSyntaxError, match="closing"):
+            parse_vdl("workflow w {\n  activity a;\n")
+
+    def test_unknown_dependency_reported_with_line(self):
+        with pytest.raises(VdlSyntaxError, match="line 2"):
+            parse_vdl('workflow w {\n  activity a after="ghost";\n}')
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(VdlSyntaxError, match="duplicate"):
+            parse_vdl('workflow w {\n  activity a x="1" x="2";\n}')
+
+    def test_garbage_attribute_text_rejected(self):
+        with pytest.raises(VdlSyntaxError, match="unparsable"):
+            parse_vdl("workflow w {\n  activity a !!!;\n}")
+
+    def test_comment_with_hash_in_string_preserved(self):
+        dag = parse_vdl('workflow w {\n  activity a note="#notacomment";\n}')
+        assert dag.activity("a").param_dict == {"note": "#notacomment"}
+
+    def test_forward_references_allowed(self):
+        dag = parse_vdl(
+            'workflow w {\n  activity late after="early";\n  activity early;\n}'
+        )
+        assert dag.dependencies_of("late") == ["early"]
+
+    def test_content_after_close_rejected(self):
+        with pytest.raises(VdlSyntaxError, match="after closing"):
+            parse_vdl("workflow w {\n}\nactivity x;")
+
+    def test_cycle_reported_as_syntax_error(self):
+        text = 'workflow w {\n  activity a after="b";\n  activity b after="a";\n}'
+        with pytest.raises(VdlSyntaxError):
+            parse_vdl(text)

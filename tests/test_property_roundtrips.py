@@ -1,0 +1,253 @@
+"""Cross-cutting property tests: every wire format round-trips losslessly.
+
+The provenance architecture's value rests on records surviving
+serialization, storage, archival and transport unchanged; these properties
+pin that down over generated data rather than hand-picked examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+    parse_passertion,
+)
+from repro.core.prep import PrepQuery, PrepRecord, parse_prep_message
+from repro.core.recorder import Journal
+from repro.grid.dag import Activity, WorkflowDag
+from repro.grid.vdl import parse_vdl, render_vdl
+from repro.registry.ontology import Ontology
+from repro.soa.envelope import Envelope
+from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.backends import MemoryBackend
+from repro.store.curation import export_archive, import_archive
+
+# -- strategies ------------------------------------------------------------
+
+_token = st.from_regex(r"[A-Za-z][A-Za-z0-9._-]{0,12}", fullmatch=True)
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x17F),
+    min_size=1,
+    max_size=40,
+).filter(lambda s: s.strip())
+
+_keys = st.builds(
+    InteractionKey,
+    interaction_id=_token,
+    sender=_token,
+    receiver=_token,
+)
+
+
+def _content(text: str) -> XmlElement:
+    el = XmlElement("doc")
+    el.add(text)
+    return el
+
+
+_interaction_pas = st.builds(
+    lambda key, view, asserter, local_id, op, text: InteractionPAssertion(
+        interaction_key=key,
+        view=view,
+        asserter=asserter,
+        local_id=local_id,
+        operation=op,
+        content=_content(text),
+    ),
+    _keys,
+    st.sampled_from(list(ViewKind)),
+    _token,
+    _token,
+    _token,
+    _text,
+)
+
+_state_pas = st.builds(
+    lambda key, view, asserter, local_id, stype, text: ActorStatePAssertion(
+        interaction_key=key,
+        view=view,
+        asserter=asserter,
+        local_id=local_id,
+        state_type=stype,
+        content=_content(text),
+    ),
+    _keys,
+    st.sampled_from(list(ViewKind)),
+    _token,
+    _token,
+    _token,
+    _text,
+)
+
+_groups = st.builds(
+    GroupAssertion,
+    group_id=_token,
+    kind=st.sampled_from(list(GroupKind)),
+    member=_keys,
+    asserter=_token,
+    sequence=st.one_of(st.none(), st.integers(0, 10_000)),
+)
+
+
+class TestPAssertionRoundtrips:
+    @given(_interaction_pas)
+    def test_interaction_passertion(self, pa):
+        restored = parse_passertion(parse_xml(pa.to_xml().serialize()))
+        assert isinstance(restored, InteractionPAssertion)
+        assert restored.store_key == pa.store_key
+        assert restored.operation == pa.operation
+        assert restored.content.text == pa.content.text
+
+    @given(_state_pas)
+    def test_actor_state_passertion(self, pa):
+        restored = parse_passertion(parse_xml(pa.to_xml().serialize()))
+        assert isinstance(restored, ActorStatePAssertion)
+        assert restored.store_key == pa.store_key
+        assert restored.state_type == pa.state_type
+
+    @given(_groups)
+    def test_group_assertion(self, ga):
+        assert GroupAssertion.from_xml(parse_xml(ga.to_xml().serialize())) == ga
+
+
+class TestPrepRoundtrips:
+    @given(st.one_of(_interaction_pas, _state_pas, _groups))
+    def test_prep_record(self, assertion):
+        record = PrepRecord(assertion=assertion)
+        restored = parse_prep_message(parse_xml(record.to_xml().serialize()))
+        assert isinstance(restored, PrepRecord)
+        if isinstance(assertion, GroupAssertion):
+            assert restored.assertion == assertion
+        else:
+            assert restored.assertion.store_key == assertion.store_key
+
+    @given(_token, st.dictionaries(_token, _text, max_size=4))
+    def test_prep_query(self, qtype, params):
+        query = PrepQuery(query_type=qtype, params=params)
+        assert PrepQuery.from_xml(parse_xml(query.to_xml().serialize())) == query
+
+    @given(st.lists(st.one_of(_interaction_pas, _state_pas), max_size=12, unique_by=lambda a: a.store_key))
+    def test_journal_file_roundtrip(self, tmp_path_factory, assertions):
+        path = tmp_path_factory.mktemp("journal") / "j.log"
+        journal = Journal(path)
+        for a in assertions:
+            journal.append(PrepRecord(assertion=a))
+        journal.close()
+        replayed = Journal.load(path)
+        assert [r.assertion.store_key for r in replayed.peek()] == [
+            a.store_key for a in assertions
+        ]
+
+
+class TestEnvelopeRoundtrip:
+    @given(
+        st.dictionaries(_token, _text, min_size=0, max_size=5),
+        _text,
+    )
+    def test_envelope(self, extra_headers, body_text):
+        headers = {
+            "source": "a",
+            "target": "b",
+            "operation": "op",
+            "message-id": "m-1",
+        }
+        headers.update(extra_headers)
+        env = Envelope(headers=headers, body=_content(body_text))
+        restored = Envelope.deserialize(env.serialize())
+        assert restored.headers == env.headers
+        assert restored.body.text == body_text
+
+
+class TestArchiveRoundtrip:
+    @given(
+        st.lists(
+            st.one_of(_interaction_pas, _state_pas),
+            max_size=15,
+            unique_by=lambda a: a.store_key,
+        ),
+        st.lists(_groups, max_size=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_store_archive(self, tmp_path_factory, passertions, groups):
+        store = MemoryBackend()
+        for a in passertions:
+            store.put(a)
+        seen_kinds = {}
+        for g in groups:
+            # Respect the one-kind-per-group invariant when planting.
+            if seen_kinds.setdefault(g.group_id, g.kind) != g.kind:
+                continue
+            store.put(g)
+        path = tmp_path_factory.mktemp("archive") / "a.xml"
+        export_archive(store, path)
+        target = MemoryBackend()
+        import_archive(path, target)
+        assert target.counts() == store.counts()
+
+
+class TestOntologyProperties:
+    @given(st.integers(2, 25), st.data())
+    def test_subsumption_transitive(self, n, data):
+        """Random DAG ontology: subsumes is transitive along parent chains."""
+        onto = Ontology()
+        names = [f"t{i}" for i in range(n)]
+        onto.add_type(names[0])
+        for i in range(1, n):
+            k = data.draw(st.integers(0, min(2, i - 1) if i > 1 else 0))
+            parents = data.draw(
+                st.lists(st.sampled_from(names[:i]), min_size=1, max_size=k + 1, unique=True)
+            )
+            onto.add_type(names[i], parents)
+        for child in names:
+            for mid in onto.ancestors(child):
+                for top in onto.ancestors(mid):
+                    assert onto.subsumes(top, child)
+
+    @given(st.integers(2, 15))
+    def test_chain_subsumption(self, n):
+        onto = Ontology()
+        onto.add_type("t0")
+        for i in range(1, n):
+            onto.add_type(f"t{i}", [f"t{i - 1}"])
+        assert onto.subsumes("t0", f"t{n - 1}")
+        assert not onto.subsumes(f"t{n - 1}", "t0")
+
+
+class TestVdlProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
+                st.dictionaries(
+                    st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True),
+                    st.from_regex(r"[A-Za-z0-9 ._-]{0,12}", fullmatch=True),
+                    max_size=3,
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_render_parse_roundtrip(self, activities):
+        dag = WorkflowDag("generated")
+        names = []
+        for i, (name, attrs) in enumerate(activities):
+            attrs = {k: v for k, v in attrs.items() if k not in ("after", "script")}
+            after = [names[i - 1]] if i else []
+            dag.add_activity(
+                Activity(name, script=f"{name}.sh", params=tuple(sorted(attrs.items()))),
+                after=after,
+            )
+            names.append(name)
+        reparsed = parse_vdl(render_vdl(dag))
+        assert reparsed.names() == dag.names()
+        for name in dag.names():
+            assert reparsed.activity(name) == dag.activity(name)
+            assert reparsed.dependencies_of(name) == dag.dependencies_of(name)

@@ -1,0 +1,101 @@
+"""Tests for the semantic-type ontology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry.ontology import (
+    Ontology,
+    T_AA_SEQUENCE,
+    T_DATA,
+    T_ENCODED,
+    T_NT_SEQUENCE,
+    T_PERMUTATION,
+    T_SAMPLE,
+    T_SEQUENCE,
+    build_experiment_ontology,
+)
+from repro.soa.xmldoc import parse_xml
+
+
+class TestOntology:
+    def test_add_and_query(self):
+        onto = Ontology()
+        onto.add_type("thing")
+        onto.add_type("animal", ["thing"])
+        onto.add_type("dog", ["animal"])
+        assert onto.subsumes("thing", "dog")
+        assert onto.subsumes("animal", "dog")
+        assert not onto.subsumes("dog", "animal")
+
+    def test_subsumption_reflexive(self):
+        onto = Ontology()
+        onto.add_type("x")
+        assert onto.subsumes("x", "x")
+
+    def test_unknown_parent_rejected(self):
+        onto = Ontology()
+        with pytest.raises(KeyError):
+            onto.add_type("child", ["ghost"])
+
+    def test_cycle_rejected(self):
+        onto = Ontology()
+        onto.add_type("a")
+        onto.add_type("b", ["a"])
+        with pytest.raises(ValueError, match="cycle"):
+            onto.add_type("a", ["b"])
+
+    def test_multiple_inheritance(self):
+        onto = Ontology()
+        onto.add_type("a")
+        onto.add_type("b")
+        onto.add_type("c", ["a", "b"])
+        assert onto.subsumes("a", "c") and onto.subsumes("b", "c")
+        assert onto.ancestors("c") == {"a", "b"}
+
+    def test_unknown_type_in_subsumes_raises(self):
+        onto = Ontology()
+        onto.add_type("x")
+        with pytest.raises(KeyError):
+            onto.subsumes("x", "ghost")
+
+    def test_compatible_is_directional(self):
+        onto = Ontology()
+        onto.add_type("general")
+        onto.add_type("specific", ["general"])
+        assert onto.compatible(produced="specific", consumed="general")
+        assert not onto.compatible(produced="general", consumed="specific")
+
+    def test_xml_roundtrip(self):
+        onto = build_experiment_ontology()
+        restored = Ontology.from_xml(parse_xml(onto.to_xml().serialize()))
+        assert restored.types() == onto.types()
+        for t in onto.types():
+            assert restored.parents(t) == onto.parents(t)
+
+
+class TestExperimentOntology:
+    def setup_method(self):
+        self.onto = build_experiment_ontology()
+
+    def test_sequence_kinds_are_siblings(self):
+        """The UC2 trap: neither sequence kind subsumes the other."""
+        assert not self.onto.subsumes(T_AA_SEQUENCE, T_NT_SEQUENCE)
+        assert not self.onto.subsumes(T_NT_SEQUENCE, T_AA_SEQUENCE)
+
+    def test_sample_is_amino_acid_sequence(self):
+        assert self.onto.subsumes(T_AA_SEQUENCE, T_SAMPLE)
+        assert self.onto.subsumes(T_SEQUENCE, T_SAMPLE)
+
+    def test_nucleotide_feeding_protein_service_incompatible(self):
+        assert not self.onto.compatible(produced=T_NT_SEQUENCE, consumed=T_AA_SEQUENCE)
+
+    def test_sample_feeding_protein_service_compatible(self):
+        assert self.onto.compatible(produced=T_SAMPLE, consumed=T_AA_SEQUENCE)
+
+    def test_permutation_is_encoded(self):
+        assert self.onto.compatible(produced=T_PERMUTATION, consumed=T_ENCODED)
+
+    def test_everything_is_data(self):
+        for t in self.onto.types():
+            assert self.onto.subsumes(T_DATA, t)

@@ -1,0 +1,168 @@
+"""Tests for WSDL descriptions, the registry actor and its client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry.client import RegistryClient
+from repro.registry.ontology import build_experiment_ontology
+from repro.registry.service import GrimoiresRegistry
+from repro.registry.wsdl import (
+    MessagePart,
+    OperationDescription,
+    PartKey,
+    ServiceDescription,
+)
+from repro.soa.bus import MessageBus
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement, parse_xml
+
+
+def sample_description(service="encode-by-groups") -> ServiceDescription:
+    return ServiceDescription(
+        service=service,
+        description="recodes sequences",
+        operations=(
+            OperationDescription(
+                name="encode",
+                inputs=(MessagePart("sequence"),),
+                outputs=(MessagePart("encoded"),),
+            ),
+        ),
+    )
+
+
+class TestWsdl:
+    def test_part_key_validation(self):
+        with pytest.raises(ValueError):
+            PartKey("s", "op", "sideways", "p")
+
+    def test_part_key_string_roundtrip(self):
+        key = PartKey("svc", "op", "input", "part")
+        assert PartKey.parse(key.as_string()) == key
+
+    def test_malformed_part_key_rejected(self):
+        with pytest.raises(ValueError):
+            PartKey.parse("no-separators")
+
+    def test_duplicate_operation_rejected(self):
+        op = OperationDescription(name="x")
+        with pytest.raises(ValueError, match="twice"):
+            ServiceDescription(service="s", operations=(op, op))
+
+    def test_operation_lookup(self):
+        desc = sample_description()
+        assert desc.operation("encode").inputs[0].name == "sequence"
+        with pytest.raises(KeyError):
+            desc.operation("ghost")
+
+    def test_part_keys_enumerated(self):
+        keys = sample_description().part_keys()
+        assert (
+            PartKey("encode-by-groups", "encode", "input", "sequence") in keys
+        )
+        assert len(keys) == 2
+
+    def test_xml_roundtrip(self):
+        desc = sample_description()
+        restored = ServiceDescription.from_xml(parse_xml(desc.to_xml().serialize()))
+        assert restored.service == desc.service
+        assert restored.operation("encode").outputs == desc.operation("encode").outputs
+
+
+class TestRegistryDirect:
+    def setup_method(self):
+        self.registry = GrimoiresRegistry(build_experiment_ontology())
+
+    def test_publish_and_describe(self):
+        self.registry.publish(sample_description())
+        assert self.registry.services() == ["encode-by-groups"]
+        desc = self.registry.description_of("encode-by-groups")
+        assert desc.operation_names() == ["encode"]
+
+    def test_double_publish_rejected(self):
+        self.registry.publish(sample_description())
+        with pytest.raises(ValueError):
+            self.registry.publish(sample_description())
+
+    def test_annotate_requires_existing_part(self):
+        self.registry.publish(sample_description())
+        with pytest.raises(KeyError):
+            self.registry.annotate(
+                PartKey("encode-by-groups", "encode", "input", "ghost"),
+                "semantic-type",
+                "x",
+            )
+
+    def test_annotate_and_fetch(self):
+        self.registry.publish(sample_description())
+        key = PartKey("encode-by-groups", "encode", "input", "sequence")
+        self.registry.annotate(key, "semantic-type", "amino-acid-sequence")
+        assert self.registry.metadata_of(key) == {
+            "semantic-type": "amino-acid-sequence"
+        }
+
+
+class TestRegistryOverBus:
+    @pytest.fixture
+    def client(self):
+        bus = MessageBus()
+        registry = GrimoiresRegistry(build_experiment_ontology())
+        registry.publish(sample_description())
+        registry.annotate(
+            PartKey("encode-by-groups", "encode", "input", "sequence"),
+            "semantic-type",
+            "amino-acid-sequence",
+        )
+        registry.annotate(
+            PartKey("encode-by-groups", "encode", "output", "encoded"),
+            "semantic-type",
+            "group-encoded-sample",
+        )
+        bus.register(registry)
+        return RegistryClient(bus)
+
+    def test_lookup_service(self, client):
+        summary = client.lookup_service("encode-by-groups")
+        assert summary["service"] == "encode-by-groups"
+
+    def test_lookup_unknown_faults(self, client):
+        with pytest.raises(Fault, match="not-found"):
+            client.lookup_service("ghost")
+
+    def test_get_interface(self, client):
+        desc = client.get_interface("encode-by-groups")
+        assert desc.operation_names() == ["encode"]
+
+    def test_get_operation_and_message(self, client):
+        op = client.get_operation("encode-by-groups", "encode")
+        assert op.name == "encode"
+        parts = client.get_message("encode-by-groups", "encode", "input")
+        assert [p.name for p in parts] == ["sequence"]
+
+    def test_get_part_and_metadata(self, client):
+        key = PartKey("encode-by-groups", "encode", "input", "sequence")
+        assert client.get_part(key) == key.as_string()
+        assert client.semantic_type(key) == "amino-acid-sequence"
+
+    def test_metadata_unknown_part_faults(self, client):
+        with pytest.raises(Fault):
+            client.get_metadata(PartKey("encode-by-groups", "encode", "input", "zz"))
+
+    def test_find_by_metadata(self, client):
+        hits = client.find_by_metadata("semantic-type", "group-encoded-sample")
+        assert hits == [PartKey("encode-by-groups", "encode", "output", "encoded")]
+
+    def test_ontology_fetch_and_subsumes(self, client):
+        onto = client.get_ontology()
+        assert onto.subsumes("sequence", "amino-acid-sequence")
+        assert client.subsumes("sequence", "amino-acid-sequence") is True
+        assert client.subsumes("amino-acid-sequence", "nucleotide-sequence") is False
+
+    def test_every_method_is_one_call(self, client):
+        before = client.calls
+        client.lookup_service("encode-by-groups")
+        client.get_interface("encode-by-groups")
+        client.get_operation("encode-by-groups", "encode")
+        client.get_message("encode-by-groups", "encode", "input")
+        assert client.calls == before + 4

@@ -1,0 +1,101 @@
+"""Tests for hosts and the network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit.hosts import ETHERNET_100MB_BPS, Host, Link, Network
+from repro.simkit.kernel import Simulator
+
+
+class TestLink:
+    def test_transfer_time_latency_plus_bandwidth(self):
+        link = Link(latency_s=0.001, bandwidth_bps=1_000_000)
+        assert link.transfer_time(500_000) == pytest.approx(0.001 + 0.5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = Link(latency_s=0.002)
+        assert link.transfer_time(0) == pytest.approx(0.002)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Link(latency_s=0).transfer_time(-1)
+
+    def test_100mb_ethernet_constant(self):
+        # 100 Mb/s = 12.5 MB/s.
+        assert ETHERNET_100MB_BPS == pytest.approx(12_500_000)
+
+
+class TestHost:
+    def test_speed_scales_compute_time(self, sim):
+        fast = Host(name="fast", sim=sim, speed=2.0)
+        slow = Host(name="slow", sim=sim, speed=0.5)
+        assert fast.compute_time(10) == pytest.approx(5.0)
+        assert slow.compute_time(10) == pytest.approx(20.0)
+
+    def test_invalid_speed_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Host(name="h", sim=sim, speed=0)
+
+    def test_compute_respects_cpu_slots(self, sim):
+        host = Host(name="h", sim=sim, cpus=1)
+        finished = []
+
+        def worker(name):
+            yield from host.compute(2.0)
+            finished.append((name, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert finished == [("a", 2.0), ("b", 4.0)]
+
+
+class TestNetwork:
+    def test_duplicate_host_rejected(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        with pytest.raises(ValueError):
+            net.add_host("a")
+
+    def test_connect_unknown_host_rejected(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        with pytest.raises(KeyError):
+            net.connect("a", "ghost", Link(latency_s=0.001))
+
+    def test_loopback_faster_than_default(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        assert net.transfer_time("a", "a", 1000) < net.transfer_time("a", "b", 1000)
+
+    def test_configured_link_used_bidirectionally(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        link = Link(latency_s=0.5, bandwidth_bps=1000)
+        net.connect("a", "b", link)
+        assert net.transfer_time("a", "b", 100) == pytest.approx(0.5 + 0.1)
+        assert net.transfer_time("b", "a", 100) == pytest.approx(0.5 + 0.1)
+
+    def test_unidirectional_connect(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        link = Link(latency_s=0.5)
+        net.connect("a", "b", link, bidirectional=False)
+        assert net.link("a", "b") is link
+        assert net.link("b", "a") is net.default_link
+
+    def test_transfer_event_advances_clock(self, sim):
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", Link(latency_s=1.0, bandwidth_bps=1000))
+
+        def proc():
+            yield net.transfer("a", "b", 500)
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(proc())) == pytest.approx(1.5)

@@ -1,0 +1,242 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit.kernel import (
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestEvents:
+    def test_event_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.fired
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_fires_callbacks_at_current_time(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append((sim.now, e.value)))
+        ev.succeed("payload")
+        sim.run()
+        assert seen == [(0.0, "payload")]
+
+    def test_succeed_with_delay(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(sim.now))
+        ev.succeed(delay=2.5)
+        sim.run()
+        assert seen == [2.5]
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().succeed(delay=-1)
+
+
+class TestTimeoutsAndClock:
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay).callbacks.append(
+                lambda e, d=delay: order.append(d)
+            )
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_equal_times_fifo(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0).callbacks.append(lambda e, t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.timeout(10.0)
+        final = sim.run(until=4.0)
+        assert final == 4.0
+        assert sim.now == 4.0
+
+    def test_run_until_beyond_queue_advances_clock(self, sim):
+        sim.timeout(1.0)
+        assert sim.run(until=5.0) == 5.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-0.1)
+
+
+class TestProcesses:
+    def test_process_advances_clock(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield sim.timeout(5)
+            trace.append(sim.now)
+            yield sim.timeout(2)
+            trace.append(sim.now)
+            return "done"
+
+        p = sim.process(proc())
+        result = sim.run_until_complete(p)
+        assert result == "done"
+        assert trace == [0.0, 5.0, 7.0]
+
+    def test_process_receives_event_value(self, sim):
+        ev = sim.event()
+        got = []
+
+        def proc():
+            value = yield ev
+            got.append(value)
+
+        sim.process(proc())
+        ev.succeed(41, delay=1.0)
+        sim.run()
+        assert got == [41]
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(proc())
+        ev.fail(ValueError("boom"))
+        assert sim.run_until_complete(p) == "caught boom"
+
+    def test_uncaught_process_exception_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise RuntimeError("exploded")
+
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="exploded"):
+            sim.run_until_complete(p)
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield sim.timeout(3)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        assert sim.run_until_complete(sim.process(parent())) == 100
+
+    def test_yield_non_event_raises(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            sim.run()
+
+    def test_interrupt_delivers_cause(self, sim):
+        caught = []
+
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as exc:
+                caught.append((sim.now, exc.cause))
+
+        def attacker(target):
+            yield sim.timeout(2)
+            target.interrupt("stop now")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        sim.run()
+        assert caught == [(2.0, "stop now")]
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(0)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_deadlock_detected_by_run_until_complete(self, sim):
+        def stuck():
+            yield sim.event()  # never triggered
+
+        p = sim.process(stuck())
+        with pytest.raises(SimulationError, match="did not complete"):
+            sim.run_until_complete(p)
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self, sim):
+        def proc():
+            t1, t2, t3 = sim.timeout(1), sim.timeout(5), sim.timeout(3)
+            yield sim.all_of([t1, t2, t3])
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(proc())) == 5.0
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def proc():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(proc())) == 0.0
+
+    def test_any_of_fires_on_first(self, sim):
+        def proc():
+            yield sim.any_of([sim.timeout(4), sim.timeout(1)])
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(proc())) == 1.0
+
+    def test_determinism_same_seed_same_trace(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(name, delays):
+                for d in delays:
+                    yield sim.timeout(d)
+                    trace.append((name, sim.now))
+
+            sim.process(worker("a", [1, 2, 3]))
+            sim.process(worker("b", [2, 2, 2]))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,139 @@
+"""Tests for simulation resources (slot pools, FIFO stores)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit.kernel import SimulationError, Simulator
+from repro.simkit.resources import Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_release_wakes_fifo_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        w1, w2 = res.request(), res.request()
+        res.release()
+        sim.run()
+        assert w1.fired and not w2.triggered
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_cancel_queued_request(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiting = res.request()
+        assert res.cancel(waiting) is True
+        assert res.cancel(waiting) is False
+        assert res.queue_length == 0
+
+    def test_serialises_processes(self, sim):
+        """Two processes sharing one slot cannot overlap in time."""
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(name):
+            req = res.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(3)
+            res.release()
+            spans.append((name, start, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert spans == [("a", 0.0, 3.0), ("b", 3.0, 6.0)]
+
+    def test_parallel_capacity_two(self, sim):
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def worker(name):
+            yield res.request()
+            yield sim.timeout(3)
+            res.release()
+            done.append((name, sim.now))
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        # a and b run together; c follows.
+        assert done == [("a", 3.0), ("b", 3.0), ("c", 6.0)]
+
+    def test_available_accounting(self, sim):
+        res = Resource(sim, capacity=3)
+        res.request()
+        res.request()
+        assert res.available == 1
+        res.release()
+        assert res.available == 2
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        ev = store.get()
+        assert ev.triggered
+        sim.run()
+        assert ev.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_ordering_of_items(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        values = []
+
+        def consumer():
+            for _ in range(3):
+                values.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert values == [0, 1, 2]
+
+    def test_fifo_ordering_of_getters(self, sim):
+        store = Store(sim)
+        first, second = store.get(), store.get()
+        store.put("x")
+        assert first.triggered and not second.triggered
+
+    def test_try_get_nonblocking(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+        assert len(store) == 0

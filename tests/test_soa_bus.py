@@ -1,0 +1,214 @@
+"""Tests for envelopes, actors and the message bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soa.actor import Actor, OperationError
+from repro.soa.bus import LatencyModel, MessageBus, VirtualClock
+from repro.soa.envelope import Envelope, Fault
+from repro.soa.xmldoc import XmlElement, parse_xml
+
+
+class EchoService(Actor):
+    def __init__(self):
+        super().__init__("echo", description="echoes payloads")
+        self.received = []
+
+    def op_echo(self, payload: XmlElement) -> XmlElement:
+        self.received.append(payload)
+        out = XmlElement("echoed")
+        out.add(payload.text)
+        return out
+
+    def op_fail(self, payload: XmlElement) -> XmlElement:
+        raise Fault("deliberate", "requested failure")
+
+    def op_bad_return(self, payload: XmlElement):
+        return "not xml"
+
+
+class TestEnvelope:
+    def make(self) -> Envelope:
+        body = XmlElement("data")
+        body.add("hello")
+        return Envelope(
+            headers={
+                "source": "a",
+                "target": "b",
+                "operation": "echo",
+                "message-id": "m-1",
+                "session": "s-1",
+            },
+            body=body,
+        )
+
+    def test_required_headers_validated(self):
+        env = Envelope(headers={"source": "a"}, body=XmlElement("x"))
+        with pytest.raises(ValueError, match="missing headers"):
+            env.validate()
+
+    def test_missing_body_rejected(self):
+        env = Envelope(
+            headers={
+                "source": "a",
+                "target": "b",
+                "operation": "o",
+                "message-id": "m",
+            }
+        )
+        with pytest.raises(ValueError, match="no body"):
+            env.validate()
+
+    def test_xml_roundtrip(self):
+        env = self.make()
+        restored = Envelope.from_xml(parse_xml(env.serialize()))
+        assert restored.headers == env.headers
+        assert restored.body == env.body
+
+    def test_header_accessors(self):
+        env = self.make()
+        assert (env.source, env.target, env.operation, env.message_id) == (
+            "a",
+            "b",
+            "echo",
+            "m-1",
+        )
+
+    def test_fault_roundtrip(self):
+        fault = Fault("code-x", "reason text")
+        restored = Fault.from_xml(fault.to_xml())
+        assert (restored.code, restored.reason) == ("code-x", "reason text")
+
+
+class TestActor:
+    def test_operations_discovered(self):
+        assert EchoService().operations() == ["bad_return", "echo", "fail"]
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(OperationError, match="no operation"):
+            EchoService().handle("nope", XmlElement("x"))
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Actor("")
+
+
+class TestVirtualClock:
+    def test_accumulates(self):
+        clock = VirtualClock()
+        clock.charge(1.5)
+        clock.charge(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.charge(3)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestLatencyModel:
+    def test_cost_formula(self):
+        model = LatencyModel(round_trip_s=0.01, bandwidth_bps=1000, service_time_s=0.002)
+        assert model.cost(100, 400) == pytest.approx(0.01 + 0.5 + 0.002)
+
+
+class TestBus:
+    def setup_method(self):
+        self.bus = MessageBus()
+        self.service = EchoService()
+        self.bus.register(self.service)
+
+    def call(self, operation="echo", text="hi"):
+        payload = XmlElement("data")
+        payload.add(text)
+        return self.bus.call("client", "echo", operation, payload)
+
+    def test_call_runs_real_code(self):
+        response = self.call(text="payload!")
+        assert response.name == "echoed"
+        assert response.text == "payload!"
+        assert len(self.service.received) == 1
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(KeyError, match="registered"):
+            self.bus.call("client", "ghost", "echo", XmlElement("x"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            self.bus.register(EchoService())
+
+    def test_fault_propagates_to_caller(self):
+        with pytest.raises(Fault, match="deliberate"):
+            self.call(operation="fail")
+
+    def test_non_xml_return_is_operation_error(self):
+        with pytest.raises(OperationError, match="expected XmlElement"):
+            self.call(operation="bad_return")
+
+    def test_clock_charged_per_call(self):
+        self.bus.set_default_latency(LatencyModel(round_trip_s=0.5))
+        self.call()
+        self.call()
+        assert self.bus.clock.now >= 1.0
+
+    def test_per_endpoint_latency_overrides_default(self):
+        bus = MessageBus()
+        bus.register(EchoService(), latency=LatencyModel(round_trip_s=2.0))
+        payload = XmlElement("data")
+        payload.add("x")
+        bus.call("c", "echo", "echo", payload)
+        assert bus.clock.now >= 2.0
+
+    def test_message_ids_sequential_and_unique(self):
+        ids = []
+        self.bus.add_interceptor(lambda call: ids.append(call.message_id))
+        self.call()
+        self.call()
+        assert len(set(ids)) == 2
+        assert ids == sorted(ids)
+
+    def test_interceptor_sees_request_and_response(self):
+        records = []
+        self.bus.add_interceptor(records.append)
+        self.call(text="observed")
+        record = records[0]
+        assert record.ok
+        assert record.request.body.text == "observed"
+        assert record.response.body.text == "observed"
+        assert record.operation == "echo"
+
+    def test_interceptor_sees_faults(self):
+        records = []
+        self.bus.add_interceptor(records.append)
+        with pytest.raises(Fault):
+            self.call(operation="fail")
+        assert records and not records[0].ok
+
+    def test_remove_interceptor(self):
+        records = []
+        self.bus.add_interceptor(records.append)
+        self.bus.remove_interceptor(records.append)
+        self.call()
+        assert not records
+
+    def test_extra_headers_propagate(self):
+        records = []
+        self.bus.add_interceptor(records.append)
+        payload = XmlElement("data")
+        payload.add("x")
+        self.bus.call(
+            "c", "echo", "echo", payload, extra_headers={"thread": "t-1"}
+        )
+        assert records[0].request.headers["thread"] == "t-1"
+
+    def test_calls_counted(self):
+        before = self.bus.calls
+        self.call()
+        self.call()
+        assert self.bus.calls == before + 2

@@ -1,0 +1,184 @@
+"""Tests for the from-scratch XML document model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.soa.xmldoc import XmlElement, parse_xml, xml_escape
+
+
+class TestBuild:
+    def test_invalid_element_name_rejected(self):
+        with pytest.raises(ValueError):
+            XmlElement("1bad")
+        with pytest.raises(ValueError):
+            XmlElement("")
+        with pytest.raises(ValueError):
+            XmlElement("has space")
+
+    def test_invalid_attr_name_rejected(self):
+        with pytest.raises(ValueError):
+            XmlElement("ok", attrs={"bad attr": "v"})
+
+    def test_element_helper_with_name_attribute(self):
+        el = XmlElement("root")
+        child = el.element("param", "value", name="key")
+        assert child.attrs == {"name": "key"}
+        assert child.text == "value"
+
+    def test_add_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            XmlElement("root").add(42)
+
+    def test_navigation(self):
+        root = XmlElement("root")
+        root.element("a", "1")
+        root.element("b", "2")
+        root.element("a", "3")
+        assert root.find("a").text == "1"
+        assert [e.text for e in root.find_all("a")] == ["1", "3"]
+        assert root.find("missing") is None
+        with pytest.raises(KeyError):
+            root.require("missing")
+
+    def test_path(self):
+        root = XmlElement("root")
+        root.element("a").element("b", "deep")
+        assert root.path("a", "b").text == "deep"
+        assert root.path("a", "zz") is None
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert XmlElement("empty").serialize() == "<empty/>"
+
+    def test_attributes_sorted_and_escaped(self):
+        el = XmlElement("e", attrs={"b": 'say "hi"', "a": "1 < 2"})
+        assert el.serialize() == '<e a="1 &lt; 2" b="say &quot;hi&quot;"/>'
+
+    def test_text_escaped(self):
+        el = XmlElement("e")
+        el.add("a & b < c")
+        assert el.serialize() == "<e>a &amp; b &lt; c</e>"
+
+    def test_escape_helper(self):
+        assert xml_escape("<&>'\"") == "&lt;&amp;&gt;&apos;&quot;"
+
+    def test_byte_size_counts_utf8(self):
+        el = XmlElement("e")
+        el.add("héllo")
+        assert el.byte_size() == len(el.serialize().encode("utf-8"))
+
+
+class TestParse:
+    def test_simple_document(self):
+        el = parse_xml('<root a="1"><child>text</child></root>')
+        assert el.name == "root"
+        assert el.attrs == {"a": "1"}
+        assert el.find("child").text == "text"
+
+    def test_xml_declaration_skipped(self):
+        el = parse_xml('<?xml version="1.0"?><root/>')
+        assert el.name == "root"
+
+    def test_comments_skipped(self):
+        el = parse_xml("<!-- top --><root><!-- inner --><a/></root>")
+        assert el.find("a") is not None
+
+    def test_entities_decoded(self):
+        el = parse_xml("<e>a &amp; b &lt; &#65; &#x42;</e>")
+        assert el.text == "a & b < A B"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_element_rejected(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_xml("<a><b>")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_xml('<a x="1" x="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(ValueError, match="quoted"):
+            parse_xml("<a x=1/>")
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(ValueError, match="after document element"):
+            parse_xml("<a/><b/>")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(ValueError, match="unknown entity"):
+            parse_xml("<a>&nope;</a>")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 3"):
+            parse_xml("<a>\n<b>\n<c></b>\n</a>")
+
+
+# -- property-based round trips ------------------------------------------
+
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,8}", fullmatch=True)
+_texts = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=0x2FF, blacklist_characters="\x7f"
+    ),
+    min_size=1,
+    max_size=30,
+).filter(lambda s: s.strip())
+
+
+def _elements(depth: int) -> st.SearchStrategy:
+    attrs = st.dictionaries(_names, _texts | st.just(""), max_size=3)
+    if depth == 0:
+        children = st.lists(_texts, max_size=2)
+    else:
+        children = st.lists(_texts | _elements(depth - 1), max_size=3)
+
+    return st.builds(
+        lambda name, attrs, kids: _mk(name, attrs, kids), _names, attrs, children
+    )
+
+
+def _mk(name, attrs, kids):
+    el = XmlElement(name, attrs=dict(attrs))
+    for kid in kids:
+        el.add(kid)
+    return el
+
+
+def _normalize(el: XmlElement) -> XmlElement:
+    """Merge adjacent text children (XML cannot distinguish them)."""
+    out = XmlElement(el.name, attrs=dict(el.attrs))
+    pending = ""
+    for child in el.children:
+        if isinstance(child, str):
+            pending += child
+        else:
+            if pending:
+                out.add(pending)
+                pending = ""
+            out.add(_normalize(child))
+    if pending:
+        out.add(pending)
+    return out
+
+
+class TestRoundtripProperties:
+    @given(_elements(depth=2))
+    def test_serialize_parse_roundtrip(self, el):
+        assert parse_xml(el.serialize()) == _normalize(el)
+
+    @given(_texts)
+    def test_text_content_roundtrip(self, text):
+        el = XmlElement("t")
+        el.add(text)
+        assert parse_xml(el.serialize()).text == text
+
+    @given(st.dictionaries(_names, _texts, max_size=5))
+    def test_attribute_roundtrip(self, attrs):
+        el = XmlElement("t", attrs=attrs)
+        assert parse_xml(el.serialize()).attrs == attrs

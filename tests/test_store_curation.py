@@ -1,0 +1,144 @@
+"""Tests for provenance curation and archival (§7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.backends import MemoryBackend
+from repro.store.curation import (
+    ArchiveError,
+    RetentionPolicy,
+    apply_retention,
+    export_archive,
+    import_archive,
+    select_assertions,
+    verify_archive,
+)
+from repro.figures.synthstore import populate_store
+from repro.app.experiment import Experiment, ExperimentConfig
+
+
+@pytest.fixture
+def corpus():
+    exp = Experiment(ExperimentConfig())
+    store = MemoryBackend()
+    spec = populate_store(store, 30, script_for=exp.script_for, session_size=10)
+    return store, spec
+
+
+class TestExportImport:
+    def test_roundtrip_full_store(self, corpus, tmp_path):
+        store, _ = corpus
+        path = tmp_path / "full.xml"
+        count = export_archive(store, path)
+        assert count == store.counts().total
+        target = MemoryBackend()
+        assert import_archive(path, target) == count
+        assert target.counts() == store.counts()
+
+    def test_roundtrip_preserves_queryability(self, corpus, tmp_path):
+        store, spec = corpus
+        path = tmp_path / "full.xml"
+        export_archive(store, path)
+        target = MemoryBackend()
+        import_archive(path, target)
+        session = spec.sessions[0]
+        assert target.group_members(session) == store.group_members(session)
+        key = store.interaction_keys()[0]
+        assert len(target.actor_state_passertions(key, state_type="script")) == 1
+
+    def test_session_subset_export(self, corpus, tmp_path):
+        store, spec = corpus
+        path = tmp_path / "subset.xml"
+        export_archive(store, path, sessions=[spec.sessions[0]])
+        target = MemoryBackend()
+        import_archive(path, target)
+        assert target.group_ids(kind="session") == [spec.sessions[0]]
+        assert (
+            target.counts().interaction_records
+            == len(store.group_members(spec.sessions[0]))
+        )
+
+    def test_select_assertions_scopes_groups_and_passertions(self, corpus):
+        store, spec = corpus
+        selected = select_assertions(store, sessions=[spec.sessions[1]])
+        keys = set(store.group_members(spec.sessions[1]))
+        from repro.core.passertion import GroupAssertion
+
+        for assertion in selected:
+            if isinstance(assertion, GroupAssertion):
+                assert assertion.member in keys
+            else:
+                assert assertion.interaction_key in keys
+
+
+class TestIntegrity:
+    def test_verify_good_archive(self, corpus, tmp_path):
+        store, _ = corpus
+        path = tmp_path / "a.xml"
+        count = export_archive(store, path)
+        assert verify_archive(path) == count
+
+    def test_corrupted_content_detected(self, corpus, tmp_path):
+        store, _ = corpus
+        path = tmp_path / "a.xml"
+        export_archive(store, path)
+        text = path.read_text()
+        path.write_text(text.replace("synthetic payload", "tampered payload", 1))
+        with pytest.raises(ArchiveError, match="checksum"):
+            verify_archive(path)
+
+    def test_wrong_root_detected(self, tmp_path):
+        path = tmp_path / "a.xml"
+        path.write_text("<not-an-archive/>")
+        with pytest.raises(ArchiveError, match="not a provenance archive"):
+            verify_archive(path)
+
+    def test_count_mismatch_detected(self, corpus, tmp_path):
+        store, _ = corpus
+        path = tmp_path / "a.xml"
+        export_archive(store, path)
+        text = path.read_text()
+        # Remove one assertion element without fixing the count.
+        start = text.index("<p-assertion")
+        end = text.index("</p-assertion>") + len("</p-assertion>")
+        path.write_text(text[:start] + text[end:])
+        with pytest.raises(ArchiveError, match="declares"):
+            verify_archive(path)
+
+    def test_unparsable_archive(self, tmp_path):
+        path = tmp_path / "a.xml"
+        path.write_text("<broken")
+        with pytest.raises(ArchiveError, match="unparsable"):
+            verify_archive(path)
+
+
+class TestRetention:
+    def test_policy_selects_sessions(self, corpus, tmp_path):
+        store, spec = corpus
+        old = set(spec.sessions[:2])
+        policy = RetentionPolicy(should_archive=lambda s: s in old)
+        archived, count = apply_retention(store, policy, tmp_path / "old.xml")
+        assert sorted(archived) == sorted(old)
+        assert count > 0
+        # The archive alone reconstructs exactly the archived sessions.
+        target = MemoryBackend()
+        import_archive(tmp_path / "old.xml", target)
+        assert sorted(target.group_ids(kind="session")) == sorted(old)
+
+    def test_archive_then_rebuild_live(self, corpus, tmp_path):
+        """Full curation cycle: archive old sessions, rebuild a lean store."""
+        store, spec = corpus
+        keep = spec.sessions[-1]
+        policy = RetentionPolicy(should_archive=lambda s: s != keep)
+        apply_retention(store, policy, tmp_path / "cold.xml")
+        # Rebuild the live store with only the kept session.
+        export_archive(store, tmp_path / "hot.xml", sessions=[keep])
+        lean = MemoryBackend()
+        import_archive(tmp_path / "hot.xml", lean)
+        assert lean.group_ids(kind="session") == [keep]
+        # Nothing was lost overall: cold + hot covers the original store.
+        union = MemoryBackend()
+        import_archive(tmp_path / "cold.xml", union)
+        import_archive(tmp_path / "hot.xml", union)
+        assert union.counts() == store.counts()

@@ -1,0 +1,171 @@
+"""Tests for the embedded log-structured KV store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store.kvlog import KVLog
+
+
+class TestBasicOps:
+    def test_put_get(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"k", b"value")
+            assert log.get(b"k") == b"value"
+
+    def test_missing_key_is_none(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            assert log.get(b"ghost") is None
+
+    def test_overwrite_returns_latest(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"k", b"v1")
+            log.put(b"k", b"v2")
+            assert log.get(b"k") == b"v2"
+            assert len(log) == 1
+
+    def test_delete(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"k", b"v")
+            assert log.delete(b"k") is True
+            assert log.get(b"k") is None
+            assert log.delete(b"k") is False
+
+    def test_empty_key_rejected(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            with pytest.raises(ValueError):
+                log.put(b"", b"v")
+
+    def test_contains_and_len(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"a", b"1")
+            log.put(b"b", b"2")
+            assert b"a" in log and b"c" not in log
+            assert len(log) == 2
+
+    def test_items_sorted_by_key(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"b", b"2")
+            log.put(b"a", b"1")
+            assert list(log.items()) == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_empty_value_allowed(self, tmp_path):
+        with KVLog(tmp_path / "db") as log:
+            log.put(b"k", b"")
+            assert log.get(b"k") == b""
+
+    def test_closed_log_rejects_ops(self, tmp_path):
+        log = KVLog(tmp_path / "db")
+        log.close()
+        with pytest.raises(ValueError):
+            log.put(b"k", b"v")
+
+
+class TestDurability:
+    def test_reopen_recovers_state(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            log.put(b"a", b"1")
+            log.put(b"b", b"2")
+            log.delete(b"a")
+        with KVLog(path) as log:
+            assert log.get(b"a") is None
+            assert log.get(b"b") == b"2"
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            log.put(b"good", b"data")
+        # Simulate a crash mid-append.
+        with open(path, "ab") as f:
+            f.write(b"\x01\x02\x03garbage")
+        with KVLog(path) as log:
+            assert log.get(b"good") == b"data"
+            assert len(log) == 1
+        # The torn bytes must be gone so appends stay well-formed.
+        with KVLog(path) as log:
+            log.put(b"new", b"value")
+        with KVLog(path) as log:
+            assert log.get(b"new") == b"value"
+
+    def test_corrupt_crc_stops_replay_at_corruption(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            log.put(b"k1", b"v1")
+            size_after_first = log.file_size()
+            log.put(b"k2", b"v2")
+        # Flip a byte inside the second record's payload.
+        data = bytearray(path.read_bytes())
+        data[size_after_first + 14] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with KVLog(path) as log:
+            assert log.get(b"k1") == b"v1"
+            assert log.get(b"k2") is None
+
+
+class TestCompaction:
+    def test_compact_drops_dead_bytes(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            for i in range(50):
+                log.put(b"hot", f"value-{i}".encode())
+            log.put(b"cold", b"stays")
+            log.delete(b"hot")
+            size_before = log.file_size()
+            assert log.dead_bytes > 0
+            log.compact()
+            assert log.file_size() < size_before
+            assert log.dead_bytes == 0
+            assert log.get(b"cold") == b"stays"
+            assert log.get(b"hot") is None
+
+    def test_compact_preserves_all_live_data(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            expected = {}
+            for i in range(30):
+                key = f"k{i % 10}".encode()
+                value = f"v{i}".encode()
+                log.put(key, value)
+                expected[key] = value
+            log.compact()
+            assert dict(log.items()) == expected
+
+    def test_usable_after_compact_and_reopen(self, tmp_path):
+        path = tmp_path / "db"
+        with KVLog(path) as log:
+            log.put(b"a", b"1")
+            log.compact()
+            log.put(b"b", b"2")
+        with KVLog(path) as log:
+            assert dict(log.items()) == {b"a": b"1", b"b": b"2"}
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.binary(min_size=1, max_size=8),
+                st.binary(min_size=0, max_size=32),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, tmp_path_factory, ops):
+        """The log behaves exactly like a dict, including across reopen."""
+        path = tmp_path_factory.mktemp("kv") / "db"
+        reference = {}
+        with KVLog(path) as log:
+            for op, key, value in ops:
+                if op == "put":
+                    log.put(key, value)
+                    reference[key] = value
+                else:
+                    assert log.delete(key) == (key in reference)
+                    reference.pop(key, None)
+            assert dict(log.items()) == reference
+        with KVLog(path) as log:
+            assert dict(log.items()) == reference

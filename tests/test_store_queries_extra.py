@@ -1,0 +1,65 @@
+"""Tests for auxiliary store queries and XML pretty printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import ProvenanceQueryClient
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.backends import MemoryBackend
+from repro.store.service import PReServActor
+
+from tests.test_store_backends import ga, ipa, key
+
+
+class TestGroupsOfQuery:
+    @pytest.fixture
+    def client(self):
+        backend = MemoryBackend()
+        backend.put(ipa(1))
+        backend.put(ga(1, group="session-A"))
+        from repro.core.passertion import GroupKind
+
+        backend.put(ga(1, group="thread-7", kind=GroupKind.THREAD, seq=0))
+        bus = MessageBus()
+        bus.register(PReServActor(backend))
+        return ProvenanceQueryClient(bus)
+
+    def test_groups_of_lists_all_memberships(self, client):
+        assert client.groups_of(key(1)) == ["session-A", "thread-7"]
+
+    def test_groups_of_unknown_key_empty(self, client):
+        assert client.groups_of(key(42)) == []
+
+    def test_one_call_per_query(self, client):
+        before = client.calls
+        client.groups_of(key(1))
+        assert client.calls == before + 1
+
+
+class TestPrettyPrinting:
+    def test_indented_output_is_reparsable(self):
+        root = XmlElement("root", attrs={"a": "1"})
+        child = root.element("child")
+        child.element("leaf", "text")
+        root.element("other", "more")
+        pretty = root.serialize(indent=2)
+        assert "\n" in pretty
+        reparsed = parse_xml(pretty)
+        assert reparsed.find("child").find("leaf").text == "text"
+        assert reparsed.find("other").text == "more"
+
+    def test_indent_levels_increase(self):
+        root = XmlElement("a")
+        root.element("b").element("c")
+        lines = root.serialize(indent=4).splitlines()
+        b_line = next(l for l in lines if "<b>" in l)
+        c_line = next(l for l in lines if "<c/>" in l)
+        indent_of = lambda l: len(l) - len(l.lstrip())
+        assert indent_of(c_line) == indent_of(b_line) + 4
+
+    def test_compact_output_has_no_newlines(self):
+        root = XmlElement("a")
+        root.element("b", "x")
+        assert "\n" not in root.serialize()

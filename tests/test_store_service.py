@@ -1,0 +1,186 @@
+"""Tests for PReServ plug-ins, translator and the store actor over the bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import (
+    GroupAssertion,
+    GroupKind,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.core.prep import PrepAck, PrepQuery, PrepRecord, PrepResult
+from repro.soa.bus import MessageBus
+from repro.soa.envelope import Fault
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import MemoryBackend
+from repro.store.plugins import QueryPlugIn, StorePlugIn
+from repro.store.service import MessageTranslator, PReServActor
+
+from tests.test_store_backends import ga, ipa, key, spa
+
+
+@pytest.fixture
+def deployment():
+    bus = MessageBus()
+    backend = MemoryBackend()
+    actor = PReServActor(backend)
+    bus.register(actor)
+    return bus, backend, actor
+
+
+def record_via_bus(bus, assertion):
+    return bus.call(
+        "client", "preserv", "record", PrepRecord(assertion).to_xml()
+    )
+
+
+def query_via_bus(bus, query_type, **params):
+    response = bus.call(
+        "client",
+        "preserv",
+        "query",
+        PrepQuery(query_type=query_type, params=params).to_xml(),
+    )
+    return PrepResult.from_xml(response)
+
+
+class TestTranslator:
+    def test_routes_by_body_element(self):
+        translator = MessageTranslator([StorePlugIn(), QueryPlugIn()])
+        routes = translator.routes()
+        assert routes["prep-record"] == "StorePlugIn"
+        assert routes["prep-query"] == "QueryPlugIn"
+
+    def test_unrouted_body_faults(self):
+        translator = MessageTranslator([StorePlugIn()])
+        with pytest.raises(Fault, match="no-plugin"):
+            translator.dispatch(XmlElement("mystery"), MemoryBackend())
+
+    def test_duplicate_route_rejected(self):
+        translator = MessageTranslator([StorePlugIn()])
+        with pytest.raises(ValueError):
+            translator.register(StorePlugIn())
+
+
+class TestRecordPort:
+    def test_single_record_acked(self, deployment):
+        bus, backend, _ = deployment
+        response = record_via_bus(bus, ipa(1))
+        ack = PrepAck.from_xml(response)
+        assert ack.ok and ack.count == 1
+        assert backend.counts().interaction_passertions == 1
+
+    def test_batch_record(self, deployment):
+        bus, backend, _ = deployment
+        batch = XmlElement("prep-record-batch")
+        for i in range(4):
+            batch.add(PrepRecord(ipa(i)).to_xml())
+        ack = PrepAck.from_xml(bus.call("client", "preserv", "record", batch))
+        assert ack.count == 4
+        assert backend.counts().interaction_passertions == 4
+
+    def test_duplicate_submission_faults(self, deployment):
+        bus, _, _ = deployment
+        record_via_bus(bus, ipa(1))
+        with pytest.raises(Fault, match="duplicate-assertion"):
+            record_via_bus(bus, ipa(1))
+
+    def test_wrong_body_on_record_port_faults(self, deployment):
+        bus, _, _ = deployment
+        with pytest.raises(Fault, match="bad-request"):
+            bus.call("client", "preserv", "record", XmlElement("prep-query"))
+
+
+class TestQueryPort:
+    def fill(self, bus):
+        for i in range(3):
+            record_via_bus(bus, ipa(i, ViewKind.SENDER))
+            record_via_bus(bus, ipa(i, ViewKind.RECEIVER))
+            record_via_bus(bus, spa(i))
+            record_via_bus(bus, ga(i))
+
+    def test_interactions_query(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        result = query_via_bus(bus, "interactions")
+        keys = [InteractionKey.from_xml(el) for el in result.items]
+        assert keys == [key(0), key(1), key(2)]
+
+    def test_interaction_query_with_view(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        result = query_via_bus(
+            bus,
+            "interaction",
+            id=key(1).interaction_id,
+            sender="c",
+            receiver=key(1).receiver,
+            view="sender",
+        )
+        assert len(result.items) == 1
+
+    def test_actor_state_query_with_type(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        result = query_via_bus(
+            bus,
+            "actor-state",
+            **{
+                "id": key(2).interaction_id,
+                "sender": "c",
+                "receiver": key(2).receiver,
+                "state-type": "script",
+            },
+        )
+        assert len(result.items) == 1
+
+    def test_record_query_returns_full_interaction_record(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        result = query_via_bus(
+            bus,
+            "record",
+            id=key(1).interaction_id,
+            sender="c",
+            receiver=key(1).receiver,
+        )
+        # 2 interaction p-assertions + 1 actor-state.
+        assert len(result.items) == 3
+
+    def test_by_group_and_groups(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        members = query_via_bus(bus, "by-group", group="session-A")
+        assert len(members.items) == 3
+        groups = query_via_bus(bus, "groups", kind="session")
+        assert [g.attrs["id"] for g in groups.items] == ["session-A"]
+
+    def test_count_query(self, deployment):
+        bus, _, _ = deployment
+        self.fill(bus)
+        counts = query_via_bus(bus, "count").items[0]
+        assert counts.attrs["interaction-records"] == "3"
+        assert counts.attrs["interaction-passertions"] == "6"
+
+    def test_unknown_query_type_faults(self, deployment):
+        bus, _, _ = deployment
+        with pytest.raises(Fault, match="unknown-query"):
+            query_via_bus(bus, "teleport")
+
+    def test_missing_params_fault(self, deployment):
+        bus, _, _ = deployment
+        with pytest.raises(Fault, match="missing parameter"):
+            query_via_bus(bus, "interaction", id="only-id")
+
+    def test_wrong_body_on_query_port_faults(self, deployment):
+        bus, _, _ = deployment
+        with pytest.raises(Fault, match="bad-request"):
+            bus.call("client", "preserv", "query", XmlElement("prep-record"))
+
+    def test_empty_store_queries(self, deployment):
+        bus, _, _ = deployment
+        assert query_via_bus(bus, "interactions").items == []
+        assert query_via_bus(bus, "by-group", group="none").items == []

@@ -1,0 +1,134 @@
+"""Use case 1: execution comparison — the paper's §3 scenario end to end.
+
+"B downloads sequence data of microbial proteins from RefSeq and runs the
+compressibility experiment.  B later performs the same experiment on the
+same sequence data ... B compares the two experiment results and notices a
+difference.  B determines whether the difference was caused by the
+algorithms used to process the sequence data having been changed."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import ProvenanceQueryClient
+from repro.usecases.comparison import (
+    categorise_scripts,
+    compare_sessions,
+    script_fingerprint,
+)
+
+
+@pytest.fixture
+def two_identical_runs(experiment_factory):
+    exp = experiment_factory(n_permutations=2)
+    r1 = exp.run()
+    r2 = exp.run()
+    return exp, r1, r2
+
+
+class TestCategorisation:
+    def test_scripts_categorised_per_service(self, two_identical_runs):
+        exp, r1, r2 = two_identical_runs
+        client = ProvenanceQueryClient(exp.bus)
+        cat = categorise_scripts(client)
+        # Every service that ran has a category.
+        services = cat.services()
+        assert "encode-by-groups" in services
+        assert "compress-gz-like" in services
+        # Both sessions seen.
+        assert cat.sessions() == {r1.session_id, r2.session_id}
+
+    def test_identical_runs_share_fingerprints(self, two_identical_runs):
+        exp, r1, r2 = two_identical_runs
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        for service in cat.services():
+            assert cat.fingerprints_for(service, r1.session_id) == cat.fingerprints_for(
+                service, r2.session_id
+            )
+
+    def test_one_store_call_per_interaction_record(self, two_identical_runs):
+        """The paper's cost unit: one store invocation per script retrieved."""
+        exp, r1, r2 = two_identical_runs
+        client = ProvenanceQueryClient(exp.bus)
+        cat = categorise_scripts(client)
+        n_records = exp.backend.counts().interaction_records
+        n_sessions = 2
+        # 1 (session list) + n_sessions (members) + n_records (scripts).
+        assert cat.store_calls == 1 + n_sessions + n_records
+        assert cat.interactions_scanned == n_records
+
+    def test_scoped_to_selected_sessions(self, two_identical_runs):
+        exp, r1, _ = two_identical_runs
+        cat = categorise_scripts(
+            ProvenanceQueryClient(exp.bus), sessions=[r1.session_id]
+        )
+        assert cat.sessions() == {r1.session_id}
+
+    def test_fingerprint_is_content_hash(self):
+        assert script_fingerprint("x") == script_fingerprint("x")
+        assert script_fingerprint("x") != script_fingerprint("y")
+
+
+class TestUseCase1:
+    def test_same_process_detected(self, two_identical_runs):
+        exp, r1, r2 = two_identical_runs
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        comparison = compare_sessions(cat, r1.session_id, r2.session_id)
+        assert comparison.same_process
+        assert comparison.changed == {}
+
+    def test_changed_algorithm_detected_and_localised(self, experiment_factory):
+        """The headline UC1 scenario: same data, reconfigured encoder."""
+        exp = experiment_factory(n_permutations=2, release=1)
+        r1 = exp.run()
+        # Same sequence data (release pinned), but the encoding algorithm's
+        # configuration changes between the runs.
+        exp.encode.reconfigure("dayhoff6", version="2.0")
+        r2 = exp.run()
+
+        # The results genuinely differ...
+        assert r1.compressibility("gz-like") != r2.compressibility("gz-like")
+
+        # ...and provenance explains why: exactly the encode script changed.
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        comparison = compare_sessions(cat, r1.session_id, r2.session_id)
+        assert not comparison.same_process
+        assert comparison.changed_services() == ["encode-by-groups"]
+        assert "compress-gz-like" in comparison.unchanged
+
+    def test_changed_compressor_detected(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1, release=1)
+        r1 = exp.run()
+        exp.compressors[0].reconfigure("gz-like", version="9.9")
+        r2 = exp.run()
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        comparison = compare_sessions(cat, r1.session_id, r2.session_id)
+        assert comparison.changed_services() == ["compress-gz-like"]
+
+    def test_script_contents_recoverable_for_inspection(self, experiment_factory):
+        """Provenance must store the scripts themselves, not just hashes."""
+        exp = experiment_factory(n_permutations=1)
+        exp.run()
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        encode_fps = {
+            fp
+            for (svc, _), fps in cat.by_service_session.items()
+            if svc == "encode-by-groups"
+            for fp in fps
+        }
+        assert len(encode_fps) == 1
+        content = cat.categories[encode_fps.pop()].content
+        assert "--grouping hp2" in content
+
+    def test_comparison_handles_disjoint_services(self, experiment_factory):
+        """A service present in only one run is reported, not crashed on."""
+        exp = experiment_factory(n_permutations=1)
+        r1 = exp.run()
+        r2 = exp.run(
+            sample_source_endpoint="nucleotide-db", sample_source_operation="fetch"
+        )
+        cat = categorise_scripts(ProvenanceQueryClient(exp.bus))
+        comparison = compare_sessions(cat, r1.session_id, r2.session_id)
+        assert "collate-sample" in comparison.only_in_a
+        assert "nucleotide-db" in comparison.only_in_b

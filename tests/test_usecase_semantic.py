@@ -1,0 +1,116 @@
+"""Use case 2: semantic validation — the nucleotide-for-protein trap.
+
+"A bioinformatician performs an experiment on a FASTA sequence encoding a
+protein.  A reviewer later determines whether or not the sequence was in
+fact processed by a service that meaningfully processes protein sequences
+only. ... If a nucleotide sequence was accidentally used at this stage
+rather than an amino acid sequence, there would be no error in running the
+workflow ... the workflow is syntactically correct, [but] semantically
+incorrect."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import ProvenanceQueryClient
+from repro.registry.client import RegistryClient
+from repro.usecases.semantic import validate_session
+
+
+def clients(exp):
+    return (
+        ProvenanceQueryClient(exp.bus, client_endpoint="uc2-store"),
+        RegistryClient(exp.bus, client_endpoint="uc2-registry"),
+    )
+
+
+class TestValidRun:
+    def test_correct_workflow_validates(self, experiment_factory):
+        exp = experiment_factory(n_permutations=2)
+        result = exp.run()
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        assert report.valid
+        assert report.interactions_checked > 0
+
+    def test_roots_reported_unchecked_not_violating(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        # The collate call is the workflow input: no recorded producer.
+        assert result.run.message_ids["collate"] in report.unchecked
+        assert not report.violations
+
+
+class TestNucleotideTrap:
+    def test_workflow_runs_without_any_error(self, experiment_factory):
+        """Premise: the wrong input produces no syntactic failure at all."""
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run(
+            sample_source_endpoint="nucleotide-db",
+            sample_source_operation="fetch",
+        )
+        assert 0 < result.compressibility("gz-like") < 1.5
+
+    def test_semantic_validation_flags_the_trap(self, experiment_factory):
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run(
+            sample_source_endpoint="nucleotide-db",
+            sample_source_operation="fetch",
+        )
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        assert not report.valid
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.consumer_service == "encode-by-groups"
+        assert violation.producer_service == "nucleotide-db"
+        assert violation.produced_type == "nucleotide-sequence"
+        assert violation.consumed_type == "amino-acid-sequence"
+        assert "nucleotide-db" in violation.describe()
+
+    def test_rest_of_workflow_remains_valid(self, experiment_factory):
+        """Only the encode edge is wrong; downstream types still match."""
+        exp = experiment_factory(n_permutations=2)
+        result = exp.run(
+            sample_source_endpoint="nucleotide-db",
+            sample_source_operation="fetch",
+        )
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        assert len(report.violations) == 1
+        assert report.interactions_checked > len(report.violations)
+
+
+class TestCostStructure:
+    def test_ten_registry_calls_per_checked_interaction(self, experiment_factory):
+        """The origin of Figure 5's ~11x slope."""
+        exp = experiment_factory(n_permutations=2)
+        result = exp.run()
+        store, registry = clients(exp)
+        ontology = registry.get_ontology()
+        report = validate_session(
+            store, registry, result.session_id, ontology=ontology
+        )
+        assert report.registry_calls == 10 * report.interactions_checked
+
+    def test_one_store_call_per_interaction_record(self, experiment_factory):
+        exp = experiment_factory(n_permutations=2)
+        result = exp.run()
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        n_members = len(exp.backend.group_members(result.session_id))
+        # 1 membership query + 1 record query per member.
+        assert report.store_calls == 1 + n_members
+
+    def test_unknown_service_reported_unchecked(self, experiment_factory):
+        """A producer the registry does not know is unchecked, not a crash."""
+        exp = experiment_factory(n_permutations=1)
+        result = exp.run()
+        exp.registry.unpublish("shuffle")
+        store, registry = clients(exp)
+        report = validate_session(store, registry, result.session_id)
+        assert report.unchecked
+        assert report.violations == []
