@@ -1,0 +1,112 @@
+"""A5 — bulk p-assertion ingest: single ``put`` vs ``put_many`` group commit.
+
+The paper's headline evaluation is recording throughput; PReServ's
+actor-side library accumulated p-assertions locally and shipped them as
+batch records.  This bench measures p-assertions/sec of the per-assertion
+path against the batched group-commit path for all three backends and
+prints a Figure-4-style table.
+
+Shape criteria:
+
+* batch ingest on the KVLog (database) backend is at least 2x the
+  per-assertion path — one fsync per batch instead of one per record;
+* batch ingest is never slower than single-put on any backend;
+* the rewritten XML codec round-trips the bench corpus losslessly (its
+  throughput is reported alongside).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.figures.ablation import bulk_ingest_table, run_bulk_ingest
+from repro.figures.microbench import pregenerated_record
+from repro.figures.stats import format_table
+from repro.soa.xmldoc import parse_xml
+from repro.store.backends import KVLogBackend
+
+
+@pytest.fixture(scope="module")
+def points(tmp_path_factory):
+    return run_bulk_ingest(
+        tmp_path_factory.mktemp("bulk-ingest"), records=2000, batch_size=256
+    )
+
+
+def test_bench_bulk_ingest_comparison(benchmark, points, report):
+    benchmark.pedantic(
+        lambda: [p.batch_rps for p in points], rounds=1, iterations=1
+    )
+    report("A5: bulk ingest — put vs put_many", bulk_ingest_table(points))
+    by_name = {p.backend: p for p in points}
+    for p in points:
+        benchmark.extra_info[f"{p.backend}_single_rps"] = round(p.single_rps)
+        benchmark.extra_info[f"{p.backend}_batch_rps"] = round(p.batch_rps)
+        # Batching must never lose throughput (tolerance for timer noise on
+        # the sub-5ms memory-backend measurements).
+        assert p.batch_s <= p.single_s * 1.25, (
+            f"{p.backend}: put_many slower than put "
+            f"({p.batch_rps:.0f}/s vs {p.single_rps:.0f}/s)"
+        )
+    # Acceptance bar: group commit >= 2x the per-assertion path on the
+    # database backend (one fsync per batch instead of per record).
+    kvlog = by_name["kvlog"]
+    assert kvlog.speedup >= 2.0, (
+        f"kvlog bulk ingest speedup {kvlog.speedup:.2f}x < 2x"
+    )
+
+
+def test_bench_kvlog_put_many(benchmark, tmp_path):
+    """Wall-clock cost of one 256-assertion group commit."""
+    records = [pregenerated_record(i).assertion for i in range(40_000)]
+    backend = KVLogBackend(tmp_path / "kv.db")
+    counter = iter(range(150))
+
+    def put_batch():
+        start = next(counter) * 256
+        backend.put_many(records[start : start + 256])
+
+    benchmark.pedantic(put_batch, rounds=100, iterations=1)
+    backend.close()
+
+
+def test_bench_xml_codec_roundtrip(benchmark, report):
+    """The rewritten XML codec: serialize + parse throughput, lossless."""
+    docs = [pregenerated_record(i).to_xml() for i in range(500)]
+    texts = [doc.serialize() for doc in docs]
+    total_bytes = sum(len(t.encode("utf-8")) for t in texts)
+
+    def roundtrip():
+        return [parse_xml(text) for text in texts]
+
+    reparsed = benchmark.pedantic(roundtrip, rounds=10, iterations=1)
+    assert reparsed == docs  # lossless: structural equality after the trip
+
+    start = time.perf_counter()
+    for text in texts:
+        parse_xml(text)
+    parse_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for doc in docs:
+        doc.serialize()
+    serialize_s = time.perf_counter() - start
+    report(
+        "A5b: XML codec throughput",
+        format_table(
+            ["direction", "docs/s", "MB/s"],
+            [
+                [
+                    "parse",
+                    f"{len(texts) / parse_s:.0f}",
+                    f"{total_bytes / parse_s / 1e6:.1f}",
+                ],
+                [
+                    "serialize",
+                    f"{len(docs) / serialize_s:.0f}",
+                    f"{total_bytes / serialize_s / 1e6:.1f}",
+                ],
+            ],
+        ),
+    )

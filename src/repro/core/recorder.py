@@ -20,6 +20,7 @@ import itertools
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro.core.client import ProvenanceRecordClient
 from repro.core.passertion import (
     ActorStatePAssertion,
     GroupAssertion,
@@ -116,6 +117,9 @@ class ProvenanceRecorder:
         self.bus = bus
         self.store_endpoint = store_endpoint
         self.client_endpoint = client_endpoint
+        self._client = ProvenanceRecordClient(
+            bus, store_endpoint=store_endpoint, client_endpoint=client_endpoint
+        )
         self.mode = mode
         # Not `journal or Journal()`: an empty Journal is falsy (__len__).
         self.journal = journal if journal is not None else Journal()
@@ -200,22 +204,15 @@ class ProvenanceRecorder:
             self.journal.append(record)
 
     def _send(self, records: List[PrepRecord]) -> PrepAck:
-        if len(records) == 1:
-            body = records[0].to_xml()
-        else:
-            body = XmlElement("prep-record-batch")
-            for record in records:
-                body.add(record.to_xml())
-        response = self.bus.call(
-            source=self.client_endpoint,
-            target=self.store_endpoint,
-            operation="record",
-            payload=body,
-        )
-        return PrepAck.from_xml(response)
+        return self._client.send_records(records)
 
     def flush(self) -> int:
-        """Ship all journalled records to the store; returns the count acked."""
+        """Ship all journalled records to the store; returns the count acked.
+
+        The queue drains in ``flush_batch_size`` batches — each batch is one
+        ``prep-record-batch`` message and one backend group commit, not one
+        message per assertion.
+        """
         records = self.journal.drain()
         total = 0
         for start in range(0, len(records), self.flush_batch_size):

@@ -7,6 +7,9 @@
 * **Backends** (A2): record/query throughput of the three store backends.
 * **Compressors** (A3): compressibility of structured vs shuffled protein
   samples per codec and grouping — the experiment's scientific output.
+* **Bulk ingest** (A5): recording throughput of the per-assertion ``put``
+  path versus the ``put_many`` group-commit path, per backend — the
+  Figure-4-style table behind the batched actor-side library.
 """
 
 from __future__ import annotations
@@ -153,6 +156,96 @@ def backends_table(points: List[BackendPoint]) -> str:
             f"{p.record_s:.3f}",
             f"{p.records_per_second:.0f}",
             f"{p.reopen_s:.3f}" if p.reopen_s is not None else "-",
+        ]
+        for p in points
+    ]
+    return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------------
+# A5: bulk ingest (single put vs put_many group commit)
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BulkIngestPoint:
+    backend: str
+    records: int
+    batch_size: int
+    single_s: float
+    batch_s: float
+
+    @property
+    def single_rps(self) -> float:
+        return self.records / self.single_s if self.single_s else float("inf")
+
+    @property
+    def batch_rps(self) -> float:
+        return self.records / self.batch_s if self.batch_s else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        return self.single_s / self.batch_s if self.batch_s else float("inf")
+
+
+def run_bulk_ingest(
+    tmp_dir: Path, records: int = 2000, batch_size: int = 256
+) -> List[BulkIngestPoint]:
+    """p-assertions/sec of ``put`` vs ``put_many`` for every backend."""
+    if records < 1:
+        raise ValueError("records must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    assertions = [pregenerated_record(i).assertion for i in range(records)]
+    points: List[BulkIngestPoint] = []
+
+    def bench(name: str, make) -> None:
+        single_store: ProvenanceStoreInterface = make("single")
+        start = time.perf_counter()
+        for assertion in assertions:
+            single_store.put(assertion)
+        single_s = time.perf_counter() - start
+        single_store.close()
+
+        batch_store: ProvenanceStoreInterface = make("batch")
+        start = time.perf_counter()
+        for begin in range(0, records, batch_size):
+            batch_store.put_many(assertions[begin : begin + batch_size])
+        batch_s = time.perf_counter() - start
+        assert batch_store.counts().interaction_passertions == records
+        batch_store.close()
+        points.append(
+            BulkIngestPoint(
+                backend=name,
+                records=records,
+                batch_size=batch_size,
+                single_s=single_s,
+                batch_s=batch_s,
+            )
+        )
+
+    bench("memory", lambda tag: MemoryBackend())
+    bench("filesystem", lambda tag: FileSystemBackend(tmp_dir / f"fs-{tag}"))
+    bench("kvlog", lambda tag: KVLogBackend(tmp_dir / f"kv-{tag}.db"))
+    return points
+
+
+def bulk_ingest_table(points: List[BulkIngestPoint]) -> str:
+    headers = [
+        "backend",
+        "records",
+        "batch",
+        "single put (rec/s)",
+        "put_many (rec/s)",
+        "speedup",
+    ]
+    rows = [
+        [
+            p.backend,
+            p.records,
+            p.batch_size,
+            f"{p.single_rps:.0f}",
+            f"{p.batch_rps:.0f}",
+            f"{p.speedup:.2f}x",
         ]
         for p in points
     ]

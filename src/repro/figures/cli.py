@@ -8,6 +8,7 @@ Subcommands::
     repro-figures granularity  # A1 ablation
     repro-figures backends     # A2 ablation
     repro-figures compress     # A3 ablation (the scientific table)
+    repro-figures bulk         # A5 ablation: put vs put_many group commit
     repro-figures all          # everything above
 """
 
@@ -21,9 +22,11 @@ from typing import List, Optional
 
 from repro.figures.ablation import (
     backends_table,
+    bulk_ingest_table,
     compressibility_table,
     granularity_table,
     run_backends,
+    run_bulk_ingest,
     run_compressibility,
     run_granularity,
 )
@@ -68,6 +71,13 @@ def cmd_compress(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_bulk(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-bulk-") as tmp:
+        return bulk_ingest_table(
+            run_bulk_ingest(Path(tmp), records=args.records, batch_size=args.batch_size)
+        )
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -109,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="A4: distributed store scaling")
     p.set_defaults(fn=cmd_scaling)
 
+    p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
+    p.add_argument("--records", type=int, default=2000)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.set_defaults(fn=cmd_bulk)
+
     p = sub.add_parser("entropy", help="A6: entropy analysis per grouping")
     p.add_argument("--sample-bytes", type=int, default=3000)
     p.set_defaults(fn=cmd_entropy)
@@ -134,6 +149,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         with tempfile.TemporaryDirectory(prefix="repro-backends-") as tmp:
             blocks.append(
                 (_section("A2: backend ablation"), backends_table(run_backends(Path(tmp))))
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-bulk-") as tmp:
+            blocks.append(
+                (
+                    _section("A5: bulk ingest — put vs put_many"),
+                    bulk_ingest_table(run_bulk_ingest(Path(tmp))),
+                )
             )
         for title, body in blocks:
             print(title)

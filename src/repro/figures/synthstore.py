@@ -33,7 +33,10 @@ from repro.core.passertion import (
     ViewKind,
 )
 from repro.soa.xmldoc import XmlElement
-from repro.store.interface import ProvenanceStoreInterface
+from repro.store.interface import Assertion, ProvenanceStoreInterface
+
+#: Assertions buffered per group commit while populating.
+POPULATE_BATCH = 500
 
 #: The chain template: (service endpoint, operation) in workflow order.
 #: The first link has no producer (workflow input); each later link's
@@ -94,6 +97,15 @@ def populate_store(
     session_id = ""
     planted = 0
     local_seq = 0
+    # Assertions accumulate locally and ship through the store's bulk-ingest
+    # path in large group commits (order preserved), exactly like the
+    # actor-side library's batch records.
+    pending: List[Assertion] = []
+
+    def flush(force: bool = False) -> None:
+        if pending and (force or len(pending) >= POPULATE_BATCH):
+            store.put_many(pending)
+            pending.clear()
 
     for i in range(n_interaction_records):
         if i % session_size == 0:
@@ -126,7 +138,7 @@ def populate_store(
                 receiver="nucleotide-db",
             )
             _plant_interaction(
-                store,
+                pending,
                 prev_key,
                 operation="fetch",
                 session_id=session_id,
@@ -142,7 +154,7 @@ def populate_store(
         )
         causes = [prev_key.interaction_id] if prev_key is not None else []
         _plant_interaction(
-            store,
+            pending,
             key,
             operation=operation,
             session_id=session_id,
@@ -153,7 +165,9 @@ def populate_store(
         local_seq += 1
         planted += 1
         prev_key = key
+        flush()
 
+    flush(force=True)
     return SynthStoreSpec(
         interaction_records=planted,
         sessions=sessions,
@@ -162,7 +176,7 @@ def populate_store(
 
 
 def _plant_interaction(
-    store: ProvenanceStoreInterface,
+    sink: List[Assertion],
     key: InteractionKey,
     operation: str,
     session_id: str,
@@ -171,7 +185,7 @@ def _plant_interaction(
     local_seq: str,
 ) -> None:
     doc = _message_doc(key.interaction_id, operation)
-    store.put(
+    sink.append(
         InteractionPAssertion(
             interaction_key=key,
             view=ViewKind.SENDER,
@@ -181,7 +195,7 @@ def _plant_interaction(
             content=doc,
         )
     )
-    store.put(
+    sink.append(
         InteractionPAssertion(
             interaction_key=key,
             view=ViewKind.RECEIVER,
@@ -194,7 +208,7 @@ def _plant_interaction(
     script_content = script if script is not None else f"#!/bin/sh\n# {key.receiver}\n"
     script_el = XmlElement("script", attrs={"service": key.receiver})
     script_el.add(script_content)
-    store.put(
+    sink.append(
         ActorStatePAssertion(
             interaction_key=key,
             view=ViewKind.RECEIVER,
@@ -208,7 +222,7 @@ def _plant_interaction(
         caused_el = XmlElement("caused-by")
         for cause in causes:
             caused_el.element("message", cause)
-        store.put(
+        sink.append(
             ActorStatePAssertion(
                 interaction_key=key,
                 view=ViewKind.RECEIVER,
@@ -218,7 +232,7 @@ def _plant_interaction(
                 content=caused_el,
             )
         )
-    store.put(
+    sink.append(
         GroupAssertion(
             group_id=session_id,
             kind=GroupKind.SESSION,

@@ -20,43 +20,65 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 _ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;"), ("'", "&apos;")]
 _UNESCAPES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+#: str.translate table for the five standard entities (one pass, C speed).
+_ESCAPE_TABLE = {ord(raw): ent for raw, ent in _ESCAPES}
 
 
 def xml_escape(text: str) -> str:
-    """Escape the five standard XML entities."""
-    for raw, ent in _ESCAPES:
-        text = text.replace(raw, ent)
-    return text
+    """Escape the five standard XML entities.
+
+    Fast path: provenance payloads rarely contain markup characters, so
+    return the input unchanged when none of the five are present.
+    """
+    if (
+        "&" not in text
+        and "<" not in text
+        and ">" not in text
+        and '"' not in text
+        and "'" not in text
+    ):
+        return text
+    return text.translate(_ESCAPE_TABLE)
 
 
 def _unescape(text: str) -> str:
+    # Fast path: no ampersand means no entity references to expand.
+    if "&" not in text:
+        return text
     out: List[str] = []
-    i = 0
+    pos = 0
     n = len(text)
-    while i < n:
-        c = text[i]
-        if c == "&":
-            end = text.find(";", i + 1)
-            if end == -1:
-                raise ValueError(f"unterminated entity reference at offset {i}")
-            name = text[i + 1 : end]
-            if name.startswith("#x") or name.startswith("#X"):
-                out.append(chr(int(name[2:], 16)))
-            elif name.startswith("#"):
-                out.append(chr(int(name[1:])))
-            else:
-                try:
-                    out.append(_UNESCAPES[name])
-                except KeyError:
-                    raise ValueError(f"unknown entity &{name};") from None
-            i = end + 1
+    while pos < n:
+        amp = text.find("&", pos)
+        if amp == -1:
+            out.append(text[pos:])
+            break
+        if amp > pos:
+            out.append(text[pos:amp])
+        end = text.find(";", amp + 1)
+        if end == -1:
+            raise ValueError(f"unterminated entity reference at offset {amp}")
+        name = text[amp + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
         else:
-            out.append(c)
-            i += 1
+            try:
+                out.append(_UNESCAPES[name])
+            except KeyError:
+                raise ValueError(f"unknown entity &{name};") from None
+        pos = end + 1
     return "".join(out)
 
 
 Child = Union["XmlElement", str]
+
+
+#: ASCII characters valid anywhere in a name (non-ASCII falls back to isalnum).
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:.-"
+)
 
 
 def _name_ok(name: str) -> bool:
@@ -65,7 +87,10 @@ def _name_ok(name: str) -> bool:
     first = name[0]
     if not (first.isalpha() or first in "_:"):
         return False
-    return all(c.isalnum() or c in "_:.-" for c in name)
+    for c in name:
+        if c not in _NAME_CHARS and not c.isalnum():
+            return False
+    return True
 
 
 @dataclass
@@ -194,8 +219,12 @@ class _Parser:
 
     # -- lexing helpers -----------------------------------------------------
     def _skip_ws(self) -> None:
-        while self.pos < len(self.text) and self.text[self.pos].isspace():
-            self.pos += 1
+        text = self.text
+        pos = self.pos
+        n = len(text)
+        while pos < n and text[pos].isspace():
+            pos += 1
+        self.pos = pos
 
     def _skip_comment(self) -> bool:
         if self.text.startswith("<!--", self.pos):
@@ -222,12 +251,16 @@ class _Parser:
                 return
 
     def _read_name(self) -> str:
-        start = self.pos
-        while self.pos < len(self.text) and (
-            self.text[self.pos].isalnum() or self.text[self.pos] in "_:.-"
-        ):
-            self.pos += 1
-        name = self.text[start : self.pos]
+        text = self.text
+        start = pos = self.pos
+        n = len(text)
+        while pos < n:
+            c = text[pos]
+            if c not in _NAME_CHARS and not c.isalnum():
+                break
+            pos += 1
+        self.pos = pos
+        name = text[start:pos]
         if not _name_ok(name):
             raise self.error(f"invalid name {name!r}")
         return name
@@ -261,13 +294,9 @@ class _Parser:
         closing = self._read_name()
         if closing != name:
             raise self.error(f"mismatched close tag </{closing}> for <{name}>")
-        self._skip_ws_inside_tag()
+        self._skip_ws()
         self._expect(">")
         return el
-
-    def _skip_ws_inside_tag(self) -> None:
-        while self.pos < len(self.text) and self.text[self.pos].isspace():
-            self.pos += 1
 
     def _parse_attribute(self) -> Tuple[str, str]:
         key = self._read_name()
@@ -286,29 +315,34 @@ class _Parser:
         return key, _unescape(raw)
 
     def _parse_content(self, el: XmlElement) -> None:
+        text = self.text
+        n = len(text)
         buffer: List[str] = []
 
         def flush_text() -> None:
             if buffer:
-                text = _unescape("".join(buffer))
-                if text.strip():
-                    el.add(text)
+                joined = _unescape("".join(buffer))
+                if joined.strip():
+                    el.add(joined)
                 buffer.clear()
 
         while True:
-            if self.pos >= len(self.text):
+            if self.pos >= n:
                 raise self.error(f"unterminated element <{el.name}>")
-            if self.text.startswith("</", self.pos):
+            # Slice the whole text run up to the next markup in one scan.
+            lt = text.find("<", self.pos)
+            if lt == -1:
+                raise self.error(f"unterminated element <{el.name}>")
+            if lt > self.pos:
+                buffer.append(text[self.pos : lt])
+                self.pos = lt
+            if text.startswith("</", lt):
                 flush_text()
                 return
             if self._skip_comment():
                 continue
-            if self.text.startswith("<", self.pos):
-                flush_text()
-                el.add(self._parse_element())
-            else:
-                buffer.append(self.text[self.pos])
-                self.pos += 1
+            flush_text()
+            el.add(self._parse_element())
 
 
 def parse_xml(text: str) -> XmlElement:

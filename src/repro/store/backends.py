@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Union
+from typing import List, Sequence, Union
 
 from repro.core.passertion import GroupAssertion, parse_passertion
 from repro.core.prep import PrepRecord
@@ -24,11 +24,14 @@ def _assertion_to_text(assertion: Assertion) -> str:
     return assertion.to_xml().serialize()
 
 
-def _assertion_from_text(text: str) -> Assertion:
-    el = parse_xml(text)
+def _assertion_from_el(el: XmlElement) -> Assertion:
     if el.name == "group-assertion":
         return GroupAssertion.from_xml(el)
     return parse_passertion(el)
+
+
+def _assertion_from_text(text: str) -> Assertion:
+    return _assertion_from_el(parse_xml(text))
 
 
 class MemoryBackend(ProvenanceStoreInterface):
@@ -37,36 +40,73 @@ class MemoryBackend(ProvenanceStoreInterface):
     def _persist(self, assertion: Assertion) -> None:
         pass  # nothing beyond the in-memory index
 
+    def _persist_many(self, assertions: Sequence[Assertion]) -> None:
+        pass
+
 
 class FileSystemBackend(ProvenanceStoreInterface):
-    """One XML file per assertion under a directory tree.
+    """XML files under a directory tree, one file per put *or* per batch.
 
-    Layout: ``root/NNNNNNNN.xml`` in insertion order; the monotonically
-    increasing sequence number keeps replay order identical to insertion
-    order when the index is rebuilt on open.
+    Layout: ``root/NNNNNNNN.xml`` where the stem is the sequence number of
+    the file's first assertion.  A file holds either one bare assertion
+    document (single :meth:`put`) or a ``<segment>`` document wrapping up to
+    ``segment_size`` assertions (one :meth:`put_many` group commit).  The
+    monotonically increasing start sequence keeps replay order identical to
+    insertion order when the index is rebuilt on open.
     """
 
-    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        segment_size: int = 256,
+    ):
+        if segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_size = segment_size
         self._seq = 0
         self._replay()
 
     def _replay(self) -> None:
-        for path in sorted(self.root.glob("*.xml")):
-            text = path.read_text(encoding="utf-8")
-            assertion = _assertion_from_text(text)
-            self._index.add(assertion)
-            stem_seq = int(path.stem)
-            self._seq = max(self._seq, stem_seq + 1)
+        for path in sorted(self.root.glob("*.xml"), key=lambda p: int(p.stem)):
+            el = parse_xml(path.read_text(encoding="utf-8"))
+            start_seq = int(path.stem)
+            if el.name == "segment":
+                members = list(el.iter_elements())
+                for child in members:
+                    self._index.add(_assertion_from_el(child))
+                self._seq = max(self._seq, start_seq + len(members))
+            else:
+                self._index.add(_assertion_from_el(el))
+                self._seq = max(self._seq, start_seq + 1)
+
+    def _write_file(self, name: str, text: str) -> None:
+        path = self.root / name
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
 
     def _persist(self, assertion: Assertion) -> None:
-        path = self.root / f"{self._seq:08d}.xml"
+        name = f"{self._seq:08d}.xml"
         self._seq += 1
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(_assertion_to_text(assertion), encoding="utf-8")
-        os.replace(tmp, path)
+        self._write_file(name, _assertion_to_text(assertion))
+
+    def _persist_many(self, assertions: Sequence[Assertion]) -> None:
+        # Segment files: N assertions per file instead of one file (and one
+        # fsync-ordered rename) per assertion.
+        for start in range(0, len(assertions), self.segment_size):
+            chunk = assertions[start : start + self.segment_size]
+            if len(chunk) == 1:
+                self._persist(chunk[0])
+                continue
+            segment = XmlElement("segment", attrs={"count": str(len(chunk))})
+            for assertion in chunk:
+                segment.add(assertion.to_xml())
+            name = f"{self._seq:08d}.xml"
+            self._seq += len(chunk)
+            self._write_file(name, segment.serialize())
 
 
 class KVLogBackend(ProvenanceStoreInterface):
@@ -77,14 +117,16 @@ class KVLogBackend(ProvenanceStoreInterface):
     scanning the log on open.
     """
 
-    def __init__(self, path: Union[str, "os.PathLike[str]"]):
+    def __init__(self, path: Union[str, "os.PathLike[str]"], sync: bool = True):
         super().__init__()
-        self._log = KVLog(path)
+        self._log = KVLog(path, sync=sync)
         self._seq = 0
         self._replay()
 
     def _replay(self) -> None:
-        for key, value in self._log.items():
+        # One sequential pass over the log; keys are fixed-width sequence
+        # numbers, so log order is insertion order.
+        for key, value in self._log.scan():
             assertion = _assertion_from_text(value.decode("utf-8"))
             self._index.add(assertion)
             self._seq = max(self._seq, int(key.decode("ascii")) + 1)
@@ -93,6 +135,16 @@ class KVLogBackend(ProvenanceStoreInterface):
         key = f"{self._seq:016d}".encode("ascii")
         self._seq += 1
         self._log.put(key, _assertion_to_text(assertion).encode("utf-8"))
+
+    def _persist_many(self, assertions: Sequence[Assertion]) -> None:
+        # Group commit: every assertion of the batch lands in the log with a
+        # single write + flush.
+        pairs: List[tuple] = []
+        for assertion in assertions:
+            key = f"{self._seq:016d}".encode("ascii")
+            self._seq += 1
+            pairs.append((key, _assertion_to_text(assertion).encode("utf-8")))
+        self._log.put_many(pairs)
 
     def compact(self) -> None:
         self._log.compact()

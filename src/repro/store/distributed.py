@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.passertion import (
     ActorStatePAssertion,
@@ -115,6 +115,73 @@ class StoreRouter:
         self._stores[owner].put(assertion)
         self._note_link(assertion.interaction_key, owner)
         return owner
+
+    def put_many(self, assertions: Iterable[Assertion]) -> List[str]:
+        """Route a batch: one group commit per member store.
+
+        Assertions are partitioned by owning store (group assertions are
+        broadcast, as in :meth:`put`), then each store takes its share in a
+        single :meth:`~ProvenanceStoreInterface.put_many` call — per-store
+        relative order is preserved.  Returns each assertion's placement.
+
+        If a member store rejects part of its batch the exception
+        propagates; cross-links and ``records_routed`` are then recorded
+        exactly for the assertions that were durably stored (including the
+        accepted prefix of the failing store's batch, just as a put loop
+        would have linked each stored assertion before failing) — the
+        navigation tables never point at a store that did not take the
+        data, and never miss data a store did take.
+        """
+        per_store: Dict[str, List[Assertion]] = {name: [] for name in self._names}
+        plan: List[Tuple[Assertion, str]] = []
+        for assertion in assertions:
+            if isinstance(assertion, GroupAssertion):
+                for name in self._names:
+                    per_store[name].append(assertion)
+                plan.append((assertion, "*"))
+            else:
+                owner = self.owner_of(assertion.interaction_key)
+                per_store[owner].append(assertion)
+                plan.append((assertion, owner))
+        committed: set = set()
+        failed: Optional[str] = None
+        try:
+            for name in self._names:
+                if per_store[name]:
+                    try:
+                        self._stores[name].put_many(per_store[name])
+                    except BaseException:
+                        failed = name
+                        raise
+                committed.add(name)
+        finally:
+            for assertion, owner in plan:
+                if owner == "*":
+                    if all(
+                        name in committed or self._holds(name, assertion)
+                        for name in self._names
+                    ):
+                        self.records_routed += 1
+                        self._note_link(
+                            assertion.member, self.owner_of(assertion.member)
+                        )
+                elif owner in committed or (
+                    owner == failed and self._holds(owner, assertion)
+                ):
+                    self.records_routed += 1
+                    self._note_link(assertion.interaction_key, owner)
+        return [owner for _, owner in plan]
+
+    def _holds(self, store_name: str, assertion: Assertion) -> bool:
+        """Whether ``store_name`` durably holds ``assertion`` (post-failure)."""
+        store = self._stores[store_name]
+        if isinstance(assertion, GroupAssertion):
+            return assertion.member in store.group_members(assertion.group_id)
+        if isinstance(assertion, InteractionPAssertion):
+            found = store.interaction_passertions(assertion.interaction_key)
+        else:
+            found = store.actor_state_passertions(assertion.interaction_key)
+        return any(p.store_key == assertion.store_key for p in found)
 
     def _note_link(self, key: InteractionKey, owner: str) -> None:
         for name in self._names:

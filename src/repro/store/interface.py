@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.passertion import (
     ActorStatePAssertion,
@@ -67,6 +67,14 @@ class StoreIndex:
         self._actor_state: Dict[InteractionKey, List[ActorStatePAssertion]] = {}
         self._groups: Dict[str, GroupKindMembers] = {}
         self._by_group_member: Dict[InteractionKey, Set[str]] = {}
+        # Running counters and a cached sorted key view: counts() and
+        # interaction_keys() sit inside the Figure-5 query loop, so neither
+        # may recompute from scratch per call.
+        self._n_interactions = 0
+        self._n_actor_state = 0
+        self._n_groups = 0
+        self._all_keys: Set[InteractionKey] = set()
+        self._sorted_keys: Optional[List[InteractionKey]] = None
 
     def add(self, assertion: Assertion) -> None:
         if isinstance(assertion, GroupAssertion):
@@ -78,7 +86,8 @@ class StoreIndex:
                     f"group {assertion.group_id!r} asserted with kinds "
                     f"{entry.kind!r} and {assertion.kind.value!r}"
                 )
-            entry.add(assertion.member, assertion.sequence)
+            if entry.add(assertion.member, assertion.sequence):
+                self._n_groups += 1
             self._by_group_member.setdefault(assertion.member, set()).add(
                 assertion.group_id
             )
@@ -93,18 +102,24 @@ class StoreIndex:
             self._interactions.setdefault(assertion.interaction_key, []).append(
                 assertion
             )
+            self._n_interactions += 1
         elif isinstance(assertion, ActorStatePAssertion):
             self._actor_state.setdefault(assertion.interaction_key, []).append(
                 assertion
             )
+            self._n_actor_state += 1
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown assertion type {type(assertion)}")
+        if assertion.interaction_key not in self._all_keys:
+            self._all_keys.add(assertion.interaction_key)
+            self._sorted_keys = None
         self._order.append(assertion)
 
     # -- lookups -----------------------------------------------------------
     def interaction_keys(self) -> List[InteractionKey]:
-        keys = set(self._interactions) | set(self._actor_state)
-        return sorted(keys)
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._all_keys)
+        return list(self._sorted_keys)
 
     def interaction_passertions(
         self, key: InteractionKey, view: Optional[ViewKind] = None
@@ -150,14 +165,11 @@ class StoreIndex:
         return iter(self._order)
 
     def counts(self) -> StoreCounts:
-        n_inter = sum(len(v) for v in self._interactions.values())
-        n_state = sum(len(v) for v in self._actor_state.values())
-        n_group = sum(len(e.members) for e in self._groups.values())
         return StoreCounts(
-            interaction_passertions=n_inter,
-            actor_state_passertions=n_state,
-            group_assertions=n_group,
-            interaction_records=len(self.interaction_keys()),
+            interaction_passertions=self._n_interactions,
+            actor_state_passertions=self._n_actor_state,
+            group_assertions=self._n_groups,
+            interaction_records=len(self._all_keys),
         )
 
 
@@ -169,11 +181,13 @@ class GroupKindMembers:
         self.members: List[Tuple[Optional[int], InteractionKey]] = []
         self._member_set: Set[InteractionKey] = set()
 
-    def add(self, member: InteractionKey, sequence: Optional[int]) -> None:
+    def add(self, member: InteractionKey, sequence: Optional[int]) -> bool:
+        """Add a member; returns False for idempotent re-assertions."""
         if member in self._member_set:
-            return  # membership assertions are idempotent
+            return False  # membership assertions are idempotent
         self._member_set.add(member)
         self.members.append((sequence, member))
+        return True
 
     def ordered_members(self) -> List[InteractionKey]:
         def sort_key(item: Tuple[Optional[int], InteractionKey]):
@@ -195,9 +209,34 @@ class ProvenanceStoreInterface(ABC):
         self._index.add(assertion)
         self._persist(assertion)
 
+    def put_many(self, assertions: Iterable[Assertion]) -> int:
+        """Record a batch of assertions; returns how many were stored.
+
+        Semantically identical to calling :meth:`put` once per assertion —
+        duplicate detection and group idempotence behave the same, and a
+        failure partway through still persists the assertions indexed before
+        it (exactly what a ``put`` loop would have durably written) before
+        the exception propagates.  Backends override :meth:`_persist_many`
+        to turn the batch into a single group commit.
+        """
+        accepted: List[Assertion] = []
+        try:
+            for assertion in assertions:
+                self._index.add(assertion)
+                accepted.append(assertion)
+        finally:
+            if accepted:
+                self._persist_many(accepted)
+        return len(accepted)
+
     @abstractmethod
     def _persist(self, assertion: Assertion) -> None:
         """Backend-specific durability for one assertion."""
+
+    def _persist_many(self, assertions: Sequence[Assertion]) -> None:
+        """Backend-specific durability for a batch (default: one by one)."""
+        for assertion in assertions:
+            self._persist(assertion)
 
     def close(self) -> None:
         """Release backend resources (default: nothing to do)."""

@@ -46,13 +46,12 @@ class StorePlugIn(PlugIn):
             records = [PrepRecord.from_xml(body)]
         else:
             records = [PrepRecord.from_xml(el) for el in body.find_all("prep-record")]
-        stored = 0
-        for record in records:
-            try:
-                backend.put(record.assertion)
-            except DuplicateAssertionError as exc:
-                raise Fault("duplicate-assertion", str(exc)) from exc
-            stored += 1
+        try:
+            # Bulk ingest: the whole submission becomes one backend group
+            # commit (put_many persists singles via the same path).
+            stored = backend.put_many([record.assertion for record in records])
+        except DuplicateAssertionError as exc:
+            raise Fault("duplicate-assertion", str(exc)) from exc
         return PrepAck(status="ok", count=stored).to_xml()
 
 
