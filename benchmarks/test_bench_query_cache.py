@@ -1,0 +1,138 @@
+"""A7 — query-path caching: repeated-query throughput, cached vs uncached.
+
+The query port's hot traffic is repetition: navigators re-issue the same
+``prep-query`` documents against a store that changes rarely between reads.
+This bench populates a 2000-interaction-record store and replays a hot
+query mix (full listing, counts, session membership, interaction records)
+through two ``QueryPlugIn`` instances — one with the generation-validated
+:class:`~repro.store.querycache.QueryCache`, one without — and through the
+Figure-4b concurrent-client sweep.
+
+Shape criteria:
+
+* cached repeated-query throughput is at least 2x the uncached path at
+  2000 interaction records (measured well above that: the cached path
+  skips parse, dispatch, index walk and result building);
+* cached and uncached responses stay byte-identical over the mix;
+* the Figure-5 query-scaling criteria still hold with the cache in the
+  read path: both use-case curves linear with r > 0.99.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.figures.fig4b import fig4b_table, hot_query_bodies, run_fig4b
+from repro.figures.fig5 import run_fig5
+from repro.figures.stats import format_table
+from repro.figures.synthstore import populate_store
+from repro.store.backends import MemoryBackend
+from repro.store.plugins import QueryPlugIn
+
+#: the acceptance bar's store size.
+STORE_RECORDS = 2000
+#: hot-mix repetitions per timing pass.
+REPEATS = 30
+
+
+@pytest.fixture(scope="module")
+def store():
+    backend = MemoryBackend()
+    spec = populate_store(
+        backend, STORE_RECORDS, script_for=lambda service: None, session_size=50
+    )
+    assert spec.interaction_records == STORE_RECORDS
+    return backend, spec
+
+
+def hot_mix(backend, spec):
+    """The shared Figure-4b working set (frozen, as a re-sending client)."""
+    return hot_query_bodies(spec.sessions, backend.interaction_keys(), per_kind=4)
+
+
+def replay(plugin, backend, bodies, repeats=REPEATS):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for body in bodies:
+            plugin.handle(body, backend)
+    return time.perf_counter() - start
+
+
+def test_bench_repeated_query_cache_speedup(benchmark, store, report):
+    backend, spec = store
+    bodies = hot_mix(backend, spec)
+    cached = QueryPlugIn()
+    uncached = QueryPlugIn(enable_cache=False)
+
+    # Byte-identical responses before any timing claims.
+    for body in bodies:
+        assert (
+            cached.handle(body, backend).serialize()
+            == uncached.handle(body, backend).serialize()
+        )
+
+    uncached_s = replay(uncached, backend, bodies)
+    cached_s = replay(cached, backend, bodies)
+    benchmark.pedantic(
+        lambda: replay(cached, backend, bodies, repeats=5), rounds=3, iterations=1
+    )
+
+    n_queries = REPEATS * len(bodies)
+    speedup = uncached_s / cached_s
+    stats = cached.cache.stats
+    report(
+        "A7: query cache — repeated-query throughput at 2000 records",
+        format_table(
+            ["path", "queries/s", "total (s)"],
+            [
+                ["uncached", f"{n_queries / uncached_s:.0f}", f"{uncached_s:.3f}"],
+                ["cached", f"{n_queries / cached_s:.0f}", f"{cached_s:.3f}"],
+            ],
+        )
+        + f"\nspeedup: {speedup:.1f}x   "
+        f"result hits: {stats.result_hits}   plan hits: {stats.plan_hits}",
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["uncached_qps"] = round(n_queries / uncached_s)
+    benchmark.extra_info["cached_qps"] = round(n_queries / cached_s)
+
+    # Acceptance bar: >= 2x at 2000 interaction records.
+    assert speedup >= 2.0, f"cached speedup {speedup:.2f}x < 2x"
+    assert stats.result_hits >= n_queries - len(bodies)
+
+
+def test_bench_fig5_criteria_hold_with_cache(benchmark, report):
+    """Figure-5 slope criteria survive the query-path overhaul."""
+    series = benchmark.pedantic(
+        lambda: run_fig5(sizes=(250, 500, 1000, 1500, 2000)),
+        rounds=1,
+        iterations=1,
+    )
+    script_fit = series.script_fit()
+    semantic_fit = series.semantic_fit()
+    benchmark.extra_info["script_r"] = round(script_fit.correlation, 5)
+    benchmark.extra_info["semantic_r"] = round(semantic_fit.correlation, 5)
+    assert script_fit.is_linear and script_fit.correlation > 0.99
+    assert semantic_fit.is_linear and semantic_fit.correlation > 0.99
+
+
+def test_bench_fig4b_concurrent_clients(benchmark, report):
+    """The Figure-4b sweep: ops/sec vs N clients, single store and router."""
+    sweep = benchmark.pedantic(
+        lambda: run_fig4b(
+            client_counts=(1, 2, 4, 8, 16), store_counts=(1, 4), ops_per_client=30
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("E2b: Figure 4b — concurrent-client throughput", fig4b_table(sweep))
+    for n_stores, points in sweep.items():
+        assert all(p.ops == p.records + p.queries for p in points)
+        # more clients never reduce total completed work
+        assert [p.ops for p in points] == sorted(p.ops for p in points)
+    single = {p.clients: p for p in sweep[1]}
+    routed = {p.clients: p for p in sweep[4]}
+    # at high concurrency the 4-member router out-serves the single store
+    assert routed[16].ops_per_second > single[16].ops_per_second

@@ -15,7 +15,7 @@ used to reach its recording throughput.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.passertion import (
     ActorStatePAssertion,
@@ -28,6 +28,7 @@ from repro.core.prep import PrepAck, PrepQuery, PrepRecord, PrepResult
 from repro.soa.bus import MessageBus
 from repro.soa.xmldoc import XmlElement
 from repro.store.interface import Assertion, StoreCounts
+from repro.store.querycache import LruMap, QueryPlan
 
 
 class ProvenanceRecordClient:
@@ -101,28 +102,62 @@ class ProvenanceRecordClient:
 
 
 class ProvenanceQueryClient:
-    """Typed wrapper over the PReServ query port."""
+    """Typed wrapper over the PReServ query port.
+
+    With a ``generation_source`` — a callable returning the store's current
+    write generation, e.g. ``backend.generation`` via
+    :meth:`~repro.store.service.PReServActor.store_generation` — repeated
+    identical queries are answered from a client-side result cache without a
+    bus round trip, for as long as the generation has not advanced.  Without
+    one, every query goes to the store (``calls`` counts bus calls only;
+    ``cache_hits`` counts locally answered queries).
+    """
 
     def __init__(
         self,
         bus: MessageBus,
         store_endpoint: str = "preserv",
         client_endpoint: str = "query-client",
+        generation_source: Optional[Callable[[], int]] = None,
+        max_cached_results: int = 1024,
     ):
         self.bus = bus
         self.store_endpoint = store_endpoint
         self.client_endpoint = client_endpoint
+        self.generation_source = generation_source
         self.calls = 0
+        self.cache_hits = 0
+        self._results: LruMap = LruMap(max_cached_results)
 
     def _query(self, query_type: str, **params: str) -> PrepResult:
+        query = PrepQuery(query_type=query_type, params=dict(params))
+        generation: Optional[int] = None
+        cache_key: Optional[Tuple[str, Tuple[Tuple[str, str], ...]]] = None
+        if self.generation_source is not None:
+            generation = self.generation_source()
+            # same canonical key as the server-side result cache
+            cache_key = QueryPlan.key_for(query)
+            entry = self._results.get(cache_key)
+            if entry is not None and entry[0] == generation:
+                self.cache_hits += 1
+                # fresh wrapper per hit so callers can't poison the entry's
+                # item list (the elements themselves are shared, frozen by
+                # the server cache when it is enabled)
+                return PrepResult(items=list(entry[1].items))
         self.calls += 1
         response = self.bus.call(
             source=self.client_endpoint,
             target=self.store_endpoint,
             operation="query",
-            payload=PrepQuery(query_type=query_type, params=dict(params)).to_xml(),
+            payload=query.to_xml(),
         )
-        return PrepResult.from_xml(response)
+        result = PrepResult.from_xml(response)
+        if cache_key is not None and generation is not None:
+            # store a private copy so the caller's wrapper can't poison it
+            self._results.put(
+                cache_key, (generation, PrepResult(items=list(result.items)))
+            )
+        return result
 
     @staticmethod
     def _key_params(key: InteractionKey) -> Dict[str, str]:

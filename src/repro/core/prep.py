@@ -103,9 +103,11 @@ class PrepQuery:
     =====================  ==================================================
     ``interaction``        ``id``, ``sender``, ``receiver`` (full key)
     ``interactions``       (none) — list all interaction records
+    ``record``             full key — every p-assertion about one key
     ``by-group``           ``group`` — interaction keys in a group
     ``actor-state``        full key plus optional ``state-type``
     ``groups``             optional ``kind`` — list group ids
+    ``groups-of``          full key — group ids a key belongs to
     ``count``              (none) — store statistics
     =====================  ==================================================
     """

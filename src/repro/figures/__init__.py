@@ -6,6 +6,8 @@ One module per evaluation artefact of the paper:
   (~18 ms record round trip),
 * :mod:`repro.figures.fig4` — Figure 4, recording overhead vs number of
   permutations under four recording configurations,
+* :mod:`repro.figures.fig4b` — Figure 4b, store throughput under N
+  concurrent clients mixing record and repeated-query traffic,
 * :mod:`repro.figures.fig5` — Figure 5, execution-comparison and
   semantic-validity query time vs store size,
 * :mod:`repro.figures.ablation` — granularity / backend / compressor
@@ -20,12 +22,14 @@ generated from the same code path.
 
 from repro.figures.stats import LinearFit, linear_fit, relative_overhead
 from repro.figures.fig4 import Fig4Point, Fig4Series, run_fig4
+from repro.figures.fig4b import Fig4bPoint, run_fig4b
 from repro.figures.fig5 import Fig5Point, Fig5Series, run_fig5
 from repro.figures.microbench import MicrobenchResult, run_microbench
 
 __all__ = [
     "Fig4Point",
     "Fig4Series",
+    "Fig4bPoint",
     "Fig5Point",
     "Fig5Series",
     "LinearFit",
@@ -33,6 +37,7 @@ __all__ = [
     "linear_fit",
     "relative_overhead",
     "run_fig4",
+    "run_fig4b",
     "run_fig5",
     "run_microbench",
 ]

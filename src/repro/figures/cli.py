@@ -4,6 +4,7 @@ Subcommands::
 
     repro-figures micro        # §6 PReServ record round-trip benchmark
     repro-figures fig4         # Figure 4: recording overhead
+    repro-figures fig4b        # Figure 4b: concurrent-client throughput sweep
     repro-figures fig5         # Figure 5: use-case query performance
     repro-figures granularity  # A1 ablation
     repro-figures backends     # A2 ablation
@@ -33,6 +34,7 @@ from repro.figures.ablation import (
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
 from repro.figures.fig4 import fig4_table, run_fig4
+from repro.figures.fig4b import fig4b_table, run_fig4b
 from repro.figures.fig5 import fig5_table, run_fig5
 from repro.figures.microbench import microbench_table, run_microbench
 
@@ -48,6 +50,17 @@ def cmd_micro(args: argparse.Namespace) -> str:
 
 def cmd_fig4(args: argparse.Namespace) -> str:
     return fig4_table(run_fig4())
+
+
+def cmd_fig4b(args: argparse.Namespace) -> str:
+    sweep = run_fig4b(
+        client_counts=tuple(args.clients),
+        store_counts=tuple(args.stores),
+        ops_per_client=args.ops_per_client,
+        query_ratio=args.query_ratio,
+        cache=not args.no_cache,
+    )
+    return fig4b_table(sweep)
 
 
 def cmd_fig5(args: argparse.Namespace) -> str:
@@ -100,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4", help="Figure 4: recording overhead")
     p.set_defaults(fn=cmd_fig4)
 
+    p = sub.add_parser(
+        "fig4b", help="Figure 4b: concurrent-client throughput sweep"
+    )
+    p.add_argument("--clients", type=int, nargs="*", default=[1, 2, 4, 8, 16, 32])
+    p.add_argument("--stores", type=int, nargs="*", default=[1, 4])
+    p.add_argument("--ops-per-client", type=int, default=40)
+    p.add_argument("--query-ratio", type=float, default=0.8)
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(fn=cmd_fig4b)
+
     p = sub.add_parser("fig5", help="Figure 5: use-case query performance")
     p.add_argument("--sizes", type=int, nargs="*", default=None)
     p.set_defaults(fn=cmd_fig5)
@@ -140,6 +163,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         blocks = [
             (_section("E1: PReServ micro-benchmark"), microbench_table(run_microbench())),
             (_section("E2: Figure 4 — recording overhead"), fig4_table(run_fig4())),
+            (
+                _section("E2b: Figure 4b — concurrent-client throughput"),
+                fig4b_table(run_fig4b()),
+            ),
             (_section("E3/E4: Figure 5 — use-case performance"), fig5_table(run_fig5())),
             (_section("A1: granularity ablation"), granularity_table(run_granularity())),
             (_section("A3: compressibility"), compressibility_table(run_compressibility())),

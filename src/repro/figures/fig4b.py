@@ -1,0 +1,295 @@
+"""Figure 4b: store throughput under N concurrent clients.
+
+The paper's scalability experiment varies the number of *concurrent
+submitting clients* hammering one PReServ instance.  This harness
+reproduces that sweep on the simulation kernel and extends it with the
+query-path cache of :mod:`repro.store.querycache`: N simulated clients mix
+p-assertion records with repeated hot queries against one
+:class:`~repro.store.service.PReServActor` (then a 4-member
+:class:`~repro.store.distributed.StoreRouter`), and we report aggregate
+operations/second as N grows.
+
+The store work is *real* — every record lands in a live backend, every
+query runs through the live ``QueryPlugIn`` (so cache hits, misses and
+write invalidations are the genuine article) — while *time* is modelled:
+each store instance serialises its requests through a capacity-1 resource
+and charges calibrated service times (18 ms per record, the paper's §6
+round trip; 15 ms per uncached query, the paper's ~15 ms store invocation;
+a small constant for cache hits, which skip parse, index walk and result
+building).  Throughput therefore saturates at the store's service rate —
+unless the cache answers, which is exactly the effect being measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.passertion import (
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.core.prep import PrepQuery, PrepRecord
+from repro.figures.stats import format_table
+from repro.figures.synthstore import populate_store
+from repro.simkit.kernel import Event, Simulator
+from repro.simkit.resources import Resource
+from repro.simkit.rng import RngRegistry
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import MemoryBackend
+from repro.store.distributed import StoreRouter
+from repro.store.service import PAPER_RECORD_ROUND_TRIP_S, PReServActor
+
+#: the paper's ~15 ms store invocation, charged per uncached query.
+QUERY_SERVICE_S = 0.015
+#: a cache hit skips parse + index + result build; wire/dispatch remain.
+QUERY_CACHED_SERVICE_S = 0.002
+#: interaction records pre-populated per store before the sweep.
+PREPOPULATE_RECORDS = 200
+
+
+@dataclass(frozen=True)
+class Fig4bPoint:
+    clients: int
+    stores: int
+    cache: bool
+    records: int
+    queries: int
+    query_cache_hits: int
+    makespan_s: float
+
+    @property
+    def ops(self) -> int:
+        return self.records + self.queries
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops / self.makespan_s if self.makespan_s else float("inf")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.query_cache_hits / self.queries if self.queries else 0.0
+
+
+def hot_query_bodies(
+    sessions: Sequence[str],
+    keys: Sequence[InteractionKey],
+    per_kind: int = 3,
+) -> List[XmlElement]:
+    """The repeated-query working set clients cycle through.
+
+    Shared by this sweep and ``benchmarks/test_bench_query_cache.py`` so
+    the benchmark and the figure measure the same workload.  Bodies are
+    frozen: their serialized form (the plan-cache key) is computed once,
+    exactly like a client re-sending the same document.
+    """
+    bodies: List[XmlElement] = [
+        PrepQuery(query_type="interactions").to_xml(),
+        PrepQuery(query_type="count").to_xml(),
+    ]
+    for session in sessions[:per_kind]:
+        bodies.append(PrepQuery(query_type="by-group", params={"group": session}).to_xml())
+    for key in keys[:per_kind]:
+        bodies.append(
+            PrepQuery(
+                query_type="record",
+                params={
+                    "id": key.interaction_id,
+                    "sender": key.sender,
+                    "receiver": key.receiver,
+                },
+            ).to_xml()
+        )
+    for body in bodies:
+        body.freeze()
+    return bodies
+
+
+def _record_assertion(store_tag: str, i: int) -> InteractionPAssertion:
+    key = InteractionKey(
+        interaction_id=f"fig4b-{store_tag}-{i:06d}",
+        sender="fig4b-client",
+        receiver=f"svc-{i % 7}",
+    )
+    content = XmlElement("envelope")
+    content.element("body").element("payload", f"fig4b message {i}")
+    return InteractionPAssertion(
+        interaction_key=key,
+        view=ViewKind.SENDER,
+        asserter="fig4b-client",
+        local_id=f"pa-{store_tag}-{i}",
+        operation="invoke",
+        content=content,
+    )
+
+
+def simulate_concurrent_clients(
+    n_clients: int,
+    n_stores: int = 1,
+    ops_per_client: int = 40,
+    query_ratio: float = 0.8,
+    cache: bool = True,
+    prepopulate: int = PREPOPULATE_RECORDS,
+    seed: int = 0,
+) -> Fig4bPoint:
+    """Drive real stores from ``n_clients`` simulated concurrent clients."""
+    if n_clients < 1 or n_stores < 1 or ops_per_client < 1:
+        raise ValueError("counts must be positive")
+    if not 0.0 <= query_ratio <= 1.0:
+        raise ValueError("query_ratio must be in [0, 1]")
+
+    backends = {f"store-{i}": MemoryBackend() for i in range(n_stores)}
+    names = sorted(backends)
+    actors = {
+        name: PReServActor(
+            backends[name], endpoint=name, enable_query_cache=cache
+        )
+        for name in names
+    }
+    router = StoreRouter(backends) if n_stores > 1 else None
+
+    # Pre-populate each member with realistic records so queries have
+    # something non-trivial to answer.
+    hot: Dict[str, List[XmlElement]] = {}
+    for i, name in enumerate(names):
+        spec = populate_store(
+            backends[name],
+            prepopulate,
+            script_for=lambda service: None,
+            session_prefix=f"fig4b-{i}-sess",
+            id_prefix=f"fig4b-{i}-pre",
+        )
+        keys = backends[name].interaction_keys()
+        hot[name] = hot_query_bodies(spec.sessions, keys)
+
+    sim = Simulator()
+    resources = {name: Resource(sim, capacity=1) for name in names}
+    rngs = RngRegistry(master_seed=seed)
+
+    counters = {"records": 0, "queries": 0, "hits": 0}
+
+    def run_query(name: str, body: XmlElement) -> float:
+        actor = actors[name]
+        stats = actor.query_cache.stats if actor.query_cache is not None else None
+        before = stats.result_hits if stats is not None else 0
+        actor.handle("query", body)
+        counters["queries"] += 1
+        if stats is not None and stats.result_hits > before:
+            counters["hits"] += 1
+            return QUERY_CACHED_SERVICE_S
+        return QUERY_SERVICE_S
+
+    def run_record(name: str, assertion: InteractionPAssertion) -> float:
+        if router is not None:
+            router.put(assertion)
+        else:
+            actors[name].handle("record", PrepRecord(assertion=assertion).to_xml())
+        counters["records"] += 1
+        return PAPER_RECORD_ROUND_TRIP_S
+
+    # Plan every client's op sequence up front (deterministic per seed).
+    def plan_ops(client_idx: int) -> List[Tuple[str, Callable[[], float]]]:
+        rng = rngs.stream(f"client-{client_idx}")
+        ops: List[Tuple[str, Callable[[], float]]] = []
+        for op_idx in range(ops_per_client):
+            if rng.random() < query_ratio:
+                name = names[rng.randrange(n_stores)]
+                body = hot[name][rng.randrange(len(hot[name]))]
+                ops.append((name, lambda n=name, b=body: run_query(n, b)))
+            else:
+                assertion = _record_assertion(
+                    f"c{client_idx}", op_idx
+                )
+                if router is not None:
+                    name = router.owner_of(assertion.interaction_key)
+                else:
+                    name = names[0]
+                ops.append((name, lambda n=name, a=assertion: run_record(n, a)))
+        return ops
+
+    def client(ops: List[Tuple[str, Callable[[], float]]]) -> Generator[Event, None, None]:
+        for name, thunk in ops:
+            resource = resources[name]
+            req = resource.request()
+            yield req
+            try:
+                service_s = thunk()
+                yield sim.timeout(service_s)
+            finally:
+                resource.release()
+
+    processes = [
+        sim.process(client(plan_ops(c)), name=f"client-{c}")
+        for c in range(n_clients)
+    ]
+    sim.run()
+    for proc in processes:
+        assert proc.triggered and proc.ok
+    return Fig4bPoint(
+        clients=n_clients,
+        stores=n_stores,
+        cache=cache,
+        records=counters["records"],
+        queries=counters["queries"],
+        query_cache_hits=counters["hits"],
+        makespan_s=sim.now,
+    )
+
+
+def run_fig4b(
+    client_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    store_counts: Sequence[int] = (1, 4),
+    ops_per_client: int = 40,
+    query_ratio: float = 0.8,
+    cache: bool = True,
+    prepopulate: int = PREPOPULATE_RECORDS,
+    seed: int = 0,
+) -> Dict[int, List[Fig4bPoint]]:
+    """The full sweep: ops/sec vs N clients, per store count."""
+    out: Dict[int, List[Fig4bPoint]] = {}
+    for n_stores in store_counts:
+        out[n_stores] = [
+            simulate_concurrent_clients(
+                n,
+                n_stores=n_stores,
+                ops_per_client=ops_per_client,
+                query_ratio=query_ratio,
+                cache=cache,
+                prepopulate=prepopulate,
+                seed=seed,
+            )
+            for n in client_counts
+        ]
+    return out
+
+
+def fig4b_table(sweep: Dict[int, List[Fig4bPoint]]) -> str:
+    """Text rendition: ops/sec vs concurrent clients for each store count."""
+    blocks: List[str] = []
+    for n_stores in sorted(sweep):
+        points = sweep[n_stores]
+        headers = [
+            "clients",
+            "ops",
+            "records",
+            "queries",
+            "hit rate",
+            "makespan (s)",
+            "ops/s",
+        ]
+        rows = [
+            [
+                p.clients,
+                p.ops,
+                p.records,
+                p.queries,
+                f"{p.hit_rate * 100:.0f}%",
+                f"{p.makespan_s:.2f}",
+                f"{p.ops_per_second:.0f}",
+            ]
+            for p in points
+        ]
+        label = "store" if n_stores == 1 else "stores"
+        blocks.append(f"-- {n_stores} {label} --\n{format_table(headers, rows)}")
+    return "\n\n".join(blocks)

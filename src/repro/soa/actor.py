@@ -34,11 +34,23 @@ class Actor:
     """Base class for services and clients.
 
     Operations are methods named ``op_<operation>`` with signature
-    ``(payload: XmlElement) -> XmlElement``.
+    ``(payload: XmlElement) -> XmlElement``.  The operation set is fixed at
+    construction (the handler table is built once in ``__init__``);
+    attaching ``op_`` attributes to an instance afterwards will not
+    register them.
     """
 
     def __init__(self, endpoint: str, description: str = ""):
         self.identity = ActorIdentity(endpoint=endpoint, description=description)
+        # Operations are class-level methods, so the handler map and the
+        # sorted name list are built once here instead of re-running
+        # dir() + getattr on every describe/dispatch.
+        self._op_handlers: Dict[str, Callable[[XmlElement], XmlElement]] = {
+            name[3:]: getattr(self, name)
+            for name in dir(self)
+            if name.startswith("op_") and callable(getattr(self, name))
+        }
+        self._op_names: List[str] = sorted(self._op_handlers)
 
     @property
     def endpoint(self) -> str:
@@ -46,15 +58,11 @@ class Actor:
 
     def operations(self) -> List[str]:
         """Names of the operations this actor exposes."""
-        return sorted(
-            name[3:]
-            for name in dir(self)
-            if name.startswith("op_") and callable(getattr(self, name))
-        )
+        return list(self._op_names)
 
     def handler(self, operation: str) -> Callable[[XmlElement], XmlElement]:
-        method = getattr(self, f"op_{operation}", None)
-        if method is None or not callable(method):
+        method = self._op_handlers.get(operation)
+        if method is None:
             raise OperationError(
                 f"actor {self.endpoint!r} has no operation {operation!r}"
             )

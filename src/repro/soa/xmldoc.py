@@ -100,6 +100,11 @@ class XmlElement:
     name: str
     attrs: Dict[str, str] = field(default_factory=dict)
     children: List[Child] = field(default_factory=list)
+    #: compact serialization cache, set by :meth:`freeze` — not part of the
+    #: element's value (excluded from equality and repr).
+    _frozen_text: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not _name_ok(self.name):
@@ -113,6 +118,8 @@ class XmlElement:
         """Append a child; returns self for chaining."""
         if not isinstance(child, (XmlElement, str)):
             raise TypeError(f"child must be XmlElement or str, got {type(child)}")
+        if self._frozen_text is not None:
+            raise ValueError(f"element <{self.name}> is frozen")
         self.children.append(child)
         return self
 
@@ -164,13 +171,54 @@ class XmlElement:
             cur = cur.find(n)
         return cur
 
+    def copy(self) -> "XmlElement":
+        """A deep, unfrozen copy of this subtree."""
+        return XmlElement(
+            name=self.name,
+            attrs=dict(self.attrs),
+            children=[
+                c.copy() if isinstance(c, XmlElement) else c for c in self.children
+            ],
+        )
+
     # -- serialization -----------------------------------------------------
+    def freeze(self) -> "XmlElement":
+        """Declare this subtree immutable and cache its compact serialization.
+
+        Query-result documents are built once and then re-serialized on every
+        envelope that carries them; freezing computes the compact form a
+        single time and lets :meth:`serialize`/:meth:`to_xml_string` (and any
+        unfrozen ancestor's ``serialize``) splice the cached string in.
+        After freezing, :meth:`add`/:meth:`element` raise.
+        """
+        if self._frozen_text is None:
+            for child in self.children:
+                if isinstance(child, XmlElement):
+                    child.freeze()
+            self._frozen_text = self.serialize()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen_text is not None
+
+    def to_xml_string(self) -> str:
+        """Compact serialized form; cached for frozen elements."""
+        if self._frozen_text is not None:
+            return self._frozen_text
+        return self.serialize()
+
     def serialize(self, indent: Optional[int] = None) -> str:
+        if indent is None and self._frozen_text is not None:
+            return self._frozen_text
         out: List[str] = []
         self._write(out, indent, 0)
         return "".join(out)
 
     def _write(self, out: List[str], indent: Optional[int], depth: int) -> None:
+        if indent is None and self._frozen_text is not None:
+            out.append(self._frozen_text)
+            return
         pad = "" if indent is None else "\n" + " " * (indent * depth)
         if depth or indent is not None:
             out.append(pad if depth else "")

@@ -8,6 +8,8 @@ The store side of the architecture (paper Section 5, Figure 3):
 * :mod:`repro.store.kvlog` — the embedded log-structured KV database
   (Berkeley DB substitute) underlying the database backend,
 * :mod:`repro.store.plugins` — Store and Query plug-ins,
+* :mod:`repro.store.querycache` — generation-validated query plan and
+  result caching for the read path,
 * :mod:`repro.store.service` — the message translator and the PReServ actor.
 """
 
@@ -20,6 +22,7 @@ from repro.store.interface import (
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
 from repro.store.kvlog import CorruptRecordError, KVLog
 from repro.store.plugins import PlugIn, QueryPlugIn, StorePlugIn
+from repro.store.querycache import CacheStats, GenerationVector, QueryCache, QueryPlan
 from repro.store.service import (
     MessageTranslator,
     PAPER_RECORD_ROUND_TRIP_S,
@@ -42,8 +45,12 @@ from repro.store.curation import (
 
 __all__ = [
     "ArchiveError",
+    "CacheStats",
     "CorruptRecordError",
     "CrossLink",
+    "GenerationVector",
+    "QueryCache",
+    "QueryPlan",
     "FederatedQueryClient",
     "RetentionPolicy",
     "StoreRouter",

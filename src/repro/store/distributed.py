@@ -45,6 +45,7 @@ from repro.store.interface import (
     ProvenanceStoreInterface,
     StoreCounts,
 )
+from repro.store.querycache import GenerationVector
 
 Assertion = Union[PAssertion, GroupAssertion]
 
@@ -96,6 +97,15 @@ class StoreRouter:
     def owner_of(self, key: InteractionKey) -> str:
         """The store that owns this interaction's p-assertions."""
         return self._names[_hash_to_bucket(key, len(self._names))]
+
+    # -- cache freshness ----------------------------------------------------
+    def generations(self) -> Dict[str, int]:
+        """Per-member write generations (cross-links ride member writes)."""
+        return {name: self._stores[name].generation for name in self._names}
+
+    def generation_vector(self) -> GenerationVector:
+        """Freshness token: a router query is cacheable iff no member advanced."""
+        return GenerationVector.of(self._stores)
 
     def put(self, assertion: Assertion) -> str:
         """Route one assertion; returns the name of the store that took it.
@@ -216,16 +226,32 @@ class StoreRouter:
 
 
 class FederatedQueryClient:
-    """Answers store-interface queries over all members of a router."""
+    """Answers store-interface queries over all members of a router.
+
+    Federation-wide merges (:meth:`interaction_keys`, :meth:`counts`) are
+    memoized under the router's generation vector: a merged result is served
+    from cache iff no member store advanced since it was built.
+    """
 
     def __init__(self, router: StoreRouter):
         self.router = router
+        self._keys_cache: Optional[
+            Tuple[GenerationVector, List[InteractionKey]]
+        ] = None
+        self._counts_cache: Optional[Tuple[GenerationVector, StoreCounts]] = None
+        self.cache_hits = 0
 
     def interaction_keys(self) -> List[InteractionKey]:
+        vector = self.router.generation_vector()
+        if self._keys_cache is not None and self._keys_cache[0].fresh(vector):
+            self.cache_hits += 1
+            return list(self._keys_cache[1])
         keys = set()
         for name in self.router.store_names:
             keys.update(self.router.store(name).interaction_keys())
-        return sorted(keys)
+        merged = sorted(keys)
+        self._keys_cache = (vector, merged)
+        return list(merged)
 
     def interaction_passertions(
         self, key: InteractionKey, view: Optional[ViewKind] = None
@@ -249,6 +275,10 @@ class FederatedQueryClient:
 
     def counts(self) -> StoreCounts:
         """Aggregate counts (group assertions counted once, not per replica)."""
+        vector = self.router.generation_vector()
+        if self._counts_cache is not None and self._counts_cache[0].fresh(vector):
+            self.cache_hits += 1
+            return self._counts_cache[1]
         inter = state = 0
         records = set()
         for name in self.router.store_names:
@@ -259,12 +289,14 @@ class FederatedQueryClient:
             records.update(store.interaction_keys())
         first = self.router.store(self.router.store_names[0])
         groups = first.counts().group_assertions
-        return StoreCounts(
+        merged = StoreCounts(
             interaction_passertions=inter,
             actor_state_passertions=state,
             group_assertions=groups,
             interaction_records=len(records),
         )
+        self._counts_cache = (vector, merged)
+        return merged
 
 
 def consolidate(

@@ -75,23 +75,41 @@ class StoreIndex:
         self._n_groups = 0
         self._all_keys: Set[InteractionKey] = set()
         self._sorted_keys: Optional[List[InteractionKey]] = None
+        # Cached sorted views over group membership, invalidated on mutation
+        # (the interaction_keys() treatment applied to the group tables).
+        self._groups_of_cache: Dict[InteractionKey, List[str]] = {}
+        self._group_ids_cache: Dict[Optional[str], List[str]] = {}
+        #: Write generation: bumped on every successful mutation, so read
+        #: caches can validate with one integer comparison.
+        self.generation = 0
 
     def add(self, assertion: Assertion) -> None:
         if isinstance(assertion, GroupAssertion):
-            entry = self._groups.setdefault(
-                assertion.group_id, GroupKindMembers(kind=assertion.kind.value)
-            )
+            entry = self._groups.get(assertion.group_id)
+            if entry is None:
+                entry = self._groups[assertion.group_id] = GroupKindMembers(
+                    kind=assertion.kind.value
+                )
+                self._group_ids_cache.clear()
             if entry.kind != assertion.kind.value:
                 raise ValueError(
                     f"group {assertion.group_id!r} asserted with kinds "
                     f"{entry.kind!r} and {assertion.kind.value!r}"
                 )
+            changed = False
             if entry.add(assertion.member, assertion.sequence):
                 self._n_groups += 1
-            self._by_group_member.setdefault(assertion.member, set()).add(
-                assertion.group_id
-            )
+                changed = True
+            memberships = self._by_group_member.setdefault(assertion.member, set())
+            if assertion.group_id not in memberships:
+                memberships.add(assertion.group_id)
+                self._groups_of_cache.pop(assertion.member, None)
+                changed = True
             self._order.append(assertion)
+            # Idempotent re-assertions change nothing a query can observe,
+            # so they must not spuriously expire every cached result.
+            if changed:
+                self.generation += 1
             return
         if assertion.store_key in self._seen_keys:
             raise DuplicateAssertionError(
@@ -114,6 +132,7 @@ class StoreIndex:
             self._all_keys.add(assertion.interaction_key)
             self._sorted_keys = None
         self._order.append(assertion)
+        self.generation += 1
 
     # -- lookups -----------------------------------------------------------
     def interaction_keys(self) -> List[InteractionKey]:
@@ -148,18 +167,50 @@ class StoreIndex:
         return entry.ordered_members() if entry else []
 
     def groups_of(self, key: InteractionKey) -> List[str]:
-        return sorted(self._by_group_member.get(key, ()))
+        cached = self._groups_of_cache.get(key)
+        if cached is None:
+            memberships = self._by_group_member.get(key)
+            if memberships is None:
+                return []  # don't grow the cache for keys with no memberships
+            cached = sorted(memberships)
+            self._groups_of_cache[key] = cached
+        return list(cached)
 
     def group_ids(self, kind: Optional[str] = None) -> List[str]:
-        return sorted(
-            gid
-            for gid, entry in self._groups.items()
-            if kind is None or entry.kind == kind
-        )
+        # A group's kind is fixed at creation, so the per-kind sorted view
+        # only invalidates when a new group id appears (see add()).  Empty
+        # results are not cached: ``kind`` is client-controlled, and caching
+        # misses would let query traffic grow the dict without bound.
+        cached = self._group_ids_cache.get(kind)
+        if cached is None:
+            cached = sorted(
+                gid
+                for gid, entry in self._groups.items()
+                if kind is None or entry.kind == kind
+            )
+            if cached:
+                self._group_ids_cache[kind] = cached
+        return list(cached)
 
     def group_kind(self, group_id: str) -> Optional[str]:
         entry = self._groups.get(group_id)
         return entry.kind if entry else None
+
+    def group_kinds(self, group_ids: Optional[Iterable[str]] = None) -> Dict[str, str]:
+        """Bulk kind lookup: ``{group_id: kind}`` in one pass.
+
+        With ``group_ids`` None, covers every group in the store; unknown
+        ids are omitted from the result.
+        """
+        if group_ids is None:
+            return {gid: entry.kind for gid, entry in self._groups.items()}
+        groups = self._groups
+        out: Dict[str, str] = {}
+        for gid in group_ids:
+            entry = groups.get(gid)
+            if entry is not None:
+                out[gid] = entry.kind
+        return out
 
     def all_assertions(self) -> Iterator[Assertion]:
         return iter(self._order)
@@ -180,6 +231,7 @@ class GroupKindMembers:
         self.kind = kind
         self.members: List[Tuple[Optional[int], InteractionKey]] = []
         self._member_set: Set[InteractionKey] = set()
+        self._ordered: Optional[List[InteractionKey]] = None
 
     def add(self, member: InteractionKey, sequence: Optional[int]) -> bool:
         """Add a member; returns False for idempotent re-assertions."""
@@ -187,21 +239,36 @@ class GroupKindMembers:
             return False  # membership assertions are idempotent
         self._member_set.add(member)
         self.members.append((sequence, member))
+        self._ordered = None
         return True
 
     def ordered_members(self) -> List[InteractionKey]:
-        def sort_key(item: Tuple[Optional[int], InteractionKey]):
-            seq, member = item
-            return (0, seq, member) if seq is not None else (1, 0, member)
+        if self._ordered is None:
 
-        return [m for _, m in sorted(self.members, key=sort_key)]
+            def sort_key(item: Tuple[Optional[int], InteractionKey]):
+                seq, member = item
+                return (0, seq, member) if seq is not None else (1, 0, member)
+
+            self._ordered = [m for _, m in sorted(self.members, key=sort_key)]
+        return list(self._ordered)
 
 
 class ProvenanceStoreInterface(ABC):
-    """The backend API the plug-ins program against."""
+    """The backend API the plug-ins program against.
+
+    Every write bumps the index's **write generation** (see
+    :attr:`generation`); read-side caches key their entries on it and
+    revalidate with a single integer comparison — the invalidation contract
+    :mod:`repro.store.querycache` builds on.
+    """
 
     def __init__(self) -> None:
         self._index = StoreIndex()
+
+    @property
+    def generation(self) -> int:
+        """Monotonically increasing write counter (bumped by put/put_many)."""
+        return self._index.generation
 
     # -- write path ---------------------------------------------------------
     def put(self, assertion: Assertion) -> None:
@@ -269,6 +336,9 @@ class ProvenanceStoreInterface(ABC):
 
     def group_kind(self, group_id: str) -> Optional[str]:
         return self._index.group_kind(group_id)
+
+    def group_kinds(self, group_ids: Optional[Iterable[str]] = None) -> Dict[str, str]:
+        return self._index.group_kinds(group_ids)
 
     def all_assertions(self) -> Iterator[Assertion]:
         return self._index.all_assertions()

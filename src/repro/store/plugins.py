@@ -12,13 +12,14 @@ with PReServ." (Section 5, Figure 3)
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.passertion import InteractionKey, ViewKind
 from repro.core.prep import PrepAck, PrepQuery, PrepRecord, PrepResult
 from repro.soa.envelope import Fault
 from repro.soa.xmldoc import XmlElement
 from repro.store.interface import DuplicateAssertionError, ProvenanceStoreInterface
+from repro.store.querycache import QueryCache, QueryPlan
 
 
 class PlugIn(ABC):
@@ -56,22 +57,67 @@ class StorePlugIn(PlugIn):
 
 
 class QueryPlugIn(PlugIn):
-    """Serves PReP queries from the backend's Provenance Store Interface."""
+    """Serves PReP queries from the backend's Provenance Store Interface.
+
+    Dispatch runs through a handler table built once in ``__init__`` (no
+    per-call ``getattr`` munging).  With a :class:`QueryCache` (the default),
+    parsed query plans are reused across identical bodies and whole result
+    documents are memoized per backend, invalidated by the store's write
+    generation; pass ``cache=None`` with ``enable_cache=False`` for the
+    uncached reference path.
+    """
 
     handles = ("prep-query",)
+
+    def __init__(
+        self,
+        cache: Optional[QueryCache] = None,
+        enable_cache: bool = True,
+    ):
+        self._handlers: Dict[
+            str,
+            Callable[[PrepQuery, ProvenanceStoreInterface], List[XmlElement]],
+        ] = {
+            "interaction": self._q_interaction,
+            "interactions": self._q_interactions,
+            "record": self._q_record,
+            "actor-state": self._q_actor_state,
+            "by-group": self._q_by_group,
+            "groups": self._q_groups,
+            "groups-of": self._q_groups_of,
+            "count": self._q_count,
+        }
+        self.cache = cache if cache is not None else (
+            QueryCache() if enable_cache else None
+        )
+
+    def _build_plan(self, body: XmlElement) -> QueryPlan:
+        query = PrepQuery.from_xml(body)
+        handler = self._handlers.get(query.query_type)
+        if handler is None:
+            raise Fault("unknown-query", f"no such query type {query.query_type!r}")
+        return QueryPlan(
+            query=query, handler=handler, result_key=QueryPlan.key_for(query)
+        )
 
     def handle(
         self, body: XmlElement, backend: ProvenanceStoreInterface
     ) -> XmlElement:
-        query = PrepQuery.from_xml(body)
-        handler = getattr(self, f"_q_{query.query_type.replace('-', '_')}", None)
-        if handler is None:
-            raise Fault("unknown-query", f"no such query type {query.query_type!r}")
+        if self.cache is None:
+            plan = self._build_plan(body)
+        else:
+            plan = self.cache.plan_for(body, self._build_plan)
+            cached = self.cache.lookup_result(backend, plan)
+            if cached is not None:
+                return cached
         try:
-            items = handler(query, backend)
+            items = plan.handler(plan.query, backend)
         except KeyError as exc:
             raise Fault("bad-query", f"missing parameter: {exc}") from exc
-        return PrepResult(items=items).to_xml()
+        response = PrepResult(items=items).to_xml()
+        if self.cache is not None:
+            response = self.cache.store_result(backend, plan, response)
+        return response
 
     # -- individual query types ----------------------------------------------
     @staticmethod
@@ -128,24 +174,21 @@ class QueryPlugIn(PlugIn):
     def _q_groups(
         self, query: PrepQuery, backend: ProvenanceStoreInterface
     ) -> List[XmlElement]:
-        kind = query.params.get("kind")
-        out = []
-        for gid in backend.group_ids(kind):
-            out.append(
-                XmlElement(
-                    "group",
-                    attrs={"id": gid, "kind": backend.group_kind(gid) or ""},
-                )
-            )
-        return out
+        gids = backend.group_ids(query.params.get("kind"))
+        kinds = backend.group_kinds(gids)
+        return [
+            XmlElement("group", attrs={"id": gid, "kind": kinds.get(gid, "")})
+            for gid in gids
+        ]
 
     def _q_groups_of(
         self, query: PrepQuery, backend: ProvenanceStoreInterface
     ) -> List[XmlElement]:
-        key = self._key_from_params(query)
+        gids = backend.groups_of(self._key_from_params(query))
+        kinds = backend.group_kinds(gids)
         return [
-            XmlElement("group", attrs={"id": gid, "kind": backend.group_kind(gid) or ""})
-            for gid in backend.groups_of(key)
+            XmlElement("group", attrs={"id": gid, "kind": kinds.get(gid, "")})
+            for gid in gids
         ]
 
     def _q_count(

@@ -15,6 +15,7 @@ from repro.soa.envelope import Fault
 from repro.soa.xmldoc import XmlElement
 from repro.store.interface import Assertion, ProvenanceStoreInterface
 from repro.store.plugins import PlugIn, QueryPlugIn, StorePlugIn
+from repro.store.querycache import QueryCache
 
 #: The paper's measured record round trip on the testbed: ~18 ms.
 PAPER_RECORD_ROUND_TRIP_S = 0.018
@@ -47,6 +48,14 @@ class MessageTranslator:
     def routes(self) -> Dict[str, str]:
         return {name: type(p).__name__ for name, p in self._routes.items()}
 
+    def plugins(self) -> list:
+        """The registered plug-ins, each once, in registration order."""
+        seen: list = []
+        for plugin in self._routes.values():
+            if plugin not in seen:
+                seen.append(plugin)
+        return seen
+
 
 class PReServActor(Actor):
     """The provenance store web service.
@@ -61,12 +70,33 @@ class PReServActor(Actor):
         backend: ProvenanceStoreInterface,
         endpoint: str = "preserv",
         translator: Optional[MessageTranslator] = None,
+        enable_query_cache: bool = True,
     ):
         super().__init__(endpoint, description="PReServ provenance store")
         self.backend = backend
-        self.translator = translator or MessageTranslator(
-            [StorePlugIn(), QueryPlugIn()]
-        )
+        if translator is None:
+            query_plugin = QueryPlugIn(enable_cache=enable_query_cache)
+            translator = MessageTranslator([StorePlugIn(), query_plugin])
+            self.query_cache: Optional[QueryCache] = query_plugin.cache
+        else:
+            if not enable_query_cache:
+                raise ValueError(
+                    "enable_query_cache only applies to the default translator; "
+                    "configure caching on the supplied translator's QueryPlugIn"
+                )
+            self.query_cache = next(
+                (
+                    plugin.cache
+                    for plugin in translator.plugins()
+                    if isinstance(plugin, QueryPlugIn)
+                ),
+                None,
+            )
+        self.translator = translator
+
+    def store_generation(self) -> int:
+        """The backend's write generation (for client-side result caches)."""
+        return self.backend.generation
 
     def op_record(self, payload: XmlElement) -> XmlElement:
         if payload.name not in ("prep-record", "prep-record-batch"):
