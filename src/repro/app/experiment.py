@@ -49,7 +49,7 @@ from repro.registry.wsdl import (
     ServiceDescription,
 )
 from repro.soa.bus import LatencyModel, MessageBus
-from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+from repro.store import make_backend
 from repro.store.interface import ProvenanceStoreInterface
 from repro.store.service import PReServActor
 
@@ -71,6 +71,8 @@ class ExperimentConfig:
     organism: Optional[str] = None
     store_backend: str = "memory"
     store_path: Optional[Path] = None
+    #: KVLog shard count (>1 selects the sharded-log layout).
+    store_shards: int = 1
     journal_path: Optional[Path] = None
     #: virtual-time latency charged per store call (the paper's ~15 ms
     #: retrieve-and-map unit uses the same service).
@@ -95,17 +97,15 @@ class ExperimentResult:
 
 
 def _make_backend(config: ExperimentConfig) -> ProvenanceStoreInterface:
-    if config.store_backend == "memory":
-        return MemoryBackend()
-    if config.store_path is None:
+    # Name the config field in the one error a config author hits most;
+    # every other misconfiguration is diagnosed by the factory itself.
+    if config.store_backend in ("filesystem", "kvlog") and config.store_path is None:
         raise ValueError(
             f"backend {config.store_backend!r} requires config.store_path"
         )
-    if config.store_backend == "filesystem":
-        return FileSystemBackend(config.store_path)
-    if config.store_backend == "kvlog":
-        return KVLogBackend(config.store_path)
-    raise ValueError(f"unknown store backend {config.store_backend!r}")
+    return make_backend(
+        config.store_backend, config.store_path, shards=config.store_shards
+    )
 
 
 class Experiment:

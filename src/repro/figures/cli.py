@@ -10,6 +10,7 @@ Subcommands::
     repro-figures backends     # A2 ablation
     repro-figures compress     # A3 ablation (the scientific table)
     repro-figures bulk         # A5 ablation: put vs put_many group commit
+    repro-figures shards       # A7: sharded KVLog concurrent-ingest sweep
     repro-figures all          # everything above
 """
 
@@ -33,6 +34,7 @@ from repro.figures.ablation import (
 )
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
+from repro.figures.shards import run_shard_sweep, shard_sweep_table
 from repro.figures.fig4 import fig4_table, run_fig4
 from repro.figures.fig4b import fig4b_table, run_fig4b
 from repro.figures.fig5 import fig5_table, run_fig5
@@ -91,6 +93,21 @@ def cmd_bulk(args: argparse.Namespace) -> str:
         )
 
 
+def cmd_shards(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+        return shard_sweep_table(
+            run_shard_sweep(
+                Path(tmp),
+                shard_counts=tuple(args.shards),
+                clients=args.clients,
+                batches_per_client=args.batches,
+                records_per_batch=args.records_per_batch,
+                value_bytes=args.value_bytes,
+                repeats=args.repeats,
+            )
+        )
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -142,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="A4: distributed store scaling")
     p.set_defaults(fn=cmd_scaling)
 
+    p = sub.add_parser(
+        "shards", help="A7: sharded KVLog — concurrent bulk ingest vs shard count"
+    )
+    p.add_argument("--shards", type=int, nargs="*", default=[1, 2, 4, 8])
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--batches", type=int, default=40)
+    p.add_argument("--records-per-batch", type=int, default=4)
+    p.add_argument("--value-bytes", type=int, default=256)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(fn=cmd_shards)
+
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)
     p.add_argument("--batch-size", type=int, default=256)
@@ -182,6 +210,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 (
                     _section("A5: bulk ingest — put vs put_many"),
                     bulk_ingest_table(run_bulk_ingest(Path(tmp))),
+                )
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+            blocks.append(
+                (
+                    _section("A7: sharded KVLog ingest sweep"),
+                    shard_sweep_table(run_shard_sweep(Path(tmp))),
                 )
             )
         for title, body in blocks:

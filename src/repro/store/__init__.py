@@ -7,20 +7,27 @@ The store side of the architecture (paper Section 5, Figure 3):
 * :mod:`repro.store.backends` — memory / file-system / database backends,
 * :mod:`repro.store.kvlog` — the embedded log-structured KV database
   (Berkeley DB substitute) underlying the database backend,
+* :mod:`repro.store.sharding` — the hash-partitioned KVLog (N shard files
+  behind the single-log API) the database backend scales on,
 * :mod:`repro.store.plugins` — Store and Query plug-ins,
 * :mod:`repro.store.querycache` — generation-validated query plan and
   result caching for the read path,
 * :mod:`repro.store.service` — the message translator and the PReServ actor.
 """
 
+import os
+from typing import Optional, Union
+
 from repro.store.interface import (
     DuplicateAssertionError,
     ProvenanceStoreInterface,
     StoreCounts,
     StoreIndex,
+    interaction_scope,
 )
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
 from repro.store.kvlog import CorruptRecordError, KVLog
+from repro.store.sharding import ShardedKVLog
 from repro.store.plugins import PlugIn, QueryPlugIn, StorePlugIn
 from repro.store.querycache import CacheStats, GenerationVector, QueryCache, QueryPlan
 from repro.store.service import (
@@ -33,6 +40,7 @@ from repro.store.distributed import (
     FederatedQueryClient,
     StoreRouter,
     consolidate,
+    sharded_store_fleet,
 )
 from repro.store.curation import (
     ArchiveError,
@@ -42,6 +50,51 @@ from repro.store.curation import (
     import_archive,
     verify_archive,
 )
+
+def make_backend(
+    kind: str,
+    path: Optional[Union[str, "os.PathLike[str]"]] = None,
+    *,
+    shards: int = 1,
+    sync: bool = True,
+    segment_size: int = 256,
+) -> ProvenanceStoreInterface:
+    """The store factory: one place every deployment resolves its backend.
+
+    ``kind`` is ``"memory"``, ``"filesystem"`` or ``"kvlog"`` (the paper's
+    three backends).  The persistent kinds need ``path``;
+    ``sync=False`` trades fsync durability for page-cache speed on both.
+    The layout knobs are backend-specific, and passing one to a kind it
+    does not apply to raises rather than being silently ignored:
+    ``shards`` selects the database backend's sharded-log layout
+    (``shards=1`` keeps the single-file format) and ``segment_size``
+    bounds the file-system backend's assertions-per-segment-file.
+    """
+    if kind not in ("memory", "filesystem", "kvlog"):
+        raise ValueError(f"unknown store backend {kind!r}")
+    if shards != 1 and kind != "kvlog":
+        raise ValueError(
+            f"shards={shards} is only supported by the 'kvlog' backend, "
+            f"not {kind!r}"
+        )
+    if segment_size != 256 and kind != "filesystem":
+        raise ValueError(
+            f"segment_size={segment_size} is only supported by the "
+            f"'filesystem' backend, not {kind!r}"
+        )
+    if kind == "memory":
+        if path is not None:
+            raise ValueError(
+                "the 'memory' backend is volatile and takes no path — "
+                "did you mean 'filesystem' or 'kvlog'?"
+            )
+        return MemoryBackend()
+    if path is None:
+        raise ValueError(f"backend {kind!r} requires a path")
+    if kind == "filesystem":
+        return FileSystemBackend(path, segment_size=segment_size, sync=sync)
+    return KVLogBackend(path, sync=sync, shards=shards)
+
 
 __all__ = [
     "ArchiveError",
@@ -70,7 +123,11 @@ __all__ = [
     "PlugIn",
     "ProvenanceStoreInterface",
     "QueryPlugIn",
+    "ShardedKVLog",
     "StoreCounts",
     "StoreIndex",
     "StorePlugIn",
+    "interaction_scope",
+    "make_backend",
+    "sharded_store_fleet",
 ]

@@ -5,19 +5,39 @@ backends" (Section 5).  All three implement
 :class:`~repro.store.interface.ProvenanceStoreInterface`; the persistent two
 serialize assertions as XML documents and rebuild their in-memory indexes by
 re-reading those documents on open.
+
+Durability contract of the persistent backends (``sync=True``, the
+default): a write call that returns has fsynced its data *and* the
+directory entries that reach it — :class:`FileSystemBackend` fsyncs each
+segment file before its atomic rename and the directory after,
+:class:`KVLogBackend` inherits the KVLog group-commit fsync — and a crash
+at any point leaves a store that reopens cleanly, keeping every
+acknowledged write.  An *unacknowledged* batch loses at most its torn
+tail on the single-log layouts; the sharded layout commits one sub-batch
+per shard, so a failed multi-shard batch may persist a non-prefix subset
+of it (each shard's own sub-batch still fails prefix-wise) — callers must
+treat an unacknowledged batch as wholly in doubt rather than resuming
+from its failure point.  ``sync=False`` trades all of this for
+page-cache-only durability.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.passertion import GroupAssertion, parse_passertion
 from repro.core.prep import PrepRecord
 from repro.soa.xmldoc import XmlElement, parse_xml
-from repro.store.interface import Assertion, ProvenanceStoreInterface
-from repro.store.kvlog import KVLog
+from repro.store.interface import (
+    Assertion,
+    ProvenanceStoreInterface,
+    interaction_scope,
+)
+from repro.store.kvlog import CorruptRecordError, KVLog, fsync_dir, mkdir_durable
+from repro.store.sharding import ShardedKVLog, pipe_partition
 
 
 def _assertion_to_text(assertion: Assertion) -> str:
@@ -53,26 +73,57 @@ class FileSystemBackend(ProvenanceStoreInterface):
     ``segment_size`` assertions (one :meth:`put_many` group commit).  The
     monotonically increasing start sequence keeps replay order identical to
     insertion order when the index is rebuilt on open.
+
+    Crash safety mirrors :class:`~repro.store.kvlog.KVLog`: a segment is
+    written to a temp file, fsynced, atomically renamed into place, and the
+    directory is fsynced — so a committed segment survives power loss —
+    while replay tolerates the debris a crash can leave (stray temp files,
+    a torn trailing segment) and refuses only mid-sequence corruption.
     """
 
     def __init__(
         self,
         root: Union[str, "os.PathLike[str]"],
         segment_size: int = 256,
+        sync: bool = True,
     ):
         if segment_size < 1:
             raise ValueError("segment_size must be >= 1")
         super().__init__()
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        mkdir_durable(self.root, sync=sync)
         self.segment_size = segment_size
+        #: fsync segment files and the directory on every commit; set
+        #: sync=False for page-cache-only durability (mirrors KVLog).
+        self._sync = sync
         self._seq = 0
         self._replay()
 
     def _replay(self) -> None:
-        for path in sorted(self.root.glob("*.xml"), key=lambda p: int(p.stem)):
-            el = parse_xml(path.read_text(encoding="utf-8"))
-            start_seq = int(path.stem)
+        # Stray files (editor leftovers, crash debris with non-numeric
+        # stems) are not ours to interpret: skip them instead of raising.
+        segments: List[Tuple[int, Path]] = []
+        for path in self.root.glob("*.xml"):
+            try:
+                segments.append((int(path.stem), path))
+            except ValueError:
+                continue
+        segments.sort()
+        for position, (start_seq, path) in enumerate(segments):
+            try:
+                el = parse_xml(path.read_text(encoding="utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if position == len(segments) - 1:
+                    # A torn/empty trailing segment is the footprint of a
+                    # crash mid-write before the rename was durable; the
+                    # segment was never acknowledged, so drop it (exactly
+                    # how KVLog truncates a torn tail).
+                    break
+                raise CorruptRecordError(
+                    f"segment {path.name} is unreadable but later segments "
+                    f"exist — mid-sequence corruption, refusing to replay a "
+                    f"store with silent holes"
+                ) from exc
             if el.name == "segment":
                 members = list(el.iter_elements())
                 for child in members:
@@ -85,8 +136,14 @@ class FileSystemBackend(ProvenanceStoreInterface):
     def _write_file(self, name: str, text: str) -> None:
         path = self.root / name
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(text, encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if self._sync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if self._sync:
+            fsync_dir(self.root)
 
     def _persist(self, assertion: Assertion) -> None:
         name = f"{self._seq:08d}.xml"
@@ -109,42 +166,189 @@ class FileSystemBackend(ProvenanceStoreInterface):
             self._write_file(name, segment.serialize())
 
 
+def scope_prefix(scope: str) -> bytes:
+    """8-hex-char partition prefix for a scope string."""
+    return f"{zlib.crc32(scope.encode('utf-8')) & 0xFFFFFFFF:08x}".encode("ascii")
+
+
+def _assertion_scope(assertion: Assertion) -> str:
+    member = (
+        assertion.member
+        if isinstance(assertion, GroupAssertion)
+        else assertion.interaction_key
+    )
+    return interaction_scope(member)
+
+
 class KVLogBackend(ProvenanceStoreInterface):
     """Database backend over the embedded :class:`KVLog` store.
 
     Plays the role of the paper's Berkeley DB JE backend: assertions are
     values keyed by an insertion sequence number; the index is rebuilt by
     scanning the log on open.
+
+    With ``shards=N`` (N > 1) the log is a :class:`ShardedKVLog` directory
+    instead of a single file: record keys gain an interaction-scope hash
+    prefix (``<scope-hash>|<seq>``), so every assertion about one
+    interaction — and the group memberships naming it — lands in one shard,
+    and :meth:`generation_token` lets the query cache invalidate per shard
+    instead of per store.
+
+    Concurrency note: the parallel-commit machinery lives in
+    :class:`ShardedKVLog`, whose KV API is thread-safe; this backend's
+    write path (sequence assignment + the in-memory index) is not, and is
+    driven serially by the actor/bus layer.  Clients that want parallel
+    group commits against one process talk to several backends via
+    :class:`~repro.store.distributed.StoreRouter`, or drive the sharded
+    log directly.
     """
 
-    def __init__(self, path: Union[str, "os.PathLike[str]"], sync: bool = True):
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        sync: bool = True,
+        shards: int = 1,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         super().__init__()
-        self._log = KVLog(path, sync=sync)
+        self.shards = shards
+        # Layout guard: a single-log store is one file, a sharded store is a
+        # directory of shard files — reopening across layouts must fail with
+        # a config hint, not a raw OS error from the wrong open().
+        existing = Path(path)
+        if shards == 1 and existing.is_dir():
+            raise ValueError(
+                f"{existing} is a sharded store directory; reopen with the "
+                f"shards=N it was created with"
+            )
+        if shards > 1 and existing.is_file():
+            raise ValueError(
+                f"{existing} is a single-log store file; reopen with shards=1"
+            )
+        if shards == 1:
+            # Single-log layout: ``path`` is one append file (unchanged
+            # on-disk format, so existing stores keep opening).
+            self._log: Union[KVLog, ShardedKVLog] = KVLog(path, sync=sync)
+        else:
+            # Sharded layout: ``path`` is a directory of shard files.
+            self._log = ShardedKVLog(
+                path, shards=shards, sync=sync, partition=pipe_partition
+            )
+        # Cache-invalidation counters, one per shard.  Kept at the backend
+        # (not the log) and bumped even when a persist attempt fails: the
+        # in-memory index is updated *before* persistence, so anything a
+        # query could now observe must expire the shard's cached results.
+        self._shard_gens = [0] * shards
         self._seq = 0
         self._replay()
+        # Index generation already persisted: lets the persist hooks tell
+        # an effective write from an idempotent group re-assertion (which
+        # appends a record but must keep scoped cached results warm).
+        self._gen_watermark = self._index.generation
 
     def _replay(self) -> None:
-        # One sequential pass over the log; keys are fixed-width sequence
-        # numbers, so log order is insertion order.
+        # One sequential pass (the sharded log merges its shards back into
+        # global insertion order); the key's trailing field is the sequence
+        # number whichever layout wrote it.
         for key, value in self._log.scan():
             assertion = _assertion_from_text(value.decode("utf-8"))
             self._index.add(assertion)
-            self._seq = max(self._seq, int(key.decode("ascii")) + 1)
+            seq = int(key.rsplit(b"|", 1)[-1].decode("ascii"))
+            self._seq = max(self._seq, seq + 1)
+
+    def _key_for(self, assertion: Assertion) -> Tuple[bytes, Optional[int]]:
+        """The next record key and, when sharded, its owning shard index."""
+        seq_field = f"{self._seq:016d}".encode("ascii")
+        self._seq += 1
+        if self.shards == 1:
+            return seq_field, None
+        key = scope_prefix(_assertion_scope(assertion)) + b"|" + seq_field
+        assert isinstance(self._log, ShardedKVLog)
+        return key, self._log.shard_of(key)
+
+    def _index_advanced(self) -> bool:
+        """Did the writes being persisted change anything queries observe?
+
+        False only for purely idempotent group re-assertions, which must
+        not expire cached results (mirroring the index's own generation
+        discipline).  Always refreshes the watermark.
+        """
+        generation = self._index.generation
+        advanced = generation != self._gen_watermark
+        self._gen_watermark = generation
+        return advanced
+
+    def _bump_for(self, keyed: Sequence[Tuple[bytes, Optional[int]]], expected: int) -> None:
+        """Expire shard caches for persisted-or-attempted writes.
+
+        When key resolution itself failed partway (``len(keyed)`` short of
+        ``expected``), the owning shards of the unresolved writes are
+        unknown — expire every shard rather than risk serving stale scoped
+        results for index-visible assertions.
+        """
+        if not self._index_advanced() or self.shards == 1:
+            return
+        if len(keyed) == expected:
+            for _key, shard in keyed:
+                if shard is not None:
+                    self._shard_gens[shard] += 1
+        else:
+            for i in range(self.shards):
+                self._shard_gens[i] += 1
 
     def _persist(self, assertion: Assertion) -> None:
-        key = f"{self._seq:016d}".encode("ascii")
-        self._seq += 1
-        self._log.put(key, _assertion_to_text(assertion).encode("utf-8"))
+        keyed: List[Tuple[bytes, Optional[int]]] = []
+        try:
+            keyed.append(self._key_for(assertion))
+            self._log.put(
+                keyed[0][0], _assertion_to_text(assertion).encode("utf-8")
+            )
+        finally:
+            self._bump_for(keyed, 1)
 
     def _persist_many(self, assertions: Sequence[Assertion]) -> None:
         # Group commit: every assertion of the batch lands in the log with a
-        # single write + flush.
-        pairs: List[tuple] = []
-        for assertion in assertions:
-            key = f"{self._seq:016d}".encode("ascii")
-            self._seq += 1
-            pairs.append((key, _assertion_to_text(assertion).encode("utf-8")))
-        self._log.put_many(pairs)
+        # single write + flush per shard touched.  The generation bumps in
+        # the finally cover everything the index made visible, whatever
+        # fails — even key resolution itself.  (A mixed batch conservatively
+        # bumps every touched shard; only a purely idempotent batch keeps
+        # its shards' caches warm.)
+        keyed: List[Tuple[bytes, Optional[int]]] = []
+        try:
+            for assertion in assertions:
+                keyed.append(self._key_for(assertion))
+            pairs: List[tuple] = [
+                (key, _assertion_to_text(a).encode("utf-8"))
+                for (key, _), a in zip(keyed, assertions)
+            ]
+            self._log.put_many(pairs)
+        finally:
+            self._bump_for(keyed, len(assertions))
+
+    # -- shard-granular cache invalidation ----------------------------------
+    def scope_shard(self, scope: str) -> int:
+        """Which shard owns ``scope`` (always 0 for the single-log layout)."""
+        if self.shards == 1:
+            return 0
+        assert isinstance(self._log, ShardedKVLog)
+        return self._log.shard_of(scope_prefix(scope) + b"|")
+
+    def shard_generations(self) -> Tuple[int, ...]:
+        if self.shards == 1:
+            return (self.generation,)
+        return tuple(self._shard_gens)
+
+    def generation_token(self, scope: Optional[str] = None) -> object:
+        """Freshness token for cached results (see ``querycache``).
+
+        A scoped token covers only the shard that owns the interaction, so
+        writes about other interactions leave cached scoped results warm.
+        """
+        if scope is None or self.shards == 1:
+            return self._index.generation
+        shard = self.scope_shard(scope)
+        return ("shard", shard, self._shard_gens[shard])
 
     def compact(self) -> None:
         self._log.compact()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.passertion import (
@@ -44,6 +45,7 @@ from repro.store.interface import (
     DuplicateAssertionError,
     ProvenanceStoreInterface,
     StoreCounts,
+    interaction_scope,
 )
 from repro.store.querycache import GenerationVector
 
@@ -59,9 +61,9 @@ class CrossLink:
 
 
 def _hash_to_bucket(key: InteractionKey, n: int) -> int:
-    digest = hashlib.sha256(
-        f"{key.interaction_id}|{key.sender}|{key.receiver}".encode("utf-8")
-    ).digest()
+    # Same canonical scope string as shard placement and cache scoping, so
+    # every layer agrees on which records belong together.
+    digest = hashlib.sha256(interaction_scope(key).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % n
 
 
@@ -297,6 +299,43 @@ class FederatedQueryClient:
         )
         self._counts_cache = (vector, merged)
         return merged
+
+
+def sharded_store_fleet(
+    root: "Path | str",
+    members: int = 2,
+    shards: int = 1,
+    sync: bool = True,
+) -> StoreRouter:
+    """A §7 deployment in one call: a router over KVLog-backed members.
+
+    Each member store lives under ``root/store-NN`` with its own
+    (optionally sharded) log, so the two scaling axes compose: the router
+    parallelises submission *across* stores, ``shards`` parallelises group
+    commits *within* each store.
+    """
+    from repro.store.backends import KVLogBackend
+
+    if members < 1:
+        raise ValueError("fleet needs at least one member store")
+    root = Path(root)
+    existing = sorted(p for p in root.glob("store-*") if p.name[6:].isdigit())
+    if existing and len(existing) != members:
+        raise ValueError(
+            f"{root} holds {len(existing)} member stores but "
+            f"members={members}; reopen with members={len(existing)} "
+            f"(rerouting keys across a different member count would "
+            f"strand existing records)"
+        )
+    stores: Dict[str, ProvenanceStoreInterface] = {}
+    for i in range(members):
+        name = f"store-{i:02d}"
+        # One path per member whatever the layout (file when shards=1,
+        # directory otherwise), so reopening an existing fleet with the
+        # wrong shard count hits KVLogBackend's layout guard instead of
+        # silently standing up empty stores beside the old data.
+        stores[name] = KVLogBackend(root / name, sync=sync, shards=shards)
+    return StoreRouter(stores)
 
 
 def consolidate(

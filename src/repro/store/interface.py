@@ -28,6 +28,16 @@ from repro.core.passertion import (
 Assertion = Union[PAssertion, GroupAssertion]
 
 
+def interaction_scope(key: InteractionKey) -> str:
+    """Canonical scope string for one interaction's records.
+
+    Shared by the sharded write path (shard placement of persisted records)
+    and the query cache (scoped freshness tokens), so both sides agree on
+    which shard owns an interaction.
+    """
+    return f"{key.interaction_id}|{key.sender}|{key.receiver}"
+
+
 @dataclass(frozen=True)
 class StoreCounts:
     """Store statistics, as reported by the ``count`` query."""
@@ -270,6 +280,19 @@ class ProvenanceStoreInterface(ABC):
         """Monotonically increasing write counter (bumped by put/put_many)."""
         return self._index.generation
 
+    def generation_token(self, scope: Optional[str] = None) -> object:
+        """Freshness token for a cached result, optionally scope-narrowed.
+
+        ``scope`` is the canonical interaction-scope string of a key-scoped
+        query (see :func:`interaction_scope` in this module), or ``None``
+        for store-wide queries.  The default ignores the scope and
+        returns the whole-store generation; sharded backends override this
+        to return a per-shard token so unrelated writes keep scoped results
+        cached.  Tokens are opaque — caches must compare them only for
+        equality.
+        """
+        return self._index.generation
+
     # -- write path ---------------------------------------------------------
     def put(self, assertion: Assertion) -> None:
         """Record one assertion: index it, then persist it."""
@@ -280,20 +303,33 @@ class ProvenanceStoreInterface(ABC):
         """Record a batch of assertions; returns how many were stored.
 
         Semantically identical to calling :meth:`put` once per assertion —
-        duplicate detection and group idempotence behave the same, and a
-        failure partway through still persists the assertions indexed before
-        it (exactly what a ``put`` loop would have durably written) before
-        the exception propagates.  Backends override :meth:`_persist_many`
-        to turn the batch into a single group commit.
+        duplicate detection and group idempotence behave the same, and an
+        *indexing* failure partway through still persists the assertions
+        indexed before it (exactly what a ``put`` loop would have durably
+        written) before the exception propagates.  Backends override
+        :meth:`_persist_many` to turn the batch into a single group commit;
+        if the group commit itself fails, which subset became durable is
+        backend-specific (a sharded log commits per shard, so the durable
+        subset need not be a prefix) — treat the whole batch as in doubt.
         """
         accepted: List[Assertion] = []
         try:
             for assertion in assertions:
                 self._index.add(assertion)
                 accepted.append(assertion)
-        finally:
+        except BaseException as exc:
+            # Persist the accepted prefix, but never let a persist failure
+            # mask the indexing error that actually stopped the batch: the
+            # original exception propagates, with the persist failure
+            # chained as its cause.
             if accepted:
-                self._persist_many(accepted)
+                try:
+                    self._persist_many(accepted)
+                except BaseException as persist_exc:
+                    raise exc from persist_exc
+            raise
+        if accepted:
+            self._persist_many(accepted)
         return len(accepted)
 
     @abstractmethod

@@ -14,7 +14,15 @@ store in the Bitcask style:
   detected (and ignored) on open, giving crash-safe recovery semantics;
 * commits are durable (``fsync``) by default; :meth:`KVLog.put_many` is a
   *group commit* — the whole batch is appended with one write and one
-  fsync, which is where the bulk-ingest throughput win comes from.
+  fsync, which is where the bulk-ingest throughput win comes from;
+* :meth:`KVLog.compact` is crash-safe end to end: the replacement file is
+  fsynced before the atomic rename and the parent directory is fsynced
+  after it, so a power loss leaves either the old log or the complete
+  compacted one — never a truncated in-between.
+
+For a store that scales past one append file and one fsync stream, see
+:class:`repro.store.sharding.ShardedKVLog`, which hash-partitions this
+same format across several shard files.
 """
 
 from __future__ import annotations
@@ -33,12 +41,48 @@ class CorruptRecordError(Exception):
     """A record failed its CRC or structural check."""
 
 
+def fsync_dir(path: "os.PathLike[str] | str") -> None:
+    """fsync a directory, making a just-renamed entry durable.
+
+    ``os.replace`` is atomic but only orders the *rename* against other
+    directory operations; the new entry itself is not on disk until the
+    directory inode is synced.  No-op on platforms that cannot open
+    directories (Windows), where the old rename-only behavior remains.
+    """
+    if os.name == "nt":  # pragma: no cover - POSIX-only durability upgrade
+        return
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def mkdir_durable(path: "os.PathLike[str] | str", sync: bool = True) -> None:
+    """``mkdir -p`` whose created entries are fsynced into their parents.
+
+    A plain mkdir leaves the new directory's dirent in the page cache; a
+    crash can then drop the whole directory tree together with the fsynced
+    files inside it.
+    """
+    path = Path(path)
+    created = []
+    probe = path
+    while not probe.exists() and probe != probe.parent:
+        created.append(probe)
+        probe = probe.parent
+    path.mkdir(parents=True, exist_ok=True)
+    if sync:
+        for entry in reversed(created):
+            fsync_dir(entry.parent)
+
+
 class KVLog:
     """A single-file, CRC-checked, log-structured key-value store."""
 
     def __init__(self, path: "os.PathLike[str] | str", sync: bool = True):
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mkdir_durable(self.path.parent, sync=sync)
         #: fsync on every commit (durable like the paper's Berkeley DB JE
         #: backend); set sync=False for page-cache-only durability.
         self._sync = sync
@@ -47,7 +91,13 @@ class KVLog:
         self._dead_bytes = 0
         # Cached sorted key view; invalidated whenever the key set changes.
         self._sorted_keys: Optional[List[bytes]] = None
+        created = not self.path.exists()
         self._file = open(self.path, "a+b")
+        if created and self._sync:
+            # The file's directory entry must be durable before the first
+            # acknowledged write can claim to be — without this, power loss
+            # can drop a freshly created log together with its fsynced data.
+            fsync_dir(self.path.parent)
         self._rebuild_index()
 
     # -- lifecycle ---------------------------------------------------------
@@ -273,21 +323,48 @@ class KVLog:
         return self._dead_bytes
 
     def compact(self) -> None:
-        """Rewrite only live records into a fresh log file (log order kept)."""
+        """Rewrite only live records into a fresh log file (log order kept).
+
+        Crash-safe: the replacement is fully written *and fsynced* before the
+        atomic rename, and the parent directory is fsynced after it, so a
+        crash at any point leaves either the old log or the complete
+        compacted one (``sync=False`` skips both fsyncs).
+        """
         self._check_open()
         tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
         try:
             with open(tmp_path, "wb") as tmp:
                 for key, value in self.scan():
                     tmp.write(self._encode_record(key, value))
+                tmp.flush()
+                if self._sync:
+                    os.fsync(tmp.fileno())
         except BaseException:
             # A corrupt scan must abort compaction with the log untouched.
             tmp_path.unlink(missing_ok=True)
             raise
-        self._file.close()
-        os.replace(tmp_path, self.path)
-        self._file = open(self.path, "a+b")
-        self._rebuild_index()
+        if os.name == "nt":  # pragma: no cover - can't rename over an open file
+            self._file.close()
+        try:
+            # On POSIX the live handle stays open across the rename: if the
+            # rename fails, the log keeps serving from the still-valid
+            # handle instead of dying half-closed.
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            if self._file.closed:  # pragma: no cover - Windows recovery
+                self._file = open(self.path, "a+b")
+            raise
+        try:
+            if self._sync:
+                fsync_dir(self.path.parent)
+        finally:
+            # Once the rename happened the old inode is a ghost: whatever
+            # the directory sync did, the handle must move to the new file
+            # or later "durable" writes would vanish with the ghost.
+            self._file.close()
+            self._file = open(self.path, "a+b")
+            self._rebuild_index()
 
     def file_size(self) -> int:
         self._file.seek(0, os.SEEK_END)

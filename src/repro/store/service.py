@@ -94,9 +94,44 @@ class PReServActor(Actor):
             )
         self.translator = translator
 
+    @classmethod
+    def with_store(
+        cls,
+        kind: str,
+        path: Optional[str] = None,
+        *,
+        shards: int = 1,
+        sync: bool = True,
+        segment_size: int = 256,
+        **kwargs: object,
+    ) -> "PReServActor":
+        """Stand up an actor over a factory-built backend.
+
+        The service-level way to configure storage — ``kind``/``path`` plus
+        the sharding and durability knobs — without importing backend
+        classes at the call site.
+        """
+        from repro.store import make_backend
+
+        backend = make_backend(
+            kind, path, shards=shards, sync=sync, segment_size=segment_size
+        )
+        return cls(backend, **kwargs)  # type: ignore[arg-type]
+
     def store_generation(self) -> int:
         """The backend's write generation (for client-side result caches)."""
         return self.backend.generation
+
+    def store_generation_token(self, scope: Optional[str] = None) -> object:
+        """Scoped freshness token (per-shard on a sharded backend)."""
+        return self.backend.generation_token(scope)
+
+    def store_shard_generations(self) -> tuple:
+        """Per-shard write generations, ``(generation,)`` when unsharded."""
+        shard_gens = getattr(self.backend, "shard_generations", None)
+        if shard_gens is not None:
+            return shard_gens()
+        return (self.backend.generation,)
 
     def op_record(self, payload: XmlElement) -> XmlElement:
         if payload.name not in ("prep-record", "prep-record-batch"):

@@ -1,0 +1,340 @@
+"""A hash-partitioned :class:`~repro.store.kvlog.KVLog` — the sharded store.
+
+The paper's evaluation funnels every write through one Berkeley-DB-backed
+store; our single-file :class:`KVLog` equivalently funnels every group
+commit through one append file and one fsync stream.  That stream is the
+ingest bottleneck once clients submit in parallel: commits serialize behind
+one file lock, so concurrent batches queue instead of overlapping.
+
+:class:`ShardedKVLog` keeps the exact on-disk record format but partitions
+it across ``N`` shard files (``log.00.kv`` … ``log.NN.kv``), Bitcask style:
+
+* ``put``/``put_many`` split work by ``hash(partition(key)) % N`` — by
+  default the whole key is hashed; callers with structured keys (e.g. the
+  database backend's ``<interaction-hash>|<seq>`` keys) pass a
+  ``partition`` extractor so related records share a shard;
+* each sub-batch is a normal KVLog group commit (one write + one fsync)
+  against its shard, taken under a per-shard lock — concurrent clients
+  whose batches land on different shards commit *in parallel*, which a
+  single append file cannot do; sub-commits of one batch can additionally
+  be fsynced in parallel via a small thread pool;
+* every value is prefixed with a monotonically increasing 8-byte sequence
+  number, so :meth:`scan` can merge the shards back into one stream in
+  global insertion order — replay is byte-identical to a single log fed
+  the same puts;
+* :meth:`compact` and :attr:`dead_bytes` work per shard (a shard compaction
+  never touches its siblings); the database backend layers per-shard *write
+  generations* on top (see
+  :meth:`repro.store.backends.KVLogBackend.shard_generations`) so read
+  caches can invalidate at shard granularity instead of whole-store.
+
+Crash recovery is inherited from :class:`KVLog`: each shard CRC-checks its
+records and truncates a torn tail on open.  A crash in the middle of a
+multi-shard batch may keep some shards' sub-commits and lose others — the
+batch was never acknowledged — but every *acknowledged* batch survives in
+full, and the store always reopens.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.store.kvlog import KVLog, mkdir_durable
+
+#: global-insertion-order prefix carried by every sharded value.
+_SEQ = struct.Struct(">Q")
+
+#: shard file name pattern (two digits keeps directory listings sorted).
+SHARD_FILE = "log.{:02d}.kv"
+
+
+def pipe_partition(key: bytes) -> bytes:
+    """Partition extractor for ``<prefix>|<suffix>`` keys: the prefix.
+
+    Keys without a ``|`` partition on their full bytes.
+    """
+    return key.split(b"|", 1)[0]
+
+
+def shard_index(partition_key: bytes, shards: int) -> int:
+    """THE placement function: which of ``shards`` owns ``partition_key``.
+
+    Shared by :meth:`ShardedKVLog.shard_of` and the shard-sweep figures so
+    simulated placement can never drift from the store's.
+    """
+    return zlib.crc32(partition_key) % shards
+
+
+class ShardedKVLog:
+    """N hash-partitioned :class:`KVLog` files behind the single-log API.
+
+    Thread-safe: a global lock orders sequence assignment, per-shard locks
+    serialize each shard's file operations, and concurrent callers touching
+    different shards proceed in parallel.
+
+    ``partition`` is part of the store's identity, like ``shards``: every
+    open of the same directory must pass the same function, or keys will
+    hash to the wrong shards.  Unlike the shard count (whose mismatch is
+    detected from the files on disk), a partition mismatch cannot be
+    detected for an arbitrary callable — callers own this invariant.
+    """
+
+    def __init__(
+        self,
+        root: "os.PathLike[str] | str",
+        shards: int = 1,
+        sync: bool = True,
+        partition: Optional[Callable[[bytes], bytes]] = None,
+        parallel_commit: bool = True,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.root = Path(root)
+        mkdir_durable(self.root, sync=sync)
+        existing = sorted(self.root.glob("log.*.kv"))
+        # A shard-count mismatch only matters once records exist: rehashing
+        # keys across a different count would strand them.  Empty shard
+        # files are the footprint of a crash during a previous first-time
+        # initialization — adopt or trim them so the store always reopens.
+        if len(existing) != shards:
+            if any(p.stat().st_size > 0 for p in existing):
+                raise ValueError(
+                    f"{self.root} holds {len(existing)} shard files with "
+                    f"data but shards={shards}; reopen with "
+                    f"shards={len(existing)} (rehashing keys across a "
+                    f"different shard count would strand existing records)"
+                )
+            for stale in existing[shards:]:
+                stale.unlink()
+        self.shards = shards
+        self._partition = partition
+        self._shards: List[KVLog] = []
+        try:
+            for i in range(shards):
+                self._shards.append(
+                    KVLog(self.root / SHARD_FILE.format(i), sync=sync)
+                )
+        except BaseException:
+            # Don't leak the handles of shards that did open.
+            for shard in self._shards:
+                shard.close()
+            raise
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._seq_lock = threading.Lock()
+        self._closed = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if parallel_commit and shards > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(shards, os.cpu_count() or 2),
+                thread_name_prefix="kvshard",
+            )
+        # Resolved lazily: the first write (or a full scan, which callers
+        # replaying the log perform anyway) discovers the max live sequence,
+        # so opening costs no extra pass over the data.
+        self._next_seq: Optional[int] = None
+
+    def _reserve_seqs(self, count: int) -> int:
+        """Atomically reserve ``count`` sequence numbers; returns the first."""
+        with self._seq_lock:
+            if self._next_seq is None:
+                top = -1
+                for i in range(self.shards):
+                    with self._locks[i]:
+                        for _key, value in self._shards[i].scan():
+                            seq = _SEQ.unpack_from(value)[0]
+                            if seq > top:
+                                top = seq
+                self._next_seq = top + 1
+            base = self._next_seq
+            self._next_seq += count
+            return base
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedKVLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("operation on closed ShardedKVLog")
+
+    # -- partitioning ------------------------------------------------------
+    def shard_of(self, key: bytes) -> int:
+        """The shard index this key lives in (stable across reopen)."""
+        pkey = self._partition(key) if self._partition is not None else key
+        return shard_index(pkey, self.shards)
+
+    # -- operations --------------------------------------------------------
+    @staticmethod
+    def _validated(key: bytes, value: bytes) -> Tuple[bytes, bytes]:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise ValueError("key must be non-empty bytes")
+        return bytes(key), bytes(value)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        key, value = self._validated(key, value)
+        seq = self._reserve_seqs(1)
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            self._shards[shard].put(key, _SEQ.pack(seq) + value)
+
+    def put_many(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Group commit: one KVLog batch commit per shard touched.
+
+        Sequence numbers are assigned in input order before any shard is
+        written, so a single-writer workload replays in exactly the order
+        the pairs were given, whatever the shard count.  Sub-commits run on
+        the commit pool when one is configured, overlapping the shards'
+        fsyncs.
+        """
+        self._check_open()
+        batch = [self._validated(k, v) for k, v in pairs]
+        if not batch:
+            return 0
+        base = self._reserve_seqs(len(batch))
+        per_shard: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(self.shards)]
+        for offset, (key, value) in enumerate(batch):
+            per_shard[self.shard_of(key)].append(
+                (key, _SEQ.pack(base + offset) + value)
+            )
+        touched = [i for i, sub in enumerate(per_shard) if sub]
+        if self._pool is not None and len(touched) > 1:
+            futures: List[Future] = [
+                self._pool.submit(self._commit_shard, i, per_shard[i])
+                for i in touched
+            ]
+            # Wait for every sub-commit before surfacing a failure, so no
+            # write is still in flight when the caller sees the exception.
+            errors = [f.exception() for f in futures]
+            for err in errors:
+                if err is not None:
+                    raise err
+        else:
+            for i in touched:
+                self._commit_shard(i, per_shard[i])
+        return len(batch)
+
+    def _commit_shard(self, shard: int, sub_batch: List[Tuple[bytes, bytes]]) -> None:
+        with self._locks[shard]:
+            self._shards[shard].put_many(sub_batch)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        key = bytes(key)
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            value = self._shards[shard].get(key)
+        return None if value is None else value[_SEQ.size :]
+
+    def delete(self, key: bytes) -> bool:
+        self._check_open()
+        key = bytes(key)
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            return self._shards[shard].delete(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        key = bytes(key)
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            return key in self._shards[shard]
+
+    def __len__(self) -> int:
+        total = 0
+        for i in range(self.shards):
+            with self._locks[i]:
+                total += len(self._shards[i])
+        return total
+
+    def keys(self) -> Iterator[bytes]:
+        merged: List[bytes] = []
+        for i in range(self.shards):
+            with self._locks[i]:
+                merged.extend(self._shards[i].keys())
+        return iter(sorted(merged))
+
+    def scan(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Live pairs in *global* insertion order, merged across shards.
+
+        Each shard is replayed in its own log order, then the per-record
+        sequence prefixes stitch the streams back together — the result is
+        byte-identical to scanning a single KVLog fed the same puts.
+
+        Unlike the single log's streaming scan, the merge materializes the
+        live records before yielding (concurrent batches may interleave
+        seqs across shards, so per-shard streams are not merge-sortable in
+        general).  That is the same memory envelope as the backend replay
+        this feeds, which holds every decoded assertion in its index; a
+        streaming k-way merge is a follow-up if logs outgrow RAM.
+        """
+        self._check_open()
+        merged: List[Tuple[int, bytes, bytes]] = []
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                records = list(shard.scan())
+            for key, value in records:
+                merged.append((_SEQ.unpack_from(value)[0], key, value[_SEQ.size :]))
+        merged.sort(key=lambda item: item[0])
+        # A full scan has just discovered the max live sequence; publish it
+        # so the first write after a replay needs no extra pass.  (No shard
+        # lock is held here, so the seq-lock -> shard-lock order used by
+        # _reserve_seqs cannot deadlock against us.)
+        with self._seq_lock:
+            if self._next_seq is None:
+                self._next_seq = (merged[-1][0] + 1) if merged else 0
+        for _seq, key, value in merged:
+            yield key, value
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Live pairs in sorted-key order."""
+        return iter(sorted(self.scan()))
+
+    # -- maintenance -------------------------------------------------------
+    @property
+    def dead_bytes(self) -> int:
+        total = 0
+        for i in range(self.shards):
+            with self._locks[i]:
+                total += self._shards[i].dead_bytes
+        return total
+
+    def compact(self, shard: Optional[int] = None) -> None:
+        """Compact one shard (or, with ``shard=None``, every shard in turn).
+
+        Per-shard compaction is the point of the partitioning: reclaiming
+        one shard's dead bytes rewrites only that file while its siblings
+        keep serving.
+        """
+        self._check_open()
+        targets = range(self.shards) if shard is None else (shard,)
+        for i in targets:
+            with self._locks[i]:
+                self._shards[i].compact()
+
+    def file_size(self) -> int:
+        return sum(self.shard_file_sizes())
+
+    def shard_file_sizes(self) -> List[int]:
+        sizes: List[int] = []
+        for i in range(self.shards):
+            with self._locks[i]:
+                sizes.append(self._shards[i].file_size())
+        return sizes
