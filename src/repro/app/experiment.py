@@ -73,6 +73,9 @@ class ExperimentConfig:
     store_path: Optional[Path] = None
     #: KVLog shard count (>1 selects the sharded-log layout).
     store_shards: int = 1
+    #: attach a background compaction scheduler to the persistent backends
+    #: (see :mod:`repro.store.maintenance`); stopped by :meth:`Experiment.close`.
+    store_auto_compact: bool = False
     journal_path: Optional[Path] = None
     #: virtual-time latency charged per store call (the paper's ~15 ms
     #: retrieve-and-map unit uses the same service).
@@ -104,7 +107,10 @@ def _make_backend(config: ExperimentConfig) -> ProvenanceStoreInterface:
             f"backend {config.store_backend!r} requires config.store_path"
         )
     return make_backend(
-        config.store_backend, config.store_path, shards=config.store_shards
+        config.store_backend,
+        config.store_path,
+        shards=config.store_shards,
+        auto_compact=config.store_auto_compact,
     )
 
 

@@ -11,6 +11,7 @@ Subcommands::
     repro-figures compress     # A3 ablation (the scientific table)
     repro-figures bulk         # A5 ablation: put vs put_many group commit
     repro-figures shards       # A7: sharded KVLog concurrent-ingest sweep
+    repro-figures compaction   # A8: background compaction vs stop-the-world
     repro-figures all          # everything above
 """
 
@@ -31,6 +32,12 @@ from repro.figures.ablation import (
     run_bulk_ingest,
     run_compressibility,
     run_granularity,
+)
+from repro.figures.compaction import (
+    compaction_table,
+    fold_table,
+    run_compaction_sweep,
+    run_fold_sweep,
 )
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
@@ -108,6 +115,27 @@ def cmd_shards(args: argparse.Namespace) -> str:
         )
 
 
+def cmd_compaction(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-compaction-") as tmp:
+        blocks = [
+            compaction_table(
+                run_compaction_sweep(
+                    Path(tmp),
+                    shards=args.shards,
+                    clients=args.clients,
+                    batches_per_client=args.batches,
+                    records_per_batch=args.records_per_batch,
+                    keyspace=args.keyspace,
+                    value_bytes=args.value_bytes,
+                    cold_records=args.cold_records,
+                    manual_every=args.manual_every,
+                )
+            ),
+            fold_table(run_fold_sweep(Path(tmp), puts=args.fold_puts)),
+        ]
+    return "\n\n".join(blocks)
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -170,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(fn=cmd_shards)
 
+    p = sub.add_parser(
+        "compaction",
+        help="A8: background compaction — scheduler vs stop-the-world churn",
+    )
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--clients", type=int, default=2)
+    p.add_argument("--batches", type=int, default=96)
+    p.add_argument("--records-per-batch", type=int, default=16)
+    p.add_argument("--keyspace", type=int, default=32)
+    p.add_argument("--value-bytes", type=int, default=2048)
+    p.add_argument("--cold-records", type=int, default=2000)
+    p.add_argument("--manual-every", type=int, default=8)
+    p.add_argument("--fold-puts", type=int, default=256)
+    p.set_defaults(fn=cmd_compaction)
+
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)
     p.add_argument("--batch-size", type=int, default=256)
@@ -217,6 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 (
                     _section("A7: sharded KVLog ingest sweep"),
                     shard_sweep_table(run_shard_sweep(Path(tmp))),
+                )
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-compaction-") as tmp:
+            blocks.append(
+                (
+                    _section("A8: background compaction vs stop-the-world"),
+                    compaction_table(run_compaction_sweep(Path(tmp)))
+                    + "\n\n"
+                    + fold_table(run_fold_sweep(Path(tmp))),
                 )
             )
         for title, body in blocks:

@@ -9,6 +9,10 @@ The store side of the architecture (paper Section 5, Figure 3):
   (Berkeley DB substitute) underlying the database backend,
 * :mod:`repro.store.sharding` — the hash-partitioned KVLog (N shard files
   behind the single-log API) the database backend scales on,
+* :mod:`repro.store.maintenance` — the background compaction scheduler
+  that keeps the persistent backends' disk footprint bounded under
+  sustained load (shard-aware KVLog compaction + file-system segment
+  folding) without stalling ingest,
 * :mod:`repro.store.plugins` — Store and Query plug-ins,
 * :mod:`repro.store.querycache` — generation-validated query plan and
   result caching for the read path,
@@ -27,6 +31,11 @@ from repro.store.interface import (
 )
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
 from repro.store.kvlog import CorruptRecordError, KVLog
+from repro.store.maintenance import (
+    CompactionEvent,
+    CompactionScheduler,
+    CompactionStats,
+)
 from repro.store.sharding import ShardedKVLog
 from repro.store.plugins import PlugIn, QueryPlugIn, StorePlugIn
 from repro.store.querycache import CacheStats, GenerationVector, QueryCache, QueryPlan
@@ -58,6 +67,7 @@ def make_backend(
     shards: int = 1,
     sync: bool = True,
     segment_size: int = 256,
+    auto_compact: Union[bool, CompactionScheduler] = False,
 ) -> ProvenanceStoreInterface:
     """The store factory: one place every deployment resolves its backend.
 
@@ -69,6 +79,13 @@ def make_backend(
     ``shards`` selects the database backend's sharded-log layout
     (``shards=1`` keeps the single-file format) and ``segment_size``
     bounds the file-system backend's assertions-per-segment-file.
+
+    ``auto_compact=True`` attaches a started
+    :class:`~repro.store.maintenance.CompactionScheduler` to the backend
+    (reachable as ``backend.maintenance``; ``backend.close()`` stops it),
+    so dead bytes and single-put file debris are reclaimed in the
+    background instead of growing forever.  Pass an existing scheduler to
+    share one maintenance budget across several backends.
     """
     if kind not in ("memory", "filesystem", "kvlog"):
         raise ValueError(f"unknown store backend {kind!r}")
@@ -88,17 +105,38 @@ def make_backend(
                 "the 'memory' backend is volatile and takes no path — "
                 "did you mean 'filesystem' or 'kvlog'?"
             )
+        if auto_compact:
+            raise ValueError(
+                "the 'memory' backend has nothing to reclaim — "
+                "auto_compact applies to the persistent backends"
+            )
         return MemoryBackend()
     if path is None:
         raise ValueError(f"backend {kind!r} requires a path")
     if kind == "filesystem":
-        return FileSystemBackend(path, segment_size=segment_size, sync=sync)
-    return KVLogBackend(path, sync=sync, shards=shards)
+        backend: ProvenanceStoreInterface = FileSystemBackend(
+            path, segment_size=segment_size, sync=sync
+        )
+    else:
+        backend = KVLogBackend(path, sync=sync, shards=shards)
+    if auto_compact:
+        scheduler = (
+            auto_compact
+            if isinstance(auto_compact, CompactionScheduler)
+            else CompactionScheduler()
+        )
+        scheduler.register(backend)
+        backend.maintenance = scheduler
+        scheduler.start()
+    return backend
 
 
 __all__ = [
     "ArchiveError",
     "CacheStats",
+    "CompactionEvent",
+    "CompactionScheduler",
+    "CompactionStats",
     "CorruptRecordError",
     "CrossLink",
     "GenerationVector",

@@ -19,11 +19,33 @@ of it (each shard's own sub-batch still fails prefix-wise) — callers must
 treat an unacknowledged batch as wholly in doubt rather than resuming
 from its failure point.  ``sync=False`` trades all of this for
 page-cache-only durability.
+
+Background maintenance extends — never weakens — that contract.  Both
+persistent backends expose the reclaim protocol
+(:meth:`reclaim_candidates` / :meth:`reclaim`) a
+:class:`~repro.store.maintenance.CompactionScheduler` polls, and both
+reclamation paths follow the same write-new → fsync → rename →
+delete-olds ordering as the write path, so every crash window heals on
+reopen:
+
+* a crash *before* the rename strands a temp file (``*.compact`` beside a
+  KVLog, ``*.tmp`` under a file-system store) holding an unacknowledged
+  partial rewrite — swept on the next open;
+* a crash *after* a fold's rename but before its source files are deleted
+  leaves the folded ``<segment>`` and (some of) the single-put files it
+  absorbed coexisting, both holding the same assertions — replay dedupes
+  by sequence number (a file whose range a predecessor already covered is
+  fold debris, never indexed twice) and sweeps the leftovers.
+
+Reclamation is pure reorganization: it never changes the live assertion
+set, so it does not bump the write generation and cached query results
+stay warm across it.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
@@ -77,8 +99,14 @@ class FileSystemBackend(ProvenanceStoreInterface):
     Crash safety mirrors :class:`~repro.store.kvlog.KVLog`: a segment is
     written to a temp file, fsynced, atomically renamed into place, and the
     directory is fsynced — so a committed segment survives power loss —
-    while replay tolerates the debris a crash can leave (stray temp files,
-    a torn trailing segment) and refuses only mid-sequence corruption.
+    while replay sweeps the debris a crash can leave (stray temp files,
+    fold leftovers), tolerates a torn trailing segment, and refuses only
+    mid-sequence corruption.
+
+    Single :meth:`put` calls each leave one tiny file; :meth:`fold_segments`
+    folds contiguous runs of them into ``<segment>`` files in the
+    background (the scheduler drives it via the reclaim protocol), keeping
+    the directory's file count bounded under sustained fine-grained load.
     """
 
     def __init__(
@@ -97,7 +125,32 @@ class FileSystemBackend(ProvenanceStoreInterface):
         #: sync=False for page-cache-only durability (mirrors KVLog).
         self._sync = sync
         self._seq = 0
+        #: single-assertion files eligible for folding, sorted by sequence.
+        self._singles: List[Tuple[int, Path]] = []
+        # _accounting_lock guards the _singles list (touched by the ingest
+        # path and the scheduler thread); _fold_lock serializes whole folds
+        # without ever blocking ingest.
+        self._accounting_lock = threading.Lock()
+        self._fold_lock = threading.Lock()
+        self._sweep_stale_tmp()
         self._replay()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` crash debris (ours: numeric stems) on open.
+
+        A temp file only exists between write and rename, so a surviving
+        one holds an unacknowledged write no replay ever reads.
+        """
+        swept = False
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                int(tmp.stem)
+            except ValueError:
+                continue  # not one of ours — leave it alone
+            tmp.unlink(missing_ok=True)
+            swept = True
+        if swept and self._sync:
+            fsync_dir(self.root)
 
     def _replay(self) -> None:
         # Stray files (editor leftovers, crash debris with non-numeric
@@ -109,6 +162,8 @@ class FileSystemBackend(ProvenanceStoreInterface):
             except ValueError:
                 continue
         segments.sort()
+        covered = 0  # sequences below this are already indexed
+        debris: List[Path] = []
         for position, (start_seq, path) in enumerate(segments):
             try:
                 el = parse_xml(path.read_text(encoding="utf-8"))
@@ -126,12 +181,36 @@ class FileSystemBackend(ProvenanceStoreInterface):
                 ) from exc
             if el.name == "segment":
                 members = list(el.iter_elements())
+                count = len(members)
+            else:
+                members = None
+                count = 1
+            if start_seq < covered:
+                # Fold-crash window: the folded segment was renamed into
+                # place but (some of) its source files were not yet
+                # deleted.  Their assertions are already indexed via the
+                # folded segment — dedupe by sequence number (indexing them
+                # again would raise on the duplicate store keys) and sweep.
+                if start_seq + count <= covered:
+                    debris.append(path)
+                    continue
+                raise CorruptRecordError(
+                    f"segment {path.name} overlaps the sequences before it "
+                    f"but extends past them — refusing to replay a store "
+                    f"with ambiguous history"
+                )
+            if members is None:
+                self._index.add(_assertion_from_el(el))
+                self._singles.append((start_seq, path))
+            else:
                 for child in members:
                     self._index.add(_assertion_from_el(child))
-                self._seq = max(self._seq, start_seq + len(members))
-            else:
-                self._index.add(_assertion_from_el(el))
-                self._seq = max(self._seq, start_seq + 1)
+            covered = start_seq + count
+            self._seq = max(self._seq, covered)
+        for path in debris:
+            path.unlink(missing_ok=True)
+        if debris and self._sync:
+            fsync_dir(self.root)
 
     def _write_file(self, name: str, text: str) -> None:
         path = self.root / name
@@ -146,9 +225,12 @@ class FileSystemBackend(ProvenanceStoreInterface):
             fsync_dir(self.root)
 
     def _persist(self, assertion: Assertion) -> None:
-        name = f"{self._seq:08d}.xml"
+        seq = self._seq
+        name = f"{seq:08d}.xml"
         self._seq += 1
         self._write_file(name, _assertion_to_text(assertion))
+        with self._accounting_lock:
+            self._singles.append((seq, self.root / name))
 
     def _persist_many(self, assertions: Sequence[Assertion]) -> None:
         # Segment files: N assertions per file instead of one file (and one
@@ -164,6 +246,103 @@ class FileSystemBackend(ProvenanceStoreInterface):
             name = f"{self._seq:08d}.xml"
             self._seq += len(chunk)
             self._write_file(name, segment.serialize())
+
+    # -- segment folding ----------------------------------------------------
+    def fold_candidates(self) -> List[List[Tuple[int, Path]]]:
+        """Contiguous runs (length >= 2) of single-put files, oldest first.
+
+        Only consecutively-numbered files fold safely: the folded segment
+        replays its members at the position of its first source, so folding
+        across a gap (a batch segment sits between) would reorder replay.
+        """
+        if self.segment_size < 2:
+            return []  # nothing can ever fold; report no pressure
+        with self._accounting_lock:
+            singles = list(self._singles)
+        runs: List[List[Tuple[int, Path]]] = []
+        run: List[Tuple[int, Path]] = []
+        for seq, path in singles:
+            if run and seq == run[-1][0] + 1:
+                run.append((seq, path))
+            else:
+                if len(run) >= 2:
+                    runs.append(run)
+                run = [(seq, path)]
+        if len(run) >= 2:
+            runs.append(run)
+        return runs
+
+    def fold_segments(self, max_files: Optional[int] = None) -> Tuple[int, int]:
+        """Fold one run of single-put files into a ``<segment>`` file.
+
+        Crash-safe ordering: the folded segment is written to a temp file,
+        fsynced, renamed over the run's *first* source file, and the
+        directory fsynced — only then are the remaining source files
+        deleted (and the directory fsynced again).  A crash in the window
+        where the folded segment and its source files coexist is healed on
+        the next open: replay dedupes by sequence number and sweeps them.
+
+        Runs concurrently with ingest (new puts only ever append new
+        sequence numbers; the files being folded are immutable).  Returns
+        ``(files_folded, bytes_reclaimed)`` — ``(0, 0)`` when nothing is
+        eligible.
+        """
+        with self._fold_lock:
+            runs = self.fold_candidates()
+            if not runs:
+                return (0, 0)
+            limit = self.segment_size
+            if max_files is not None:
+                limit = min(limit, max_files)
+            run = runs[0][:limit]
+            if len(run) < 2:
+                return (0, 0)
+            before = 0
+            segment = XmlElement("segment", attrs={"count": str(len(run))})
+            for _seq, path in run:
+                before += path.stat().st_size
+                segment.add(parse_xml(path.read_text(encoding="utf-8")))
+            first_path = run[0][1]
+            self._write_file(first_path.name, segment.serialize())
+            for _seq, path in run[1:]:
+                path.unlink(missing_ok=True)
+            if self._sync:
+                fsync_dir(self.root)
+            folded = {seq for seq, _path in run}
+            with self._accounting_lock:
+                self._singles = [
+                    (seq, path) for seq, path in self._singles
+                    if seq not in folded
+                ]
+            after = first_path.stat().st_size
+            return (len(run), max(0, before - after))
+
+    # -- reclaim protocol (see repro.store.maintenance) ---------------------
+    def reclaim_candidates(self) -> List[tuple]:
+        """``(target, score, reclaimable_bytes, cost_bytes)`` for folding.
+
+        ``score`` is how close the foldable backlog is to a full segment's
+        worth of files; the byte figures are the backlog's on-disk size
+        (folding consolidates those bytes rather than deleting data, so
+        they double as the rate-limit cost).
+        """
+        runs = self.fold_candidates()
+        if not runs:
+            return []
+        count = 0
+        size = 0
+        for run in runs:
+            for _seq, path in run:
+                count += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover - raced with a fold
+                    continue
+        return [("fold", min(1.0, count / self.segment_size), size, size)]
+
+    def reclaim(self, target: object) -> int:
+        _folded, reclaimed = self.fold_segments()
+        return reclaimed
 
 
 def scope_prefix(scope: str) -> bytes:
@@ -353,7 +532,23 @@ class KVLogBackend(ProvenanceStoreInterface):
     def compact(self) -> None:
         self._log.compact()
 
+    # -- reclaim protocol (see repro.store.maintenance) ---------------------
+    def reclaim_candidates(self) -> List[tuple]:
+        """Per-shard ``(shard, dead_ratio, reclaimable, cost)`` pressure.
+
+        Delegates to the log, which reports one candidate per shard (one
+        total for the single-file layout), so the scheduler compacts the
+        worst *shard*, not the worst store.
+        """
+        return self._log.reclaim_candidates()
+
+    def reclaim(self, target: object) -> int:
+        return self._log.reclaim(target)
+
     def close(self) -> None:
+        # Stop attached maintenance first: a background compaction must
+        # never race the log handles being closed underneath it.
+        super().close()
         self._log.close()
 
 

@@ -90,6 +90,15 @@ class StoreRouter:
     def store_names(self) -> List[str]:
         return list(self._names)
 
+    def close(self) -> None:
+        """Close every member store (stopping any attached maintenance).
+
+        The teardown entry point for factory-built fleets — callers hold
+        the router, not the members, so the router owns shutdown.
+        """
+        for name in self._names:
+            self._stores[name].close()
+
     def store(self, name: str) -> ProvenanceStoreInterface:
         try:
             return self._stores[name]
@@ -306,6 +315,7 @@ def sharded_store_fleet(
     members: int = 2,
     shards: int = 1,
     sync: bool = True,
+    auto_compact: bool = False,
 ) -> StoreRouter:
     """A §7 deployment in one call: a router over KVLog-backed members.
 
@@ -313,8 +323,16 @@ def sharded_store_fleet(
     (optionally sharded) log, so the two scaling axes compose: the router
     parallelises submission *across* stores, ``shards`` parallelises group
     commits *within* each store.
+
+    ``auto_compact=True`` attaches **one** shared
+    :class:`~repro.store.maintenance.CompactionScheduler` to every member:
+    a single maintenance budget for the whole fleet, compacting the worst
+    shard of the worst member per tick.  Tear the fleet down with
+    :meth:`StoreRouter.close` (closing any member also stops the shared
+    scheduler).
     """
     from repro.store.backends import KVLogBackend
+    from repro.store.maintenance import CompactionScheduler
 
     if members < 1:
         raise ValueError("fleet needs at least one member store")
@@ -327,6 +345,7 @@ def sharded_store_fleet(
             f"(rerouting keys across a different member count would "
             f"strand existing records)"
         )
+    scheduler = CompactionScheduler() if auto_compact else None
     stores: Dict[str, ProvenanceStoreInterface] = {}
     for i in range(members):
         name = f"store-{i:02d}"
@@ -334,7 +353,13 @@ def sharded_store_fleet(
         # directory otherwise), so reopening an existing fleet with the
         # wrong shard count hits KVLogBackend's layout guard instead of
         # silently standing up empty stores beside the old data.
-        stores[name] = KVLogBackend(root / name, sync=sync, shards=shards)
+        store = KVLogBackend(root / name, sync=sync, shards=shards)
+        if scheduler is not None:
+            scheduler.register(store, name)
+            store.maintenance = scheduler
+        stores[name] = store
+    if scheduler is not None:
+        scheduler.start()
     return StoreRouter(stores)
 
 

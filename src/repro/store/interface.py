@@ -274,6 +274,11 @@ class ProvenanceStoreInterface(ABC):
 
     def __init__(self) -> None:
         self._index = StoreIndex()
+        #: Background maintenance attached by the store factory
+        #: (``make_backend(..., auto_compact=...)``): a
+        #: :class:`repro.store.maintenance.CompactionScheduler`, or None.
+        #: :meth:`close` stops it before releasing backend resources.
+        self.maintenance: Optional[object] = None
 
     @property
     def generation(self) -> int:
@@ -342,7 +347,14 @@ class ProvenanceStoreInterface(ABC):
             self._persist(assertion)
 
     def close(self) -> None:
-        """Release backend resources (default: nothing to do)."""
+        """Release backend resources; stops attached background maintenance.
+
+        Subclasses that hold resources must call ``super().close()`` first
+        so an in-flight background compaction finishes (or is joined)
+        before the resources it uses disappear.
+        """
+        if self.maintenance is not None:
+            self.maintenance.stop()
 
     # -- read path (delegated to the index) ----------------------------------
     def interaction_keys(self) -> List[InteractionKey]:

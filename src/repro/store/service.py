@@ -103,20 +103,41 @@ class PReServActor(Actor):
         shards: int = 1,
         sync: bool = True,
         segment_size: int = 256,
+        auto_compact: bool = False,
         **kwargs: object,
     ) -> "PReServActor":
         """Stand up an actor over a factory-built backend.
 
         The service-level way to configure storage — ``kind``/``path`` plus
-        the sharding and durability knobs — without importing backend
-        classes at the call site.
+        the sharding, durability and background-compaction knobs — without
+        importing backend classes at the call site.  With
+        ``auto_compact=True`` the attached scheduler lives as long as the
+        actor's backend: :meth:`close` stops it.
         """
         from repro.store import make_backend
 
         backend = make_backend(
-            kind, path, shards=shards, sync=sync, segment_size=segment_size
+            kind,
+            path,
+            shards=shards,
+            sync=sync,
+            segment_size=segment_size,
+            auto_compact=auto_compact,
         )
         return cls(backend, **kwargs)  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        """Release the backend (stops attached background maintenance)."""
+        self.backend.close()
+
+    def maintenance_stats(self):
+        """Background-compaction counters, or None when no scheduler runs.
+
+        A :class:`repro.store.maintenance.CompactionStats` snapshot —
+        ``compactions_run`` / ``bytes_reclaimed`` feed the figures layer.
+        """
+        scheduler = getattr(self.backend, "maintenance", None)
+        return None if scheduler is None else scheduler.stats()
 
     def store_generation(self) -> int:
         """The backend's write generation (for client-side result caches)."""

@@ -45,7 +45,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
-from repro.store.kvlog import KVLog, mkdir_durable
+from repro.store.kvlog import KVLog, fsync_dir, mkdir_durable
 
 #: global-insertion-order prefix carried by every sharded value.
 _SEQ = struct.Struct(">Q")
@@ -110,8 +110,14 @@ class ShardedKVLog:
                     f"shards={len(existing)} (rehashing keys across a "
                     f"different shard count would strand existing records)"
                 )
-            for stale in existing[shards:]:
-                stale.unlink()
+            if len(existing) > shards:
+                for stale in existing[shards:]:
+                    stale.unlink()
+                if sync:
+                    # The unlinks must be durable before this open's shard
+                    # count can be trusted: a crash that resurrects trimmed
+                    # files would change the count detected next time.
+                    fsync_dir(self.root)
         self.shards = shards
         self._partition = partition
         self._shards: List[KVLog] = []
@@ -191,9 +197,21 @@ class ShardedKVLog:
     def put(self, key: bytes, value: bytes) -> None:
         self._check_open()
         key, value = self._validated(key, value)
-        seq = self._reserve_seqs(1)
         shard = self.shard_of(key)
+        if self._next_seq is None:
+            # Resolve the lazy sequence watermark *before* taking the shard
+            # lock: resolution scans every shard under its lock, so doing it
+            # while holding one would invert the seq-lock/shard-lock order.
+            self._reserve_seqs(0)
         with self._locks[shard]:
+            # Reserve and commit under one shard lock: two racing puts of
+            # the same key commit in sequence order, so the index's live
+            # value is always the one scan() calls newest.  (Reservation
+            # here only touches the seq counter — the resolution pass that
+            # takes shard locks cannot run once the watermark is set.)
+            with self._seq_lock:
+                seq = self._next_seq
+                self._next_seq += 1
             self._shards[shard].put(key, _SEQ.pack(seq) + value)
 
     def put_many(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
@@ -204,15 +222,42 @@ class ShardedKVLog:
         the pairs were given, whatever the shard count.  Sub-commits run on
         the commit pool when one is configured, overlapping the shards'
         fsyncs.
+
+        A batch that lands on a *single* shard reserves and commits under
+        that shard's lock, giving it the same same-key ordering guarantee
+        as :meth:`put`.  A multi-shard batch cannot hold every shard lock
+        across reservation (that would serialize the whole store), so its
+        records may interleave with concurrent same-key writers between
+        reservation and commit — concurrent mixed-key batches already have
+        no relative-order promise, but callers racing single-key traffic
+        against multi-shard batches should know the index keeps the last
+        *committed* write, which under that race may not be the highest
+        sequence.
         """
         self._check_open()
         batch = [self._validated(k, v) for k, v in pairs]
         if not batch:
             return 0
+        owners = [self.shard_of(key) for key, _value in batch]
+        if len(set(owners)) == 1:
+            shard = owners[0]
+            if self._next_seq is None:
+                self._reserve_seqs(0)  # resolve before taking the shard lock
+            with self._locks[shard]:
+                with self._seq_lock:
+                    base = self._next_seq
+                    self._next_seq += len(batch)
+                self._shards[shard].put_many(
+                    [
+                        (key, _SEQ.pack(base + offset) + value)
+                        for offset, (key, value) in enumerate(batch)
+                    ]
+                )
+            return len(batch)
         base = self._reserve_seqs(len(batch))
         per_shard: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(self.shards)]
         for offset, (key, value) in enumerate(batch):
-            per_shard[self.shard_of(key)].append(
+            per_shard[owners[offset]].append(
                 (key, _SEQ.pack(base + offset) + value)
             )
         touched = [i for i, sub in enumerate(per_shard) if sub]
@@ -310,31 +355,43 @@ class ShardedKVLog:
     # -- maintenance -------------------------------------------------------
     @property
     def dead_bytes(self) -> int:
-        total = 0
-        for i in range(self.shards):
-            with self._locks[i]:
-                total += self._shards[i].dead_bytes
-        return total
+        return sum(self.shard_dead_bytes())
+
+    def shard_dead_bytes(self) -> List[int]:
+        """Per-shard dead-byte counters (the scheduler's pressure signal)."""
+        return [self._shards[i].dead_bytes for i in range(self.shards)]
 
     def compact(self, shard: Optional[int] = None) -> None:
         """Compact one shard (or, with ``shard=None``, every shard in turn).
 
         Per-shard compaction is the point of the partitioning: reclaiming
         one shard's dead bytes rewrites only that file while its siblings
-        keep serving.
+        keep serving.  No shard lock is held here — :meth:`KVLog.compact`
+        is internally two-phase, so writers to the shard being compacted
+        block only for its short catch-up/swap window, not the rewrite.
         """
         self._check_open()
         targets = range(self.shards) if shard is None else (shard,)
         for i in targets:
-            with self._locks[i]:
-                self._shards[i].compact()
+            self._shards[i].compact()
+
+    # -- reclaim protocol (see repro.store.maintenance) ---------------------
+    def reclaim_candidates(self) -> List[tuple]:
+        """One ``(shard, dead_ratio, reclaimable_bytes, cost_bytes)`` per shard."""
+        out: List[tuple] = []
+        for i in range(self.shards):
+            size = self._shards[i].file_size()
+            dead = self._shards[i].dead_bytes
+            if size > 0:
+                out.append((i, dead / size, dead, size))
+        return out
+
+    def reclaim(self, target: int) -> int:
+        """Compact one shard; returns the bytes given back to the FS."""
+        return self._shards[target].reclaim()
 
     def file_size(self) -> int:
         return sum(self.shard_file_sizes())
 
     def shard_file_sizes(self) -> List[int]:
-        sizes: List[int] = []
-        for i in range(self.shards):
-            with self._locks[i]:
-                sizes.append(self._shards[i].file_size())
-        return sizes
+        return [self._shards[i].file_size() for i in range(self.shards)]

@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
 from repro.store.interface import DuplicateAssertionError
 from repro.store.kvlog import CorruptRecordError, KVLog
+from repro.store.sharding import ShardedKVLog
 
 from tests.test_store_backends import ga, ipa, key, spa
 
@@ -269,7 +270,7 @@ class TestPutManyErrorChaining:
 
 _ops = st.lists(
     st.tuples(
-        st.sampled_from(["put", "put_many", "delete"]),
+        st.sampled_from(["put", "put_many", "delete", "compact"]),
         st.lists(
             st.tuples(
                 st.binary(min_size=1, max_size=5),
@@ -287,7 +288,7 @@ _ops = st.lists(
 @settings(max_examples=40, deadline=None)
 def test_property_dead_bytes_identical_after_reopen(tmp_path_factory, ops):
     """The in-process dead-byte counter equals the one a reopen recomputes,
-    whatever mix of put/put_many/delete produced the log."""
+    whatever mix of put/put_many/delete/compact produced the log."""
     path = tmp_path_factory.mktemp("deadbytes") / "db"
     with KVLog(path, sync=False) as log:
         for op, pairs in ops:
@@ -295,6 +296,8 @@ def test_property_dead_bytes_identical_after_reopen(tmp_path_factory, ops):
                 log.put(*pairs[0])
             elif op == "put_many":
                 log.put_many(pairs)
+            elif op == "compact":
+                log.compact()
             else:
                 log.delete(pairs[0][0])
         live_counter = log.dead_bytes
@@ -302,6 +305,31 @@ def test_property_dead_bytes_identical_after_reopen(tmp_path_factory, ops):
     with KVLog(path, sync=False) as reopened:
         assert reopened.dead_bytes == live_counter
         assert dict(reopened.items()) == live_items
+
+
+@given(ops=_ops)
+@settings(max_examples=25, deadline=None)
+def test_property_sharded_dead_bytes_identical_after_reopen(
+    tmp_path_factory, ops
+):
+    """The sharded layout upholds the same invariant, per shard and in sum,
+    with compactions mixed into the op stream."""
+    root = tmp_path_factory.mktemp("deadbytes-sharded") / "db"
+    with ShardedKVLog(root, shards=3, sync=False) as log:
+        for i, (op, pairs) in enumerate(ops):
+            if op == "put":
+                log.put(*pairs[0])
+            elif op == "put_many":
+                log.put_many(pairs)
+            elif op == "compact":
+                log.compact(shard=i % 3)
+            else:
+                log.delete(pairs[0][0])
+        live_counter = log.shard_dead_bytes()
+        live_items = dict(log.scan())
+    with ShardedKVLog(root, shards=3, sync=False) as reopened:
+        assert dict(reopened.scan()) == live_items
+        assert reopened.shard_dead_bytes() == live_counter
 
 
 def test_kvlog_backend_survives_torn_batch_after_fsync_fixes(tmp_path):
