@@ -73,6 +73,12 @@ class ExperimentConfig:
     store_path: Optional[Path] = None
     #: KVLog shard count (>1 selects the sharded-log layout).
     store_shards: int = 1
+    #: depth of the decode→commit ingest pipeline (see
+    #: :mod:`repro.store.pipeline`): >1 lets the store decode batch k+1's
+    #: XML while batch k fsyncs, and lets the recorder's flush encode batch
+    #: k+1 while batch k is in its store round trip; 1 keeps the blocking
+    #: paths.
+    store_pipeline_depth: int = 1
     #: attach a background compaction scheduler to the persistent backends
     #: (see :mod:`repro.store.maintenance`); stopped by :meth:`Experiment.close`.
     store_auto_compact: bool = False
@@ -124,7 +130,9 @@ class Experiment:
 
         # --- provenance store -------------------------------------------
         self.backend = _make_backend(self.config)
-        self.preserv = PReServActor(self.backend)
+        self.preserv = PReServActor(
+            self.backend, pipeline_depth=self.config.store_pipeline_depth
+        )
         self.bus.register(
             self.preserv,
             latency=LatencyModel(round_trip_s=self.config.store_latency_s),
@@ -167,6 +175,7 @@ class Experiment:
             self.bus,
             mode=self.config.recording,
             journal=journal,
+            flush_pipeline_depth=self.config.store_pipeline_depth,
         )
         self.interceptor: Optional[ProvenanceInterceptor] = None
         self.workflow = CompressibilityWorkflow(

@@ -52,16 +52,18 @@ class ProvenanceRecordClient:
         self.calls = 0
         self.acked = 0
 
-    def send_records(self, records: Sequence[PrepRecord]) -> PrepAck:
-        """Ship prepared PReP records in one bus call; returns the ack."""
-        if not records:
-            return PrepAck(status="ok", count=0)
+    @staticmethod
+    def _encode_batch(records: Sequence[PrepRecord]) -> XmlElement:
+        """One wire body for a chunk of records (single or batch form)."""
         if len(records) == 1:
-            body = records[0].to_xml()
-        else:
-            body = XmlElement("prep-record-batch")
-            for record in records:
-                body.add(record.to_xml())
+            return records[0].to_xml()
+        body = XmlElement("prep-record-batch")
+        for record in records:
+            body.add(record.to_xml())
+        return body
+
+    def _post(self, body: XmlElement) -> PrepAck:
+        """One bus call to the record port; counts and parses the ack."""
         self.calls += 1
         response = self.bus.call(
             source=self.client_endpoint,
@@ -74,31 +76,85 @@ class ProvenanceRecordClient:
             self.acked += ack.count
         return ack
 
+    def _post_checked(self, body: XmlElement) -> int:
+        """Post one body; a rejected batch raises instead of returning."""
+        ack = self._post(body)
+        if not ack.ok:
+            raise RuntimeError(f"store rejected record batch: {ack.detail}")
+        return ack.count
+
+    def send_records(self, records: Sequence[PrepRecord]) -> PrepAck:
+        """Ship prepared PReP records in one bus call; returns the ack."""
+        if not records:
+            return PrepAck(status="ok", count=0)
+        return self._post(self._encode_batch(records))
+
     def record(self, assertion: Assertion) -> PrepAck:
         """Record a single assertion (one round trip)."""
         return self.send_records([PrepRecord(assertion=assertion)])
 
-    def record_many(
-        self, assertions: Iterable[Assertion], batch_size: int = 64
+    def send_record_stream(
+        self,
+        records: Iterable[PrepRecord],
+        batch_size: int = 64,
+        pipeline_depth: int = 1,
     ) -> int:
-        """Record a stream of assertions in batch messages; returns acked.
+        """Ship a record stream in batch messages; returns the count acked.
+
+        Chunks lazily, so a generated stream never materializes beyond
+        ``pipeline_depth`` batches.  With ``pipeline_depth > 1`` the wire
+        encoding of batch k+1 (building its XML body on worker threads)
+        overlaps batch k's store round trip via a
+        :class:`~repro.store.pipeline.PipelinedIngest` whose commit stage
+        is the bus call — batches are sent strictly in stream order, and
+        a rejected batch stops the stream: nothing after it is sent.
 
         Raises ``RuntimeError`` if the store rejects any batch.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        total = 0
-        stream = iter(assertions)
-        while True:
-            # Chunk lazily: a generated stream never materializes beyond
-            # one batch of records.
-            chunk = list(itertools.islice(stream, batch_size))
-            if not chunk:
-                return total
-            ack = self.send_records([PrepRecord(assertion=a) for a in chunk])
-            if not ack.ok:
-                raise RuntimeError(f"store rejected record batch: {ack.detail}")
-            total += ack.count
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        stream = iter(records)
+        if pipeline_depth == 1:
+            total = 0
+            while True:
+                chunk = list(itertools.islice(stream, batch_size))
+                if not chunk:
+                    return total
+                total += self._post_checked(self._encode_batch(chunk))
+        from repro.store.pipeline import PipelinedIngest
+
+        with PipelinedIngest(
+            commit=self._post_checked,
+            decode=self._encode_batch,
+            depth=pipeline_depth,
+            name="record-client",
+        ) as engine:
+            while True:
+                chunk = list(itertools.islice(stream, batch_size))
+                if not chunk:
+                    break
+                engine.submit(chunk)
+            engine.flush()
+            return engine.stats.records_committed
+
+    def record_many(
+        self,
+        assertions: Iterable[Assertion],
+        batch_size: int = 64,
+        pipeline_depth: int = 1,
+    ) -> int:
+        """Record a stream of assertions in batch messages; returns acked.
+
+        Raises ``RuntimeError`` if the store rejects any batch.  See
+        :meth:`send_record_stream` for the pipelined-send contract.
+        """
+        return self.send_record_stream(
+            (PrepRecord(assertion=a) for a in assertions),
+            batch_size=batch_size,
+            pipeline_depth=pipeline_depth,
+        )
 
 
 class ProvenanceQueryClient:

@@ -12,6 +12,7 @@ Subcommands::
     repro-figures bulk         # A5 ablation: put vs put_many group commit
     repro-figures shards       # A7: sharded KVLog concurrent-ingest sweep
     repro-figures compaction   # A8: background compaction vs stop-the-world
+    repro-figures pipeline     # A9: pipelined decode→commit ingest sweep
     repro-figures all          # everything above
 """
 
@@ -41,6 +42,7 @@ from repro.figures.compaction import (
 )
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
+from repro.figures.pipeline import pipeline_table, run_pipeline_sweep
 from repro.figures.shards import run_shard_sweep, shard_sweep_table
 from repro.figures.fig4 import fig4_table, run_fig4
 from repro.figures.fig4b import fig4b_table, run_fig4b
@@ -136,6 +138,22 @@ def cmd_compaction(args: argparse.Namespace) -> str:
     return "\n\n".join(blocks)
 
 
+def cmd_pipeline(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-pipeline-") as tmp:
+        return pipeline_table(
+            run_pipeline_sweep(
+                Path(tmp),
+                shard_counts=tuple(args.shards),
+                depths=tuple(args.depths),
+                records=args.records,
+                batch_size=args.batch_size,
+                payload_bytes=args.payload_bytes,
+                repeats=args.repeats,
+                flush_latency_s=args.flush_latency_ms / 1000.0,
+            )
+        )
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -213,6 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fold-puts", type=int, default=256)
     p.set_defaults(fn=cmd_compaction)
 
+    p = sub.add_parser(
+        "pipeline",
+        help="A9: pipelined decode→commit ingest — depth × shards grid",
+    )
+    p.add_argument("--shards", type=int, nargs="*", default=[1, 4])
+    p.add_argument("--depths", type=int, nargs="*", default=[1, 2, 4, 8])
+    p.add_argument("--records", type=int, default=1024)
+    p.add_argument("--batch-size", type=int, default=128)
+    p.add_argument("--payload-bytes", type=int, default=16384)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--flush-latency-ms",
+        type=float,
+        default=0.0,
+        help="modeled device write-barrier per group commit "
+        "(0 = raw host device; ~10 models the paper-era disk)",
+    )
+    p.set_defaults(fn=cmd_pipeline)
+
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)
     p.add_argument("--batch-size", type=int, default=256)
@@ -260,6 +297,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 (
                     _section("A7: sharded KVLog ingest sweep"),
                     shard_sweep_table(run_shard_sweep(Path(tmp))),
+                )
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-pipeline-") as tmp:
+            blocks.append(
+                (
+                    _section("A9: pipelined decode→commit ingest"),
+                    pipeline_table(
+                        run_pipeline_sweep(
+                            Path(tmp), depths=(1, 4, 8), records=512, repeats=2
+                        )
+                    ),
                 )
             )
         with tempfile.TemporaryDirectory(prefix="repro-compaction-") as tmp:

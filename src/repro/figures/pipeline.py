@@ -1,0 +1,276 @@
+"""Pipelined-ingest sweep: decode→commit overlap vs depth × shards.
+
+The paper's recording path is fsync-bound: every group commit parks the
+CPU while the disk syncs, and every decode parks the disk while the CPU
+parses.  This sweep drives the same XML-encoded p-assertion stream into a
+:class:`~repro.store.sharding.ShardedKVLog` two ways — the blocking loop
+(decode a batch, ``put_many`` it, repeat) and a
+:class:`~repro.store.pipeline.PipelinedIngest` at several depths — across
+a shards grid, and reports records/sec with the speedup over the blocking
+baseline of the same shard count.
+
+The decode stage is the store's wire work: parse the p-assertion XML,
+rebuild the typed assertion (validation), and emit the ``(key, value)``
+pair the log appends.  The commit stage is the log's group commit — CRC,
+append, fsync — whose GIL-releasing syscalls are exactly what the decode
+workers overlap.  Records carry a few KiB of payload (actor-state
+p-assertions shipping real data), so each group commit moves enough bytes
+for the fsync to be worth hiding.
+
+``flush_latency_s`` models the target device, the same way the bus's
+:class:`~repro.soa.bus.LatencyModel` models the testbed network: the
+paper's store committed through Berkeley DB JE to 2005 commodity disks,
+whose write barrier costs milliseconds, where a modern NVMe flush returns
+in ~0.2 ms and its residual cost is dominated by ambient writeback noise.
+With the default ``0.0`` the sweep measures the raw device; with a
+latency set, every group commit (blocking and pipelined alike — the two
+paths share one commit callable) additionally waits out the modeled
+flush, so the sweep reports the architecture's overlap on the class of
+hardware the paper measured rather than the benchmark host's disk mood.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.core.passertion import (
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.core.prep import PrepRecord
+from repro.figures.stats import format_table
+from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.pipeline import PipelinedIngest
+from repro.store.sharding import ShardedKVLog, pipe_partition
+
+#: depth reported for the blocking (no-pipeline) baseline rows.
+BLOCKING = 0
+
+
+@dataclass(frozen=True)
+class PipelinePoint:
+    """One (shards, depth) configuration of the sweep."""
+
+    shards: int
+    #: pipeline depth; ``BLOCKING`` (0) is the decode-then-commit loop.
+    depth: int
+    records: int
+    batches: int
+    elapsed_s: float
+    decode_s: float
+    commit_s: float
+
+    @property
+    def records_per_s(self) -> float:
+        return self.records / self.elapsed_s if self.elapsed_s else float("inf")
+
+
+def payload_record(i: int, payload_bytes: int) -> PrepRecord:
+    """A p-assertion carrying ``payload_bytes`` of message content."""
+    key = InteractionKey(
+        interaction_id=f"pipe-msg-{i:06d}",
+        sender="pipe-client",
+        receiver="pipe-service",
+    )
+    content = XmlElement("envelope")
+    content.element("body").element(
+        "payload", "ACGT" * (max(payload_bytes, 4) // 4)
+    )
+    return PrepRecord(
+        assertion=InteractionPAssertion(
+            interaction_key=key,
+            view=ViewKind.SENDER,
+            asserter="pipe-client",
+            local_id=f"pa-{i}",
+            operation="invoke",
+            content=content,
+        )
+    )
+
+
+def decode_batch(batch: Sequence[Tuple[int, str]]) -> List[Tuple[bytes, bytes]]:
+    """The pipeline's decode stage: wire XML → validated ``(key, value)``.
+
+    Parses each document, rebuilds the typed record (the store's
+    validation), and keys it by its global stream index — the work the
+    record port performs before a batch can group-commit.
+    """
+    pairs: List[Tuple[bytes, bytes]] = []
+    for index, text in batch:
+        record = PrepRecord.from_xml(parse_xml(text))
+        key = (
+            record.assertion.interaction_key.interaction_id.encode("ascii")
+            + b"|%016d" % index
+        )
+        pairs.append((key, text.encode("utf-8")))
+    return pairs
+
+
+#: off-the-clock warmup commits per run (touch shard files, spin up the
+#: commit pool, settle the page-cache/writeback state).
+_WARMUP = 64
+
+
+def run_pipeline_sweep(
+    tmp_dir: Path,
+    shard_counts: Sequence[int] = (1, 4),
+    depths: Sequence[int] = (1, 2, 4, 8),
+    records: int = 1024,
+    batch_size: int = 128,
+    payload_bytes: int = 16384,
+    repeats: int = 3,
+    sync: bool = True,
+    gil_switch_s: float = 0.0002,
+    flush_latency_s: float = 0.0,
+) -> List[PipelinePoint]:
+    """One blocking baseline + one point per depth, per shard count."""
+    if records < 1 or batch_size < 1 or repeats < 1:
+        raise ValueError("records, batch_size and repeats must be >= 1")
+    if any(d < 1 for d in depths) or any(n < 1 for n in shard_counts):
+        raise ValueError("depths and shard counts must be >= 1")
+    if flush_latency_s < 0:
+        raise ValueError("flush_latency_s must be >= 0")
+    # The corpus is encoded once, off the clock: the sweep measures the
+    # store-side decode+commit path, not the producer's serializer.
+    texts = [
+        (i, payload_record(i, payload_bytes).to_xml().serialize())
+        for i in range(records)
+    ]
+    batches = [
+        texts[start : start + batch_size]
+        for start in range(0, len(texts), batch_size)
+    ]
+
+    def warmup(log: ShardedKVLog) -> None:
+        log.put_many(
+            [(b"warmup|%06d" % i, b"x" * 1024) for i in range(_WARMUP)]
+        )
+        if hasattr(os, "sync"):
+            # Drain ambient writeback so a timed run never pays for dirty
+            # pages a previous run (or an unrelated process) left behind.
+            os.sync()
+
+    def make_commit(log: ShardedKVLog):
+        """THE commit callable — both paths go through this one."""
+        if not flush_latency_s:
+            return log.put_many
+
+        def commit(pairs):
+            count = log.put_many(pairs)
+            # Modeled device flush (see module doc): the wait is real wall
+            # time with the GIL released, exactly like a slow disk barrier.
+            time.sleep(flush_latency_s)
+            return count
+
+        return commit
+
+    def blocking_run(root: Path, n: int) -> PipelinePoint:
+        with ShardedKVLog(root, shards=n, sync=sync, partition=pipe_partition) as log:
+            warmup(log)
+            commit = make_commit(log)
+            start = time.perf_counter()
+            decode_s = 0.0
+            for batch in batches:
+                t0 = time.perf_counter()
+                pairs = decode_batch(batch)
+                decode_s += time.perf_counter() - t0
+                commit(pairs)
+            elapsed = time.perf_counter() - start
+            _check_count(log, records + _WARMUP)
+        return PipelinePoint(
+            shards=n,
+            depth=BLOCKING,
+            records=records,
+            batches=len(batches),
+            elapsed_s=elapsed,
+            decode_s=decode_s,
+            commit_s=elapsed - decode_s,
+        )
+
+    def pipelined_run(root: Path, n: int, depth: int) -> PipelinePoint:
+        with ShardedKVLog(root, shards=n, sync=sync, partition=pipe_partition) as log:
+            warmup(log)
+            start = time.perf_counter()
+            with PipelinedIngest(
+                commit=make_commit(log),
+                decode=decode_batch,
+                depth=depth,
+                gil_switch_s=gil_switch_s,
+            ) as engine:
+                for batch in batches:
+                    engine.submit(batch)
+                engine.flush()
+                stats = engine.stats
+            elapsed = time.perf_counter() - start
+            _check_count(log, records + _WARMUP)
+        return PipelinePoint(
+            shards=n,
+            depth=depth,
+            records=records,
+            batches=len(batches),
+            elapsed_s=elapsed,
+            decode_s=stats.decode_s,
+            commit_s=stats.commit_s,
+        )
+
+    points: List[PipelinePoint] = []
+    for n in shard_counts:
+        # Best-of-N timing: fsync latency on a shared machine is noisy, so
+        # each configuration keeps its fastest (least-disturbed) run.
+        points.append(
+            min(
+                (
+                    blocking_run(tmp_dir / f"blk-{n:02d}-r{r}", n)
+                    for r in range(repeats)
+                ),
+                key=lambda p: p.elapsed_s,
+            )
+        )
+        for depth in depths:
+            points.append(
+                min(
+                    (
+                        pipelined_run(
+                            tmp_dir / f"pipe-{n:02d}-{depth}-r{r}", n, depth
+                        )
+                        for r in range(repeats)
+                    ),
+                    key=lambda p: p.elapsed_s,
+                )
+            )
+    return points
+
+
+def _check_count(log: ShardedKVLog, expected: int) -> None:
+    if len(log) != expected:
+        raise AssertionError(f"sweep lost records: {len(log)} != {expected}")
+
+
+def pipeline_table(points: List[PipelinePoint]) -> str:
+    bases = {
+        p.shards: p.records_per_s for p in points if p.depth == BLOCKING
+    }
+    headers = [
+        "shards", "depth", "records", "records/s",
+        "decode s", "commit s", "speedup",
+    ]
+    rows = []
+    for p in points:
+        base = bases.get(p.shards, 0.0)
+        rows.append(
+            [
+                p.shards,
+                "block" if p.depth == BLOCKING else p.depth,
+                p.records,
+                f"{p.records_per_s:.0f}",
+                f"{p.decode_s:.3f}",
+                f"{p.commit_s:.3f}",
+                f"{p.records_per_s / base:.2f}x" if base else "-",
+            ]
+        )
+    return format_table(headers, rows)

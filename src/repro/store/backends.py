@@ -153,6 +153,20 @@ class FileSystemBackend(ProvenanceStoreInterface):
             fsync_dir(self.root)
 
     def _replay(self) -> None:
+        # Incremental: the stream yields one assertion at a time and never
+        # holds more than a single parsed segment document, so open-time
+        # memory is bounded by the largest segment plus the index — not by
+        # the store's total size.
+        for assertion in self._replay_stream():
+            self._index.add(assertion)
+
+    def _replay_stream(self):
+        """Yield the store's assertions in insertion order, one at a time.
+
+        Owns all of replay's on-disk bookkeeping as it streams: sequence
+        tracking, the single-put fold accounting, fold-crash dedupe, and
+        the final debris sweep (run when the stream completes).
+        """
         # Stray files (editor leftovers, crash debris with non-numeric
         # stems) are not ours to interpret: skip them instead of raising.
         segments: List[Tuple[int, Path]] = []
@@ -199,14 +213,17 @@ class FileSystemBackend(ProvenanceStoreInterface):
                     f"but extends past them — refusing to replay a store "
                     f"with ambiguous history"
                 )
-            if members is None:
-                self._index.add(_assertion_from_el(el))
-                self._singles.append((start_seq, path))
-            else:
-                for child in members:
-                    self._index.add(_assertion_from_el(child))
+            # Advance the bookkeeping *before* yielding: a consumer that
+            # aborts mid-segment (e.g. a duplicate-key indexing error) must
+            # not leave the sequence counter behind the files on disk.
             covered = start_seq + count
             self._seq = max(self._seq, covered)
+            if members is None:
+                self._singles.append((start_seq, path))
+                yield _assertion_from_el(el)
+            else:
+                for child in members:
+                    yield _assertion_from_el(child)
         for path in debris:
             path.unlink(missing_ok=True)
         if debris and self._sync:
@@ -427,9 +444,13 @@ class KVLogBackend(ProvenanceStoreInterface):
         self._gen_watermark = self._index.generation
 
     def _replay(self) -> None:
-        # One sequential pass (the sharded log merges its shards back into
-        # global insertion order); the key's trailing field is the sequence
-        # number whichever layout wrote it.
+        # One sequential pass (the sharded log's streaming k-way merge
+        # stitches its shards back into global insertion order while
+        # holding at most one pending record per shard); each record is
+        # decoded and indexed as it streams past, so replay memory is
+        # bounded by the index, not by a materialized copy of the log.
+        # The key's trailing field is the sequence number whichever
+        # layout wrote it.
         for key, value in self._log.scan():
             assertion = _assertion_from_text(value.decode("utf-8"))
             self._index.add(assertion)

@@ -53,6 +53,17 @@ class CorruptRecordError(Exception):
     """A record failed its CRC or structural check."""
 
 
+def sorted_items(scan: Iterable[Tuple[bytes, bytes]]) -> Iterator[Tuple[bytes, bytes]]:
+    """Sorted-key view over a ``scan()`` stream.
+
+    THE ``items()`` implementation for every log flavor (single-file and
+    sharded), so the read side has exactly one ordering authority: a
+    streaming ``scan()`` in insertion order, plus this one in-memory sort
+    when key order is wanted.
+    """
+    return iter(sorted(scan))
+
+
 def fsync_dir(path: "os.PathLike[str] | str") -> None:
     """fsync a directory, making a just-renamed entry durable.
 
@@ -399,8 +410,8 @@ class KVLog:
             )
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
-        """Live pairs in sorted-key order (one scan, then an in-memory sort)."""
-        return iter(sorted(self.scan()))
+        """Live pairs in sorted-key order (unified on top of :meth:`scan`)."""
+        return sorted_items(self.scan())
 
     # -- maintenance -------------------------------------------------------
     @property

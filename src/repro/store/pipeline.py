@@ -1,0 +1,285 @@
+"""Staged decode→commit ingest: the store's pipelined data plane.
+
+The paper's headline number is sustained recording throughput, and the
+blocking ingest path wastes exactly the overlap a store engine lives on:
+while the backend's group commit sits in ``fsync`` (GIL released, CPU
+idle), the next batch's XML could already be decoding — and while the CPU
+decodes, the disk could already be syncing the previous batch.
+:class:`PipelinedIngest` is that overlap, packaged as a small two-stage
+engine:
+
+* **decode** — batch *k+1* is transformed (e.g. p-assertion XML →
+  assertion objects) on a small worker pool while batch *k* commits;
+* **commit** — a single committer thread applies batches **in submission
+  order**, so a pipelined store replays byte-identically to a blocking
+  ``put_many`` loop fed the same batches.
+
+Knobs (the module's configuration surface — threaded through
+``StorePlugIn(pipeline_depth=...)``, ``PReServActor(pipeline_depth=...)``,
+``ProvenanceRecordClient.record_many(pipeline_depth=...)`` and
+``ExperimentConfig.store_pipeline_depth``):
+
+``depth``
+    The bound on batches in flight (submitted but not yet committed or
+    dropped).  :meth:`PipelinedIngest.submit` **blocks** once ``depth``
+    batches are in flight — backpressure, so a slow backend bounds queue
+    growth instead of buffering the whole stream.  ``depth=1`` still
+    overlaps the producer's next batch preparation with one in-flight
+    commit; larger depths let decode run further ahead of a bursty disk.
+``decode``
+    Optional callable applied to each submitted batch on the worker pool;
+    ``None`` submits batches pre-decoded (the commit overlap remains).
+``workers``
+    Decode pool size (default ``min(depth, cpu_count, 4)``); ignored
+    without ``decode``.
+``gil_switch_s``
+    Optional CPython switch-interval override held while the engine is
+    alive (restored by :meth:`PipelinedIngest.close`).  The default 5 ms
+    forced-switch interval means the committer can wait up to 5 ms to
+    reacquire the GIL after *every* GIL-releasing write/fsync while a
+    decode worker is CPU-busy — at group-commit grains of a few
+    milliseconds that handoff tax erases the overlap.  Ingest deployments
+    set this to a few hundred microseconds (the standard CPython tuning
+    for mixed IO/CPU thread workloads); it is process-global, which is
+    why it is opt-in.
+
+Ordering and failure contract:
+
+* batches commit in exactly the order they were submitted, whatever order
+  their decodes finish in;
+* the **first** error (decode or commit, earliest submitted batch wins)
+  is sticky: every batch submitted after the failing one is *dropped*,
+  never committed — a failure at batch *k* can never commit batch *k+1*,
+  so a store fed through a failing pipeline always holds a prefix of the
+  submitted stream (per the backend's own batch-durability contract);
+* the error is re-raised by :meth:`submit`, :meth:`flush` and
+  :meth:`close` — no batch is ever dropped silently;
+* :meth:`close` (or leaving the ``with`` block) joins the committer and
+  the decode pool, so no write is in flight once it returns.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import sys
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class PipelineStats:
+    """Counters of one engine's lifetime (read them via ``engine.stats``)."""
+
+    batches_submitted: int = 0
+    batches_committed: int = 0
+    #: batches never committed because an earlier batch failed.
+    batches_dropped: int = 0
+    #: sum of the commit callbacks' integer returns (``put_many`` counts).
+    records_committed: int = 0
+    #: high-water mark of batches in flight — bounded by ``depth``.
+    max_in_flight: int = 0
+    #: wall time spent inside decode callbacks (summed across workers).
+    decode_s: float = 0.0
+    #: wall time the committer spent inside commit callbacks.
+    commit_s: float = 0.0
+
+
+class _Batch:
+    __slots__ = ("index", "raw", "future")
+
+    def __init__(self, index: int, raw: Any, future: Optional[Future]):
+        self.index = index
+        self.raw = raw
+        self.future = future
+
+
+#: queue sentinel that tells the committer to exit.
+_SHUTDOWN = None
+
+
+class PipelinedIngest:
+    """A bounded, order-preserving decode→commit pipeline (see module doc).
+
+    One producer thread calls :meth:`submit`/:meth:`flush`/:meth:`close`;
+    the commit callback runs only on the internal committer thread, so a
+    backend whose write path is single-threaded (every backend here) is
+    driven serially, exactly as the actor layer drives it.
+    """
+
+    def __init__(
+        self,
+        commit: Callable[[Any], Any],
+        decode: Optional[Callable[[Any], Any]] = None,
+        depth: int = 4,
+        workers: Optional[int] = None,
+        name: str = "ingest",
+        gil_switch_s: Optional[float] = None,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if gil_switch_s is not None and gil_switch_s <= 0:
+            raise ValueError("gil_switch_s must be > 0")
+        self._commit_fn = commit
+        self._decode_fn = decode
+        self.depth = depth
+        self.stats = PipelineStats()
+        # Backpressure: one slot per in-flight batch, acquired by submit()
+        # and released only once the batch is committed or dropped.
+        self._slots = threading.BoundedSemaphore(depth)
+        self._queue: "queue.Queue[Optional[_Batch]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._error: Optional[BaseException] = None
+        self._error_index: Optional[int] = None
+        self._in_flight = 0
+        self._finished = 0
+        self._closed = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if decode is not None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers or min(depth, os.cpu_count() or 2, 4),
+                thread_name_prefix=f"{name}-decode",
+            )
+        # Interpreter tuning for the engine's lifetime (see module doc);
+        # applied last so a failing constructor never leaves it set.
+        self._old_switch: Optional[float] = None
+        if gil_switch_s is not None:
+            self._old_switch = sys.getswitchinterval()
+            sys.setswitchinterval(gil_switch_s)
+        self._committer = threading.Thread(
+            target=self._commit_loop, name=f"{name}-commit", daemon=True
+        )
+        self._committer.start()
+
+    # -- producer side -----------------------------------------------------
+    def submit(self, raw: Any) -> int:
+        """Enqueue one batch; returns its submission index.
+
+        Blocks while ``depth`` batches are in flight.  Raises the
+        pipeline's first error if one already occurred (the submitted
+        batch is then *not* enqueued).
+        """
+        if self._closed:
+            raise ValueError("submit on closed PipelinedIngest")
+        self._slots.acquire()
+        with self._lock:
+            if self._error is not None:
+                # Undo the reservation: this batch will never be queued.
+                self._slots.release()
+                raise self._error
+            index = self.stats.batches_submitted
+            self.stats.batches_submitted += 1
+            self._in_flight += 1
+            if self._in_flight > self.stats.max_in_flight:
+                self.stats.max_in_flight = self._in_flight
+        future = (
+            self._pool.submit(self._timed_decode, raw)
+            if self._pool is not None
+            else None
+        )
+        self._queue.put(_Batch(index, raw, future))
+        return index
+
+    def flush(self) -> None:
+        """Block until every submitted batch committed (or dropped).
+
+        Re-raises the pipeline's first error, if any — so a caller that
+        flushes between logical units (e.g. one wire message) maps the
+        failure to the unit that caused it.
+        """
+        with self._done:
+            while self._finished < self.stats.batches_submitted:
+                self._done.wait()
+            if self._error is not None:
+                raise self._error
+
+    def close(self, raise_error: bool = True) -> None:
+        """Drain, stop the committer, join the decode pool.
+
+        Idempotent.  With ``raise_error`` (the default) the first
+        pipeline error is re-raised after shutdown completes, so errors
+        surface even when the producer never called :meth:`flush`.
+        """
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+            self._committer.join()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            if self._old_switch is not None:
+                sys.setswitchinterval(self._old_switch)
+                self._old_switch = None
+        if raise_error and self._error is not None:
+            raise self._error
+
+    def __enter__(self) -> "PipelinedIngest":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        # Don't mask an exception already propagating out of the block.
+        self.close(raise_error=exc_type is None)
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The sticky first error (decode or commit), or None."""
+        return self._error
+
+    @property
+    def error_index(self) -> Optional[int]:
+        """Submission index of the batch the first error struck, or None.
+
+        Everything below this index committed; it and everything after it
+        did not — the prefix boundary a caller resumes from.
+        """
+        return self._error_index
+
+    # -- worker / committer side -------------------------------------------
+    def _timed_decode(self, raw: Any) -> Any:
+        start = time.perf_counter()
+        try:
+            return self._decode_fn(raw)  # type: ignore[misc]
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.stats.decode_s += elapsed
+
+    def _commit_loop(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is _SHUTDOWN:
+                return
+            try:
+                if self._error is not None:
+                    # An earlier batch failed: this one must never commit.
+                    if batch.future is not None:
+                        batch.future.cancel()
+                    with self._lock:
+                        self.stats.batches_dropped += 1
+                else:
+                    if batch.future is not None:
+                        decoded = batch.future.result()
+                    else:
+                        decoded = batch.raw
+                    start = time.perf_counter()
+                    result = self._commit_fn(decoded)
+                    elapsed = time.perf_counter() - start
+                    with self._lock:
+                        self.stats.commit_s += elapsed
+                        self.stats.batches_committed += 1
+                        if isinstance(result, int):
+                            self.stats.records_committed += result
+            except BaseException as exc:
+                with self._lock:
+                    if self._error is None:
+                        self._error = exc
+                        self._error_index = batch.index
+            finally:
+                with self._done:
+                    self._in_flight -= 1
+                    self._finished += 1
+                    self._done.notify_all()
+                self._slots.release()

@@ -19,9 +19,13 @@ it across ``N`` shard files (``log.00.kv`` … ``log.NN.kv``), Bitcask style:
   single append file cannot do; sub-commits of one batch can additionally
   be fsynced in parallel via a small thread pool;
 * every value is prefixed with a monotonically increasing 8-byte sequence
-  number, so :meth:`scan` can merge the shards back into one stream in
-  global insertion order — replay is byte-identical to a single log fed
-  the same puts;
+  number, and sequence reservation always happens while the owning
+  shard's lock is held, so **each shard file is seq-monotonic in log
+  order**.  That invariant is what lets :meth:`scan` merge the shards
+  back into one stream in global insertion order with a bounded-memory
+  k-way heap merge (at most one pending record per shard) — replay is
+  byte-identical to a single log fed the same puts, whatever the log
+  size;
 * :meth:`compact` and :attr:`dead_bytes` work per shard (a shard compaction
   never touches its siblings); the database backend layers per-shard *write
   generations* on top (see
@@ -37,6 +41,7 @@ full, and the store always reopens.
 
 from __future__ import annotations
 
+import heapq
 import os
 import struct
 import threading
@@ -45,7 +50,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
-from repro.store.kvlog import KVLog, fsync_dir, mkdir_durable
+from repro.store.kvlog import (
+    CorruptRecordError,
+    KVLog,
+    fsync_dir,
+    mkdir_durable,
+    sorted_items,
+)
 
 #: global-insertion-order prefix carried by every sharded value.
 _SEQ = struct.Struct(">Q")
@@ -223,63 +234,63 @@ class ShardedKVLog:
         the commit pool when one is configured, overlapping the shards'
         fsyncs.
 
-        A batch that lands on a *single* shard reserves and commits under
-        that shard's lock, giving it the same same-key ordering guarantee
-        as :meth:`put`.  A multi-shard batch cannot hold every shard lock
-        across reservation (that would serialize the whole store), so its
-        records may interleave with concurrent same-key writers between
-        reservation and commit — concurrent mixed-key batches already have
-        no relative-order promise, but callers racing single-key traffic
-        against multi-shard batches should know the index keeps the last
-        *committed* write, which under that race may not be the highest
-        sequence.
+        Every touched shard's lock is held (acquired in index order, so
+        multi-lock acquisition can never deadlock) from sequence
+        reservation through the last sub-commit.  That is the invariant
+        the streaming :meth:`scan` merge rests on: records land in each
+        shard file in sequence order, always — two racing writers to a
+        common shard commit in reservation order, so the index's live
+        value for a key is the highest-sequence committed write.  The
+        cost is that concurrent batches *sharing* a shard serialize for
+        the whole batch rather than per sub-commit; batches on disjoint
+        shard sets — the concurrent-session workload the sharding exists
+        for — still commit fully in parallel.
         """
         self._check_open()
         batch = [self._validated(k, v) for k, v in pairs]
         if not batch:
             return 0
         owners = [self.shard_of(key) for key, _value in batch]
-        if len(set(owners)) == 1:
-            shard = owners[0]
-            if self._next_seq is None:
-                self._reserve_seqs(0)  # resolve before taking the shard lock
-            with self._locks[shard]:
-                with self._seq_lock:
-                    base = self._next_seq
-                    self._next_seq += len(batch)
-                self._shards[shard].put_many(
-                    [
-                        (key, _SEQ.pack(base + offset) + value)
-                        for offset, (key, value) in enumerate(batch)
-                    ]
-                )
-            return len(batch)
-        base = self._reserve_seqs(len(batch))
-        per_shard: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(self.shards)]
-        for offset, (key, value) in enumerate(batch):
-            per_shard[owners[offset]].append(
-                (key, _SEQ.pack(base + offset) + value)
-            )
-        touched = [i for i, sub in enumerate(per_shard) if sub]
-        if self._pool is not None and len(touched) > 1:
-            futures: List[Future] = [
-                self._pool.submit(self._commit_shard, i, per_shard[i])
-                for i in touched
+        touched = sorted(set(owners))
+        if self._next_seq is None:
+            # Resolve the lazy watermark *before* taking any shard lock:
+            # resolution scans every shard under its lock, so doing it while
+            # holding one would invert the seq-lock/shard-lock order.
+            self._reserve_seqs(0)
+        for i in touched:
+            self._locks[i].acquire()
+        try:
+            with self._seq_lock:
+                base = self._next_seq
+                self._next_seq += len(batch)
+            per_shard: List[List[Tuple[bytes, bytes]]] = [
+                [] for _ in range(self.shards)
             ]
-            # Wait for every sub-commit before surfacing a failure, so no
-            # write is still in flight when the caller sees the exception.
-            errors = [f.exception() for f in futures]
-            for err in errors:
-                if err is not None:
-                    raise err
-        else:
-            for i in touched:
-                self._commit_shard(i, per_shard[i])
-        return len(batch)
-
-    def _commit_shard(self, shard: int, sub_batch: List[Tuple[bytes, bytes]]) -> None:
-        with self._locks[shard]:
-            self._shards[shard].put_many(sub_batch)
+            for offset, (key, value) in enumerate(batch):
+                per_shard[owners[offset]].append(
+                    (key, _SEQ.pack(base + offset) + value)
+                )
+            if self._pool is not None and len(touched) > 1:
+                # The sharding-level locks are held by this thread; the pool
+                # workers only drive each KVLog's internally-locked commit,
+                # overlapping the shards' fsyncs.
+                futures: List[Future] = [
+                    self._pool.submit(self._shards[i].put_many, per_shard[i])
+                    for i in touched
+                ]
+                # Wait for every sub-commit before surfacing a failure, so no
+                # write is still in flight when the caller sees the exception.
+                errors = [f.exception() for f in futures]
+                for err in errors:
+                    if err is not None:
+                        raise err
+            else:
+                for i in touched:
+                    self._shards[i].put_many(per_shard[i])
+            return len(batch)
+        finally:
+            for i in reversed(touched):
+                self._locks[i].release()
 
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_open()
@@ -319,38 +330,66 @@ class ShardedKVLog:
     def scan(self) -> Iterator[Tuple[bytes, bytes]]:
         """Live pairs in *global* insertion order, merged across shards.
 
-        Each shard is replayed in its own log order, then the per-record
-        sequence prefixes stitch the streams back together — the result is
+        A streaming k-way heap merge: each shard contributes its own
+        :meth:`KVLog.scan` stream (one sequential pass, log order — which
+        the write path guarantees is sequence order), and the per-record
+        sequence prefixes stitch the streams together.  The merge holds at
+        most **one pending record per shard**, so replaying a log that has
+        outgrown RAM streams instead of materializing — and the result is
         byte-identical to scanning a single KVLog fed the same puts.
 
-        Unlike the single log's streaming scan, the merge materializes the
-        live records before yielding (concurrent batches may interleave
-        seqs across shards, so per-shard streams are not merge-sortable in
-        general).  That is the same memory envelope as the backend replay
-        this feeds, which holds every decoded assertion in its index; a
-        streaming k-way merge is a follow-up if logs outgrow RAM.
+        A shard whose records come back out of sequence order raises
+        :class:`CorruptRecordError` rather than silently mis-merging.
+        The current write path cannot produce such a file (reservation
+        under the shard lock is the invariant above), so disorder means
+        on-disk corruption, an external rewrite, or a directory written
+        by a pre-streaming release, whose multi-shard batches could race
+        same-shard writers between reservation and commit; rewrite such
+        a store by replaying it record-by-record into a fresh one.
         """
         self._check_open()
-        merged: List[Tuple[int, bytes, bytes]] = []
+        # Prime each shard's stream under its sharding-layer lock: the
+        # first next() takes the KVLog-internal snapshot, after which the
+        # stream is immune to concurrent writers and compactions.
+        streams: List[Iterator[Tuple[bytes, bytes]]] = []
+        heap: List[Tuple[int, int, bytes, bytes]] = []
         for i, shard in enumerate(self._shards):
+            stream = shard.scan()
             with self._locks[i]:
-                records = list(shard.scan())
-            for key, value in records:
-                merged.append((_SEQ.unpack_from(value)[0], key, value[_SEQ.size :]))
-        merged.sort(key=lambda item: item[0])
-        # A full scan has just discovered the max live sequence; publish it
+                first = next(stream, None)
+            streams.append(stream)
+            if first is not None:
+                key, value = first
+                heap.append((_SEQ.unpack_from(value)[0], i, key, value))
+        heapq.heapify(heap)
+        last_seq = -1
+        while heap:
+            seq, i, key, value = heap[0]
+            if seq <= last_seq:
+                raise CorruptRecordError(
+                    f"shard {i} replayed sequence {seq} after {last_seq}: "
+                    f"shard files are not in sequence order"
+                )
+            last_seq = seq
+            yield key, value[_SEQ.size :]
+            nxt = next(streams[i], None)
+            if nxt is None:
+                heapq.heappop(heap)
+            else:
+                heapq.heapreplace(
+                    heap, (_SEQ.unpack_from(nxt[1])[0], i, nxt[0], nxt[1])
+                )
+        # A completed scan has discovered the max live sequence; publish it
         # so the first write after a replay needs no extra pass.  (No shard
         # lock is held here, so the seq-lock -> shard-lock order used by
         # _reserve_seqs cannot deadlock against us.)
         with self._seq_lock:
             if self._next_seq is None:
-                self._next_seq = (merged[-1][0] + 1) if merged else 0
-        for _seq, key, value in merged:
-            yield key, value
+                self._next_seq = last_seq + 1
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
-        """Live pairs in sorted-key order."""
-        return iter(sorted(self.scan()))
+        """Live pairs in sorted-key order (unified on top of :meth:`scan`)."""
+        return sorted_items(self.scan())
 
     # -- maintenance -------------------------------------------------------
     @property

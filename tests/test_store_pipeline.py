@@ -1,0 +1,369 @@
+"""Tests for the pipelined decode→commit ingest engine and its wiring.
+
+The acceptance bar: a store fed through a :class:`PipelinedIngest` is
+indistinguishable on replay from one fed the same batches through blocking
+``put_many`` calls — same records, same order, byte-identical log files —
+while a mid-pipeline failure commits a *prefix* of the submitted stream
+(a failed batch k can never be followed by a committed batch k+1) and a
+slow backend bounds queue growth instead of buffering the stream.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.client import ProvenanceRecordClient
+from repro.core.recorder import ProvenanceRecorder, RecordingMode
+from repro.soa.bus import MessageBus
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import KVLogBackend
+from repro.store.pipeline import PipelinedIngest
+from repro.store.service import PReServActor
+
+from tests.test_store_backends import ga, ipa, spa
+
+
+class TestEngineOrdering:
+    def test_commits_in_submission_order_despite_decode_jitter(self):
+        committed = []
+        # Decode sleeps *inversely* to the index, so later batches decode
+        # first — commit order must still be submission order.
+        delays = [0.03, 0.02, 0.01, 0.0]
+
+        def decode(item):
+            time.sleep(delays[item])
+            return item
+
+        with PipelinedIngest(commit=committed.append, decode=decode, depth=4) as engine:
+            for i in range(4):
+                engine.submit(i)
+            engine.flush()
+        assert committed == [0, 1, 2, 3]
+
+    def test_records_committed_sums_integer_returns(self):
+        with PipelinedIngest(commit=lambda b: len(b), depth=2) as engine:
+            engine.submit([1, 2, 3])
+            engine.submit([4])
+            engine.flush()
+            assert engine.stats.records_committed == 4
+            assert engine.stats.batches_committed == 2
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PipelinedIngest(commit=lambda b: None, depth=0)
+
+    def test_submit_on_closed_engine_rejected(self):
+        engine = PipelinedIngest(commit=lambda b: None, depth=1)
+        engine.close()
+        with pytest.raises(ValueError):
+            engine.submit([1])
+
+    def test_gil_switch_interval_set_and_restored(self):
+        before = sys.getswitchinterval()
+        engine = PipelinedIngest(
+            commit=lambda b: None, depth=1, gil_switch_s=0.0007
+        )
+        try:
+            assert sys.getswitchinterval() == pytest.approx(0.0007)
+        finally:
+            engine.close()
+        assert sys.getswitchinterval() == pytest.approx(before)
+
+
+class TestEngineFailure:
+    def test_first_error_drops_every_later_batch(self):
+        committed = []
+
+        def commit(item):
+            if item == 2:
+                raise OSError("disk died")
+            committed.append(item)
+
+        engine = PipelinedIngest(commit=commit, depth=2)
+        with pytest.raises(OSError, match="disk died"):
+            for i in range(6):
+                engine.submit(i)
+            engine.flush()
+        # Batches before the failure committed; nothing after it did.
+        assert committed == [0, 1]
+        assert engine.error_index == 2  # the prefix boundary
+        assert engine.stats.batches_committed == 2
+        assert engine.stats.batches_dropped >= 1
+        # The error is sticky: close() re-raises, submit refuses.
+        with pytest.raises(OSError):
+            engine.close()
+        with pytest.raises(ValueError):
+            engine.submit(99)
+
+    def test_decode_error_propagates_and_halts(self):
+        committed = []
+
+        def decode(item):
+            if item == 1:
+                raise ValueError("bad xml")
+            return item
+
+        with pytest.raises(ValueError, match="bad xml"):
+            with PipelinedIngest(commit=committed.append, decode=decode, depth=4) as engine:
+                for i in range(4):
+                    engine.submit(i)
+                engine.flush()
+        assert committed == [0]
+
+    def test_exit_does_not_mask_body_exception(self):
+        with pytest.raises(RuntimeError, match="body failed"):
+            with PipelinedIngest(commit=lambda b: 1 / 0, depth=1) as engine:
+                engine.submit([1])
+                raise RuntimeError("body failed")
+        # The pipeline's own error is still inspectable.
+        assert isinstance(engine.error, ZeroDivisionError)
+
+
+class TestBackpressure:
+    def test_slow_commit_bounds_queue_growth(self):
+        gate = threading.Event()
+        committed = []
+
+        def commit(item):
+            gate.wait(10)
+            committed.append(item)
+
+        engine = PipelinedIngest(commit=commit, depth=3)
+        submitted = []
+
+        def producer():
+            for i in range(10):
+                engine.submit(i)
+                submitted.append(i)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        # The committer is stuck on the gate: the producer must block once
+        # `depth` batches are in flight, not buffer all ten.
+        deadline = time.time() + 5
+        while len(submitted) < 3 and time.time() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)  # give a buggy unbounded submit time to run ahead
+        assert len(submitted) == 3
+        assert engine.stats.max_in_flight <= 3
+        gate.set()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        engine.flush()
+        assert committed == list(range(10))
+        assert engine.stats.max_in_flight <= 3
+        engine.close()
+
+
+class TestCrashSafety:
+    def test_commit_stage_failure_leaves_a_prefix(self, tmp_path):
+        """Kill the commit stage mid-pipeline; the store replays a prefix.
+
+        The fault-injection backend persists batches 0 and 1, dies on
+        batch 2 *before* writing it, and the pipeline (depth 4, so batches
+        3..5 are already submitted and possibly decoded) must not commit
+        anything after the failure — on reopen the store holds exactly the
+        records of batches 0..1, a prefix of the submitted stream.
+        """
+        backend = KVLogBackend(tmp_path / "kv.db")
+        batches = [[ipa(b * 4 + r) for r in range(4)] for b in range(6)]
+        calls = {"n": 0}
+        real_put_many = backend.put_many
+
+        def dying_put_many(assertions):
+            if calls["n"] == 2:
+                raise OSError("power cut")
+            calls["n"] += 1
+            return real_put_many(assertions)
+
+        with pytest.raises(OSError, match="power cut"):
+            with PipelinedIngest(
+                commit=dying_put_many,
+                decode=lambda b: b,
+                depth=4,
+            ) as engine:
+                for batch in batches:
+                    engine.submit(batch)
+                engine.flush()
+        backend.close()
+        reopened = KVLogBackend(tmp_path / "kv.db")
+        survivors = [
+            a.store_key for a in reopened.all_assertions()
+        ]
+        submitted = [a.store_key for batch in batches for a in batch]
+        # Exactly the first two batches — a prefix, never a gap.
+        assert survivors == submitted[:8]
+        reopened.close()
+
+    @given(
+        n_batches=st.integers(min_value=0, max_value=6),
+        batch_size=st.integers(min_value=1, max_value=5),
+        depth=st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_pipelined_replay_byte_identical(
+        self, tmp_path_factory, n_batches, batch_size, depth
+    ):
+        """Pipelined ingest (depth 1 and 4) == sequential put_many, bytewise."""
+        root = tmp_path_factory.mktemp("pipe-prop")
+        batches = [
+            [ipa(b * batch_size + r) for r in range(batch_size)]
+            for b in range(n_batches)
+        ]
+        sequential = KVLogBackend(root / "seq.db", sync=False)
+        for batch in batches:
+            sequential.put_many(batch)
+        sequential.close()
+        pipelined = KVLogBackend(root / "pipe.db", sync=False)
+        with pipelined.pipelined_ingest(depth=depth) as engine:
+            for batch in batches:
+                engine.submit(batch)
+            engine.flush()
+        pipelined.close()
+        assert (root / "pipe.db").read_bytes() == (root / "seq.db").read_bytes()
+
+
+class TestStorePlugInPipelined:
+    def _batch_body(self, assertions) -> XmlElement:
+        body = XmlElement("prep-record-batch")
+        for a in assertions:
+            record = XmlElement("prep-record")
+            record.add(a.to_xml())
+            body.add(record)
+        return body
+
+    def test_pipelined_actor_matches_blocking_actor(self, tmp_path):
+        assertions = [ipa(i) for i in range(40)] + [spa(1), ga(2)]
+        blocking = PReServActor(KVLogBackend(tmp_path / "blk.db", sync=False))
+        pipelined = PReServActor(
+            KVLogBackend(tmp_path / "pipe.db", sync=False),
+            pipeline_depth=4,
+        )
+        # Small enough chunks that the pipelined plug-in really engages.
+        plugin = pipelined.translator.plugins()[0]
+        plugin.pipeline_chunk = 8
+        for actor in (blocking, pipelined):
+            ack = actor.op_record(self._batch_body(assertions))
+            assert ack.attrs["status"] == "ok"
+            assert int(ack.attrs["count"]) == len(assertions)
+        assert (tmp_path / "pipe.db").read_bytes() == (
+            tmp_path / "blk.db"
+        ).read_bytes()
+        blocking.backend.close()
+        pipelined.backend.close()
+
+    def test_duplicate_in_pipelined_batch_faults_and_keeps_prefix(self, tmp_path):
+        from repro.soa.envelope import Fault
+
+        actor = PReServActor(
+            KVLogBackend(tmp_path / "kv.db", sync=False), pipeline_depth=2
+        )
+        plugin = actor.translator.plugins()[0]
+        plugin.pipeline_chunk = 4
+        good = [ipa(i) for i in range(12)]
+        poisoned = good + [good[0]]  # duplicate store key in the last chunk
+        with pytest.raises(Fault, match="duplicate-assertion"):
+            actor.op_record(self._batch_body(poisoned))
+        # Everything before the failing chunk (and the indexed prefix of
+        # the failing chunk) is queryable — never a hole.
+        stored = [a.store_key for a in actor.backend.all_assertions()]
+        assert stored == [a.store_key for a in good]
+        actor.backend.close()
+
+    def test_pipeline_depth_validation(self, tmp_path):
+        from repro.store.plugins import StorePlugIn
+
+        with pytest.raises(ValueError):
+            StorePlugIn(pipeline_depth=0)
+        with pytest.raises(ValueError):
+            StorePlugIn(pipeline_chunk=0)
+        with pytest.raises(ValueError):
+            PReServActor(KVLogBackend(tmp_path / "kv.db"), pipeline_depth=0)
+
+
+class TestServiceAndClientWiring:
+    def test_bulk_ingest_pipelined_matches_blocking(self, tmp_path):
+        assertions = [ipa(i) for i in range(30)]
+        blocking = PReServActor(KVLogBackend(tmp_path / "blk.db", sync=False))
+        pipelined = PReServActor(
+            KVLogBackend(tmp_path / "pipe.db", sync=False), pipeline_depth=4
+        )
+        assert blocking.bulk_ingest(assertions) == 30
+        assert pipelined.bulk_ingest(iter(assertions), batch_size=7) == 30
+        assert (tmp_path / "pipe.db").read_bytes() == (
+            tmp_path / "blk.db"
+        ).read_bytes()
+        blocking.backend.close()
+        pipelined.backend.close()
+
+    def test_with_store_threads_pipeline_depth(self, tmp_path):
+        actor = PReServActor.with_store(
+            "kvlog", tmp_path / "kv.db", pipeline_depth=3
+        )
+        assert actor.pipeline_depth == 3
+        assert actor.translator.plugins()[0].pipeline_depth == 3
+        actor.backend.close()
+
+    def _deployment(self, tmp_path, pipeline_depth=1):
+        bus = MessageBus()
+        backend = KVLogBackend(tmp_path / "kv.db", sync=False)
+        bus.register(PReServActor(backend))
+        return bus, backend
+
+    def test_record_many_pipelined_over_the_bus(self, tmp_path):
+        bus, backend = self._deployment(tmp_path)
+        client = ProvenanceRecordClient(bus)
+        total = client.record_many(
+            (ipa(i) for i in range(25)), batch_size=4, pipeline_depth=4
+        )
+        assert total == 25
+        assert client.acked == 25
+        assert client.calls == 7  # ceil(25 / 4) batch messages
+        assert backend.counts().interaction_passertions == 25
+        backend.close()
+
+    def test_pipelined_rejection_stops_the_stream(self, tmp_path):
+        from repro.soa.envelope import Fault
+
+        bus, backend = self._deployment(tmp_path)
+        client = ProvenanceRecordClient(bus)
+        assertions = [ipa(i) for i in range(12)]
+        poisoned = assertions[:6] + [assertions[0]] + assertions[6:]
+        # The store faults the duplicate batch; the pipeline propagates it
+        # as its first error and ships nothing submitted after it.
+        with pytest.raises(Fault, match="duplicate-assertion"):
+            client.record_many(poisoned, batch_size=2, pipeline_depth=3)
+        assert client.calls <= 4  # batches past the rejected one never sent
+        backend.close()
+
+    def test_recorder_flush_pipelined(self, tmp_path):
+        bus, backend = self._deployment(tmp_path)
+        recorder = ProvenanceRecorder(
+            bus,
+            mode=RecordingMode.ASYNCHRONOUS,
+            flush_batch_size=4,
+            flush_pipeline_depth=4,
+        )
+        for i in range(18):
+            a = ipa(i)
+            recorder.submit(a)
+        assert recorder.pending == 18
+        assert recorder.flush() == 18
+        assert recorder.pending == 0
+        assert recorder.acked == 18
+        assert backend.counts().interaction_passertions == 18
+        backend.close()
+
+    def test_experiment_config_threads_pipeline_depth(self, tmp_path):
+        from repro.app.experiment import Experiment, ExperimentConfig
+
+        config = ExperimentConfig(store_pipeline_depth=3)
+        experiment = Experiment(config)
+        assert experiment.preserv.pipeline_depth == 3
+        assert experiment.recorder.flush_pipeline_depth == 3
+        experiment.close()
