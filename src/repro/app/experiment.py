@@ -71,6 +71,12 @@ class ExperimentConfig:
     organism: Optional[str] = None
     store_backend: str = "memory"
     store_path: Optional[Path] = None
+    #: where the PReServ store runs: ``"inprocess"`` (an actor on this
+    #: process's bus) or ``"process"`` (a :mod:`repro.fleet` worker child
+    #: process hosting the same actor, reached over the Envelope socket
+    #: transport via a bus-registered proxy — every client keeps using the
+    #: bus unchanged).
+    store_transport: str = "inprocess"
     #: KVLog shard count (>1 selects the sharded-log layout).
     store_shards: int = 1
     #: depth of the decode→commit ingest pipeline (see
@@ -129,10 +135,64 @@ class Experiment:
         self.bus = MessageBus()
 
         # --- provenance store -------------------------------------------
-        self.backend = _make_backend(self.config)
-        self.preserv = PReServActor(
-            self.backend, pipeline_depth=self.config.store_pipeline_depth
-        )
+        if self.config.store_transport == "inprocess":
+            self.backend: Optional[ProvenanceStoreInterface] = _make_backend(
+                self.config
+            )
+            self.preserv = PReServActor(
+                self.backend, pipeline_depth=self.config.store_pipeline_depth
+            )
+            self.store_worker = None
+        elif self.config.store_transport == "process":
+            # The store runs in its own process; the bus sees a proxy under
+            # the same endpoint, so every client below works unchanged.
+            # ``backend`` is None — there is no in-process store object.
+            import tempfile
+
+            from repro.fleet.manager import WorkerHandle
+            from repro.fleet.worker import WorkerConfig
+            from repro.soa.transport import RemoteEndpoint
+
+            if self.config.store_backend in ("filesystem", "kvlog") and (
+                self.config.store_path is None
+            ):
+                raise ValueError(
+                    f"backend {self.config.store_backend!r} requires "
+                    f"config.store_path"
+                )
+            self.backend = None
+            self._worker_socket_dir = tempfile.mkdtemp(prefix="preserv-exp-")
+            import multiprocessing
+
+            worker_config = WorkerConfig(
+                endpoint="preserv",
+                address=("unix", f"{self._worker_socket_dir}/preserv.sock"),
+                backend=self.config.store_backend,
+                path=(
+                    str(self.config.store_path)
+                    if self.config.store_path is not None
+                    else None
+                ),
+                shards=self.config.store_shards,
+                auto_compact=self.config.store_auto_compact,
+                pipeline_depth=self.config.store_pipeline_depth,
+            )
+            self.store_worker = WorkerHandle(
+                "preserv", worker_config, multiprocessing.get_context("spawn")
+            )
+            self.store_worker.spawn()
+            self.store_worker.wait_healthy()
+            self.preserv = RemoteEndpoint(
+                self.store_worker.client,
+                "preserv",
+                description="PReServ provenance store (worker process)",
+                operations=("record", "query", "ping", "admin", "shutdown"),
+            )
+        else:
+            raise ValueError(
+                f"unknown store_transport {self.config.store_transport!r}; "
+                f"use 'inprocess' or 'process'"
+            )
         self.bus.register(
             self.preserv,
             latency=LatencyModel(round_trip_s=self.config.store_latency_s),
@@ -343,5 +403,11 @@ class Experiment:
         )
 
     def close(self) -> None:
-        self.backend.close()
+        if self.backend is not None:
+            self.backend.close()
+        if self.store_worker is not None:
+            import shutil
+
+            self.store_worker.stop()
+            shutil.rmtree(self._worker_socket_dir, ignore_errors=True)
         self.recorder.journal.close()

@@ -13,6 +13,7 @@ Subcommands::
     repro-figures shards       # A7: sharded KVLog concurrent-ingest sweep
     repro-figures compaction   # A8: background compaction vs stop-the-world
     repro-figures pipeline     # A9: pipelined decode→commit ingest sweep
+    repro-figures fleet        # A10: in-process bus vs process-fleet ingest
     repro-figures all          # everything above
 """
 
@@ -42,6 +43,7 @@ from repro.figures.compaction import (
 )
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
+from repro.figures.fleet import fleet_sweep_table, run_fleet_sweep
 from repro.figures.pipeline import pipeline_table, run_pipeline_sweep
 from repro.figures.shards import run_shard_sweep, shard_sweep_table
 from repro.figures.fig4 import fig4_table, run_fig4
@@ -154,6 +156,22 @@ def cmd_pipeline(args: argparse.Namespace) -> str:
         )
 
 
+def cmd_fleet(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+        return fleet_sweep_table(
+            run_fleet_sweep(
+                Path(tmp),
+                worker_counts=tuple(args.workers),
+                sessions=args.sessions,
+                batches_per_session=args.batches,
+                records_per_batch=args.records_per_batch,
+                payload_bytes=args.payload_bytes,
+                commit_barrier_ms=args.commit_barrier_ms,
+                pipeline_depth=args.pipeline_depth,
+            )
+        )
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -250,6 +268,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_pipeline)
 
+    p = sub.add_parser(
+        "fleet",
+        help="A10: out-of-process store fleet — bus vs process workers",
+    )
+    p.add_argument("--workers", type=int, nargs="*", default=[1, 2, 4])
+    p.add_argument("--sessions", type=int, default=4)
+    p.add_argument("--batches", type=int, default=12)
+    p.add_argument("--records-per-batch", type=int, default=8)
+    p.add_argument("--payload-bytes", type=int, default=256)
+    p.add_argument("--pipeline-depth", type=int, default=1)
+    p.add_argument(
+        "--commit-barrier-ms",
+        type=float,
+        default=10.0,
+        help="modeled device write-barrier per group commit, applied to "
+        "both transports (0 = raw host device; ~10 models the paper-era "
+        "disk)",
+    )
+    p.set_defaults(fn=cmd_fleet)
+
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)
     p.add_argument("--batch-size", type=int, default=256)
@@ -307,6 +345,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         run_pipeline_sweep(
                             Path(tmp), depths=(1, 4, 8), records=512, repeats=2
                         )
+                    ),
+                )
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            blocks.append(
+                (
+                    _section("A10: out-of-process store fleet"),
+                    fleet_sweep_table(
+                        run_fleet_sweep(Path(tmp), worker_counts=(2, 4))
                     ),
                 )
             )

@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.passertion import (
     InteractionKey,
@@ -125,7 +126,7 @@ def run_pipeline_sweep(
     payload_bytes: int = 16384,
     repeats: int = 3,
     sync: bool = True,
-    gil_switch_s: float = 0.0002,
+    gil_switch_s: Optional[float] = 0.0002,
     flush_latency_s: float = 0.0,
 ) -> List[PipelinePoint]:
     """One blocking baseline + one point per depth, per shard count."""
@@ -196,12 +197,20 @@ def run_pipeline_sweep(
         with ShardedKVLog(root, shards=n, sync=sync, partition=pipe_partition) as log:
             warmup(log)
             start = time.perf_counter()
-            with PipelinedIngest(
-                commit=make_commit(log),
-                decode=decode_batch,
-                depth=depth,
-                gil_switch_s=gil_switch_s,
-            ) as engine:
+            # A9 measures the *single-process* pipeline exactly as PR 5
+            # shipped it, interpreter tuning included — the knob is
+            # deprecated for new code (the A10 process fleet replaces it)
+            # but on a 1-core host it is load-bearing for this figure, so
+            # the sweep keeps it and owns the deprecation locally.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                engine_cm = PipelinedIngest(
+                    commit=make_commit(log),
+                    decode=decode_batch,
+                    depth=depth,
+                    gil_switch_s=gil_switch_s,
+                )
+            with engine_cm as engine:
                 for batch in batches:
                     engine.submit(batch)
                 engine.flush()

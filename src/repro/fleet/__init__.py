@@ -1,0 +1,41 @@
+"""The out-of-process store fleet: multiprocess PReServ workers.
+
+The paper deploys multiple independent provenance-store services reached
+over a network protocol; this package is that deployment shape for the
+reproduction.  Each worker is a child process hosting one
+:class:`~repro.store.service.PReServActor` over its own backend, served by
+the Envelope socket transport (:mod:`repro.soa.transport`), so decode,
+group-commit fsync and compaction in different workers genuinely overlap —
+across processes, not threads behind one GIL.
+
+* :mod:`repro.fleet.worker` — the child-process entry point and the
+  management operations (``ping``/``admin``/``shutdown``);
+* :mod:`repro.fleet.manager` — :class:`ProcessFleet`: spawn, health-check,
+  crash-drill, and aggregate teardown;
+* :mod:`repro.fleet.remote` — :class:`RemoteStore`, the store-interface
+  proxy that lets ``StoreRouter`` / ``FederatedQueryClient`` run
+  unmodified over sockets.
+
+The packaged form is ``sharded_store_fleet(transport="process")`` in
+:mod:`repro.store.distributed`.
+"""
+
+from repro.fleet.manager import FleetError, ProcessFleet, WorkerHandle
+from repro.fleet.remote import RemoteStore
+from repro.fleet.worker import (
+    FleetWorkerActor,
+    WorkerConfig,
+    attach_commit_barrier,
+    run_worker,
+)
+
+__all__ = [
+    "FleetError",
+    "FleetWorkerActor",
+    "ProcessFleet",
+    "RemoteStore",
+    "WorkerConfig",
+    "WorkerHandle",
+    "attach_commit_barrier",
+    "run_worker",
+]

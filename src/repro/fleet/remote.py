@@ -1,0 +1,168 @@
+"""The client half of a fleet member: a store interface over sockets.
+
+:class:`RemoteStore` presents the
+:class:`~repro.store.interface.ProvenanceStoreInterface` surface of a
+worker-hosted store by composing the existing typed port clients —
+:class:`~repro.core.client.ProvenanceRecordClient` for the record port,
+:class:`~repro.core.client.ProvenanceQueryClient` for the query port —
+over an :class:`~repro.soa.transport.EnvelopeClient` (which has the same
+``call`` signature as the in-process bus, so those clients run unmodified).
+
+That makes a :class:`~repro.store.distributed.StoreRouter` and a
+:class:`~repro.store.distributed.FederatedQueryClient` work over a process
+fleet without changing a line: routing hashes keys locally, reads and
+writes go through the same ``prep-*`` documents the in-process path uses —
+which is also why results are byte-identical across transports — and the
+federated client's generation-vector caching keys off
+:attr:`RemoteStore.generation` (one ``admin`` round trip per member).
+
+Not everything crosses the wire: :meth:`RemoteStore.all_assertions` (the
+consolidation walk) raises — consolidation is an admin-side job run where
+the logs live, not a streaming RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.client import ProvenanceQueryClient, ProvenanceRecordClient
+from repro.core.passertion import (
+    ActorStatePAssertion,
+    InteractionKey,
+    InteractionPAssertion,
+    ViewKind,
+)
+from repro.soa.transport import EnvelopeClient
+from repro.soa.xmldoc import XmlElement
+from repro.store.interface import Assertion, StoreCounts
+
+
+class RemoteStore:
+    """Store-interface proxy for one socket-served fleet worker.
+
+    Duck-typed rather than an ABC subclass: it implements the interface's
+    *remote-meaningful* surface (writes, reads, counts, generations,
+    close) and deliberately refuses the local-only parts.
+    """
+
+    def __init__(
+        self,
+        client: EnvelopeClient,
+        endpoint: str = "preserv",
+        name: Optional[str] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ):
+        self.name = name or endpoint
+        self.client = client
+        self._records = ProvenanceRecordClient(
+            client,  # same call signature as the bus
+            store_endpoint=endpoint,
+            client_endpoint=f"{self.name}-writer",
+        )
+        self._queries = ProvenanceQueryClient(
+            client,
+            store_endpoint=endpoint,
+            client_endpoint=f"{self.name}-reader",
+        )
+        self._endpoint = endpoint
+        self._on_close = on_close
+        self._closed = False
+        #: interface parity: no scheduler is attached client-side (the
+        #: worker owns its compaction).
+        self.maintenance = None
+
+    # -- write path ----------------------------------------------------------
+    def put(self, assertion: Assertion) -> None:
+        ack = self._records.record(assertion)
+        if not ack.ok:  # pragma: no cover - rejections raise as Faults
+            raise RuntimeError(f"worker rejected record: {ack.detail}")
+
+    def put_many(self, assertions: Iterable[Assertion]) -> int:
+        return self._records.record_many(list(assertions))
+
+    # -- read path -----------------------------------------------------------
+    def interaction_keys(self) -> List[InteractionKey]:
+        return self._queries.interaction_keys()
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        return self._queries.interaction_passertions(key, view)
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        return self._queries.actor_state_passertions(key, view, state_type)
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        return self._queries.group_members(group_id)
+
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        return self._queries.groups_of(key)
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        return self._queries.group_ids(kind)
+
+    def counts(self) -> StoreCounts:
+        return self._queries.counts()
+
+    def all_assertions(self):
+        raise NotImplementedError(
+            f"all_assertions() does not cross the wire; run consolidation "
+            f"against {self.name!r}'s log directory directly"
+        )
+
+    # -- cache freshness ------------------------------------------------------
+    def _admin(self, op: str, **attrs: str) -> XmlElement:
+        payload = XmlElement("admin", {"op": op, **attrs})
+        return self.client.call(
+            source=f"{self.name}-admin",
+            target=self._endpoint,
+            operation="admin",
+            payload=payload,
+        )
+
+    @property
+    def generation(self) -> int:
+        """The worker store's write generation (one admin round trip)."""
+        return int(self._admin("generation").attrs["generation"])
+
+    def generation_token(self, scope: Optional[str] = None) -> object:
+        """Scoped freshness token, as an opaque wire string."""
+        attrs = {"scope": scope} if scope else {}
+        return self._admin("generation-token", **attrs).attrs["token"]
+
+    def shard_generations(self) -> tuple:
+        raw = self._admin("shard-generations").attrs["generations"]
+        return tuple(int(g) for g in raw.split(",") if g)
+
+    def ping(self) -> Dict[str, str]:
+        """Liveness probe; returns the worker's pong attributes."""
+        response = self.client.call(
+            source=f"{self.name}-admin",
+            target=self._endpoint,
+            operation="ping",
+            payload=XmlElement("ping"),
+        )
+        return dict(response.attrs)
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker down (via ``on_close``) and drop the connections.
+
+        Idempotent, like every backend ``close`` in the store stack.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._on_close is not None:
+                self._on_close()
+        finally:
+            self.client.close()
+
+
+__all__ = ["RemoteStore"]

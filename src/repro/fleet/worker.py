@@ -1,0 +1,186 @@
+"""The fleet worker: one PReServ store service per child process.
+
+:func:`run_worker` is the process entry point a
+:class:`~repro.fleet.manager.ProcessFleet` spawns: it builds the worker's
+own backend (nothing is shared with the parent — shared-nothing is the
+point), wraps it in a :class:`FleetWorkerActor`, and serves Envelopes over
+the configured socket until asked to shut down (``shutdown`` operation or
+``SIGTERM``), then drains the server and closes the backend so the shard's
+log ends on a committed group boundary.
+
+:class:`FleetWorkerActor` is a :class:`~repro.store.service.PReServActor`
+plus the three operations remote management needs: ``ping`` (health
+checks), ``admin`` (generation/freshness tokens for the client-side query
+caches, serialized as opaque strings), and ``shutdown``.
+
+:func:`attach_commit_barrier` models the paper-era testbed device: a fixed
+post-commit stall per group commit.  The figures/bench layer applies it
+symmetrically to the in-process baseline and the fleet workers, so the
+measured fleet speedup is the *overlap* of commit barriers across worker
+processes — the effect the paper's distributed deployment buys — rather
+than an artifact of host-disk speed (this host's fsync is ~0.2 ms, which
+measures noise; the same modelling precedent as the shards figure).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.soa.envelope import Fault
+from repro.soa.transport import Address, EnvelopeServer
+from repro.soa.xmldoc import XmlElement
+from repro.store.service import PReServActor
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs, picklable for ``spawn``."""
+
+    endpoint: str
+    address: Address
+    backend: str = "kvlog"
+    path: Optional[str] = None
+    shards: int = 1
+    sync: bool = True
+    segment_size: int = 256
+    auto_compact: bool = False
+    pipeline_depth: int = 1
+    #: modelled per-group-commit device stall (0 = real device speed).
+    commit_barrier_s: float = 0.0
+
+
+def attach_commit_barrier(backend: object, barrier_s: float) -> None:
+    """Add a fixed post-commit stall to ``backend``'s write path.
+
+    Instance-level wrappers over ``put``/``put_many`` (the interface's
+    ``pipelined_ingest`` commits through ``self.put_many``, so the wrapped
+    path covers pipelined ingest too).  Return values are preserved.
+    """
+    if barrier_s <= 0:
+        return
+    real_put = backend.put
+    real_put_many = backend.put_many
+
+    def put(assertion):  # noqa: ANN001 - mirrors the interface signature
+        result = real_put(assertion)
+        time.sleep(barrier_s)
+        return result
+
+    def put_many(assertions):  # noqa: ANN001
+        result = real_put_many(assertions)
+        time.sleep(barrier_s)
+        return result
+
+    backend.put = put  # type: ignore[method-assign]
+    backend.put_many = put_many  # type: ignore[method-assign]
+
+
+def encode_generation_token(token: object) -> str:
+    """Wire form of an opaque freshness token.
+
+    Tokens are compared only for equality (the cache contract), so any
+    injective string encoding preserves their semantics across the wire.
+    """
+    if isinstance(token, tuple):
+        return ":".join(str(part) for part in token)
+    return f"g:{token}"
+
+
+class FleetWorkerActor(PReServActor):
+    """A PReServ actor with the fleet's management operations.
+
+    ``record``/``query`` are inherited unchanged — the store service a
+    worker hosts is byte-for-byte the in-process one; only the transport
+    differs.
+    """
+
+    def __init__(self, *args, shutdown_event: Optional[threading.Event] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._shutdown_event = shutdown_event
+
+    def op_ping(self, payload: XmlElement) -> XmlElement:
+        import os
+
+        return XmlElement(
+            "pong", {"endpoint": self.endpoint, "pid": str(os.getpid())}
+        )
+
+    def op_admin(self, payload: XmlElement) -> XmlElement:
+        """Store-management queries: generation counters as wire strings."""
+        op = payload.attrs.get("op", "")
+        if op == "generation":
+            return XmlElement(
+                "admin-result", {"generation": str(self.store_generation())}
+            )
+        if op == "generation-token":
+            scope = payload.attrs.get("scope") or None
+            token = self.store_generation_token(scope)
+            return XmlElement(
+                "admin-result", {"token": encode_generation_token(token)}
+            )
+        if op == "shard-generations":
+            gens = self.store_shard_generations()
+            return XmlElement(
+                "admin-result",
+                {"generations": ",".join(str(g) for g in gens)},
+            )
+        raise Fault("bad-admin", f"unknown admin op {op!r}")
+
+    def op_shutdown(self, payload: XmlElement) -> XmlElement:
+        """Ask the worker to exit; the ack is sent before it does."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+        return XmlElement("shutdown-ack", {"endpoint": self.endpoint})
+
+
+def build_worker_backend(config: WorkerConfig):
+    """The worker's own backend, via the store factory."""
+    from repro.store import make_backend
+
+    kwargs = {"sync": config.sync, "auto_compact": config.auto_compact}
+    if config.backend == "kvlog":
+        kwargs["shards"] = config.shards
+    elif config.backend == "filesystem":
+        kwargs["segment_size"] = config.segment_size
+    backend = make_backend(config.backend, config.path, **kwargs)
+    attach_commit_barrier(backend, config.commit_barrier_s)
+    return backend
+
+
+def run_worker(config: WorkerConfig) -> None:
+    """Process entry point: serve ``config.endpoint`` until shutdown."""
+    shutdown = threading.Event()
+    # SIGTERM is the manager's graceful stop when the socket is already
+    # gone; SIGINT would otherwise hit every fleet child on a console ^C.
+    signal.signal(signal.SIGTERM, lambda *_: shutdown.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    backend = build_worker_backend(config)
+    actor = FleetWorkerActor(
+        backend,
+        endpoint=config.endpoint,
+        pipeline_depth=config.pipeline_depth,
+        shutdown_event=shutdown,
+    )
+    server = EnvelopeServer(actor, config.address)
+    server.start()
+    try:
+        shutdown.wait()
+    finally:
+        # Drain in-flight requests (the shutdown ack flushes before the
+        # connection closes), then end the log on a committed boundary.
+        server.stop()
+        backend.close()
+
+
+__all__ = [
+    "FleetWorkerActor",
+    "WorkerConfig",
+    "attach_commit_barrier",
+    "build_worker_backend",
+    "encode_generation_token",
+    "run_worker",
+]

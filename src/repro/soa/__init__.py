@@ -10,7 +10,10 @@ HTTP:
 * :mod:`repro.soa.envelope` — SOAP-style envelopes (headers + body),
 * :mod:`repro.soa.actor` — the actor abstraction,
 * :mod:`repro.soa.bus` — an in-process message bus with interceptors and a
-  virtual-time latency model, standing in for the 100 Mb ethernet testbed.
+  virtual-time latency model, standing in for the 100 Mb ethernet testbed,
+* :mod:`repro.soa.transport` — the same Envelope protocol over real
+  Unix-domain/TCP sockets (length-prefixed frames), for actors hosted in
+  other processes (:mod:`repro.fleet` workers).
 """
 
 from repro.soa.xmldoc import XmlElement, parse_xml, xml_escape
@@ -22,16 +25,28 @@ from repro.soa.bus import (
     MessageBus,
     VirtualClock,
 )
+from repro.soa.transport import (
+    ConnectionClosed,
+    EnvelopeClient,
+    EnvelopeServer,
+    RemoteEndpoint,
+    TransportError,
+)
 
 __all__ = [
     "Actor",
     "ActorIdentity",
     "CallRecord",
+    "ConnectionClosed",
     "Envelope",
+    "EnvelopeClient",
+    "EnvelopeServer",
     "Fault",
     "LatencyModel",
     "MessageBus",
     "OperationError",
+    "RemoteEndpoint",
+    "TransportError",
     "VirtualClock",
     "XmlElement",
     "parse_xml",

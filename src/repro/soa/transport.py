@@ -1,0 +1,502 @@
+"""Envelope transport over real sockets: the out-of-process bus.
+
+The in-process :class:`~repro.soa.bus.MessageBus` plays the testbed network
+for a single Python process.  This module speaks the *same*
+:class:`~repro.soa.envelope.Envelope` request/reply protocol over a
+Unix-domain or TCP socket, so an actor can be hosted in another process (a
+:mod:`repro.fleet` worker) and its clients cannot tell the difference:
+
+* :class:`EnvelopeServer` hosts one :class:`~repro.soa.actor.Actor` behind a
+  listening socket — one accept thread, one thread per connection, clean
+  drain-on-shutdown;
+* :class:`EnvelopeClient` is the caller half, exposing the **same ``call``
+  signature as** :meth:`repro.soa.bus.MessageBus.call` — typed clients like
+  :class:`~repro.core.client.ProvenanceRecordClient` and
+  :class:`~repro.core.client.ProvenanceQueryClient` run unmodified over
+  either transport;
+* :class:`RemoteEndpoint` is an actor-shaped proxy: registering it on a
+  ``MessageBus`` makes a socket-served actor reachable at a bus endpoint,
+  so interceptors, latency models and the rest of the in-process SOA keep
+  working while the real work happens in another process.
+
+Wire format — length-prefixed frames::
+
+    +-------+----------+------------------------------+
+    | magic | length   | payload                      |
+    | PRE1  | u32 (BE) | UTF-8 serialized <envelope>  |
+    +-------+----------+------------------------------+
+
+One frame carries one envelope; a request's reply reuses its message id
+with a ``-r`` suffix (exactly the in-process bus's convention) plus a
+``status`` header (``ok`` | ``fault``) so service faults are transported
+as data, not connection state.  A frame with a bad magic, an oversized
+length, or an unparsable envelope is *rejected*: the server closes the
+connection (it cannot trust the stream's framing any more) and every
+other connection keeps working.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.soa.actor import Actor
+from repro.soa.envelope import Envelope, Fault
+from repro.soa.xmldoc import XmlElement
+
+#: frame header: 4-byte magic + unsigned 32-bit big-endian payload length.
+FRAME_MAGIC = b"PRE1"
+_HEADER = struct.Struct(">4sI")
+#: refuse frames above this size — a correct peer never sends one, and a
+#: garbage length prefix must not make the server try to buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: how often a serving connection wakes up to notice a shutdown request.
+POLL_INTERVAL_S = 0.2
+#: once a frame has started arriving, how long the rest may take.
+MID_FRAME_TIMEOUT_S = 30.0
+
+#: ("unix", path) or ("tcp", host, port).
+Address = Union[Tuple[str, str], Tuple[str, str, int]]
+
+
+class TransportError(Exception):
+    """A framing/protocol violation on the socket transport."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the connection (cleanly or mid-frame)."""
+
+
+# -- addresses ----------------------------------------------------------------
+
+def listen_on(address: Address, backlog: int = 32) -> socket.socket:
+    """Bind + listen on ``("unix", path)`` or ``("tcp", host, port)``."""
+    kind = address[0]
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(address[1])
+    elif kind == "tcp":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((address[1], address[2]))
+    else:
+        raise ValueError(f"unknown address kind {kind!r}")
+    sock.listen(backlog)
+    return sock
+
+
+def connect_to(address: Address, timeout: Optional[float] = None) -> socket.socket:
+    """Dial ``address``; raises ``OSError`` while nothing is listening."""
+    kind = address[0]
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address[1])
+    elif kind == "tcp":
+        sock = socket.create_connection((address[1], address[2]), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    else:
+        raise ValueError(f"unknown address kind {kind!r}")
+    return sock
+
+
+# -- framing ------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame (a single ``sendall``)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(max {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(FRAME_MAGIC, len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, head: bytes = b"") -> bytes:
+    """Read exactly ``n`` bytes (``head`` counts toward them).
+
+    Raises :class:`ConnectionClosed` on EOF — callers that care whether the
+    close was clean check how many bytes had arrived.
+    """
+    buf = bytearray(head)
+    while len(buf) < n:
+        chunk = sock.recv(min(65536, n - len(buf)))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {len(buf)}/{n} bytes of a frame read"
+            )
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket, head: bytes = b"") -> bytes:
+    """Read one frame; ``head`` is any header prefix already consumed.
+
+    Raises :class:`ConnectionClosed` if the peer closed before a full
+    frame arrived, :class:`TransportError` on a malformed header.
+    """
+    header = _recv_exact(sock, _HEADER.size, head)
+    magic, length = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise TransportError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _recv_exact(sock, length)
+
+
+def send_envelope(sock: socket.socket, envelope: Envelope) -> None:
+    send_frame(sock, envelope.serialize().encode("utf-8"))
+
+
+def recv_envelope(sock: socket.socket) -> Envelope:
+    return Envelope.deserialize(recv_frame(sock).decode("utf-8"))
+
+
+# -- server -------------------------------------------------------------------
+
+class EnvelopeServer:
+    """Host one actor behind a listening socket (the worker-side half).
+
+    One daemon thread accepts connections; each connection gets its own
+    request thread reading frames and replying in order.  Dispatch into the
+    actor is serialized by default (``serialize_dispatch=True``): the
+    backends' write paths are single-threaded by contract, and the
+    in-process bus drives them serially too — cross-request parallelism is
+    the :mod:`repro.fleet` *process* axis, not threads inside one worker.
+
+    :meth:`stop` drains: it stops accepting, lets every in-flight request
+    finish and its reply flush, then closes the connections.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        address: Address,
+        serialize_dispatch: bool = True,
+        poll_interval_s: float = POLL_INTERVAL_S,
+    ):
+        self.actor = actor
+        self._requested_address = address
+        self._poll_interval_s = poll_interval_s
+        self._dispatch_lock = threading.Lock() if serialize_dispatch else None
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: Dict[threading.Thread, socket.socket] = {}
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+        self.address: Optional[Address] = None
+        self.requests_served = 0
+        self.frames_rejected = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> Address:
+        """Bind, listen, start accepting; returns the resolved address
+        (a TCP port 0 comes back as the actual bound port)."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._listener = listen_on(self._requested_address)
+        if self._requested_address[0] == "tcp":
+            host, port = self._listener.getsockname()[:2]
+            self.address = ("tcp", host, port)
+        else:
+            self.address = self._requested_address
+        self._listener.settimeout(self._poll_interval_s)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"envelope-server-{self.actor.endpoint}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, drain_s: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, close connections."""
+        if not self._started:
+            return
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain_s + 1.0)
+        if self._listener is not None:
+            self._listener.close()
+        with self._conn_lock:
+            threads = list(self._connections)
+        deadline = drain_s
+        for thread in threads:
+            # Connection threads notice _stopping at their next poll tick
+            # (at most poll_interval_s away) once their current request —
+            # reply included — has finished.
+            thread.join(timeout=max(0.1, deadline))
+        with self._conn_lock:
+            leftovers = list(self._connections.items())
+        for thread, sock in leftovers:
+            # A straggler is stuck inside a request or mid-frame: cut the
+            # socket out from under it so the thread unblocks and exits.
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            thread.join(timeout=1.0)
+
+    # -- accept / serve ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed underneath us
+            if self._requested_address[0] == "tcp":
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(sock,),
+                name=f"envelope-conn-{self.actor.endpoint}",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._connections[thread] = sock
+            thread.start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                sock.settimeout(self._poll_interval_s)
+                try:
+                    head = sock.recv(1)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not head:
+                    return  # client closed cleanly between frames
+                # A frame has started: give the rest of it a real deadline.
+                sock.settimeout(MID_FRAME_TIMEOUT_S)
+                try:
+                    frame = recv_frame(sock, head=head)
+                    reply = self._handle_frame(frame)
+                except (TransportError, socket.timeout, ValueError, KeyError):
+                    # Malformed frame or unparsable envelope: the stream's
+                    # framing can no longer be trusted — reject by closing.
+                    self.frames_rejected += 1
+                    return
+                try:
+                    send_frame(sock, reply)
+                except OSError:
+                    return  # client went away before the reply landed
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            with self._conn_lock:
+                self._connections.pop(threading.current_thread(), None)
+
+    def _handle_frame(self, frame: bytes) -> bytes:
+        """One request → one serialized reply envelope (never raises)."""
+        request = Envelope.deserialize(frame.decode("utf-8"))
+        request.validate()
+        operation = request.operation
+        ok = True
+        if request.target != self.actor.endpoint:
+            ok = False
+            body: XmlElement = Fault(
+                "no-such-endpoint",
+                f"this worker hosts {self.actor.endpoint!r}, "
+                f"not {request.target!r}",
+            ).to_xml()
+        else:
+            try:
+                if self._dispatch_lock is not None:
+                    with self._dispatch_lock:
+                        body = self.actor.handle(operation, request.body)
+                else:
+                    body = self.actor.handle(operation, request.body)
+                if not isinstance(body, XmlElement):
+                    raise Fault(
+                        "internal-error",
+                        f"operation {operation!r} returned "
+                        f"{type(body).__name__}, expected XmlElement",
+                    )
+            except Fault as fault:
+                ok = False
+                body = fault.to_xml()
+            except Exception as exc:
+                # An unexpected service-side error must come back as a
+                # fault envelope, exactly like a declared Fault would.
+                ok = False
+                body = Fault(
+                    "internal-error", f"{type(exc).__name__}: {exc}"
+                ).to_xml()
+        self.requests_served += 1
+        response = Envelope(
+            headers={
+                "source": self.actor.endpoint,
+                "target": request.source,
+                "operation": f"{operation}-response",
+                "message-id": f"{request.message_id}-r",
+                "status": "ok" if ok else "fault",
+            },
+            body=body,
+        )
+        return response.serialize().encode("utf-8")
+
+
+# -- client -------------------------------------------------------------------
+
+class EnvelopeClient:
+    """The caller half: ``call()`` has the in-process bus's signature.
+
+    Thread-safe via a small connection pool — concurrent callers each get
+    their own connection (the server runs one request thread per
+    connection), and idle connections are reused.  Any transport failure —
+    refused connection, reset, EOF mid-reply, protocol violation — is
+    raised as ``Fault("worker-unavailable", ...)``: to the layers above, a
+    dead worker looks like a faulting service, not a socket error.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout_s: Optional[float] = 120.0,
+        max_pool: int = 8,
+    ):
+        self.address = address
+        self.timeout_s = timeout_s
+        self.max_pool = max_pool
+        self._free: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.calls = 0
+
+    # -- pool ----------------------------------------------------------------
+    def _acquire(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise Fault("worker-unavailable", "client is closed")
+            if self._free:
+                return self._free.pop()
+        try:
+            sock = connect_to(self.address, timeout=self.timeout_s)
+        except OSError as exc:
+            # Nothing listening (yet, or any more): same fault the layers
+            # above see for every other transport failure.
+            raise Fault(
+                "worker-unavailable",
+                f"cannot connect to {self.address}: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        sock.settimeout(self.timeout_s)
+        return sock
+
+    def _release(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._free) < self.max_pool:
+                self._free.append(sock)
+                return
+        sock.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            free, self._free = self._free, []
+        for sock in free:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # -- invocation ----------------------------------------------------------
+    def call(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        payload: XmlElement,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> XmlElement:
+        """Invoke ``operation`` on the remote actor; returns the reply body.
+
+        Same contract as :meth:`repro.soa.bus.MessageBus.call`: a service
+        fault is re-raised as :class:`~repro.soa.envelope.Fault`; transport
+        failures become ``Fault("worker-unavailable", ...)``.
+        """
+        message_id = f"{source}-{next(self._ids):08d}"
+        headers = {
+            "source": source,
+            "target": target,
+            "operation": operation,
+            "message-id": message_id,
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        request = Envelope(headers=headers, body=payload)
+        request.validate()
+        frame = request.serialize().encode("utf-8")
+        sock = self._acquire()
+        try:
+            send_frame(sock, frame)
+            response = Envelope.deserialize(
+                recv_frame(sock).decode("utf-8")
+            )
+            if response.headers.get("message-id") != f"{message_id}-r":
+                raise TransportError(
+                    f"reply correlation mismatch: sent {message_id!r}, "
+                    f"got {response.headers.get('message-id')!r}"
+                )
+        except (OSError, TransportError, ValueError) as exc:
+            sock.close()
+            raise Fault(
+                "worker-unavailable",
+                f"{target!r} at {self.address}: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        with self._lock:
+            self.calls += 1
+        self._release(sock)
+        if response.headers.get("status") == "fault":
+            raise Fault.from_xml(response.body)
+        return response.body
+
+
+class RemoteEndpoint(Actor):
+    """An actor-shaped proxy for a socket-served actor.
+
+    Register it on a :class:`~repro.soa.bus.MessageBus` under the remote
+    actor's endpoint and every bus client — recorder, interceptors, typed
+    query/record clients — works unchanged: the bus still charges its
+    modelled latency and notifies interceptors, while ``handle`` forwards
+    the operation over the socket and re-raises remote faults.
+    """
+
+    def __init__(
+        self,
+        client: EnvelopeClient,
+        endpoint: str,
+        description: str = "remote endpoint proxy",
+        operations: Sequence[str] = ("record", "query"),
+    ):
+        super().__init__(endpoint, description=description)
+        self._client = client
+        self._remote_operations = tuple(operations)
+
+    def operations(self) -> List[str]:
+        return list(self._remote_operations)
+
+    def handle(self, operation: str, payload: XmlElement) -> XmlElement:
+        return self._client.call(
+            source=f"{self.endpoint}-proxy",
+            target=self.endpoint,
+            operation=operation,
+            payload=payload,
+        )

@@ -51,6 +51,7 @@ from repro.store.service import (
 from repro.store.distributed import (
     CrossLink,
     FederatedQueryClient,
+    StoreCloseError,
     StoreRouter,
     consolidate,
     sharded_store_fleet,
@@ -148,6 +149,7 @@ __all__ = [
     "QueryPlan",
     "FederatedQueryClient",
     "RetentionPolicy",
+    "StoreCloseError",
     "StoreRouter",
     "apply_retention",
     "consolidate",

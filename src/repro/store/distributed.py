@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.passertion import (
     ActorStatePAssertion,
@@ -50,6 +50,20 @@ from repro.store.interface import (
 from repro.store.querycache import GenerationVector
 
 Assertion = Union[PAssertion, GroupAssertion]
+
+
+class StoreCloseError(RuntimeError):
+    """Aggregated member-close failures from :meth:`StoreRouter.close`.
+
+    ``failures`` holds ``(member_name, exception)`` pairs, one per member
+    whose ``close()`` raised — every member was still attempted.
+    """
+
+    def __init__(
+        self, message: str, failures: List[Tuple[str, BaseException]]
+    ):
+        super().__init__(message)
+        self.failures = failures
 
 
 @dataclass(frozen=True)
@@ -75,7 +89,11 @@ class StoreRouter:
     *parallel submission* safe.
     """
 
-    def __init__(self, stores: Dict[str, ProvenanceStoreInterface]):
+    def __init__(
+        self,
+        stores: Dict[str, ProvenanceStoreInterface],
+        on_close: Optional[Callable[[], None]] = None,
+    ):
         if not stores:
             raise ValueError("router needs at least one store")
         self._names: List[str] = sorted(stores)
@@ -85,6 +103,8 @@ class StoreRouter:
             name: {} for name in self._names
         }
         self.records_routed = 0
+        self._on_close = on_close
+        self._closed = False
 
     @property
     def store_names(self) -> List[str]:
@@ -95,9 +115,35 @@ class StoreRouter:
 
         The teardown entry point for factory-built fleets — callers hold
         the router, not the members, so the router owns shutdown.
+        Idempotent, and *every* member is attempted even when one fails
+        (a dead process-fleet worker must not leak its siblings'
+        processes or fsync handles): per-member errors are collected and
+        re-raised together as one :class:`StoreCloseError`.  An
+        ``on_close`` hook (the process fleet's manager teardown) runs
+        last, whether or not members failed.
         """
+        if self._closed:
+            return
+        self._closed = True
+        failures: List[Tuple[str, BaseException]] = []
         for name in self._names:
-            self._stores[name].close()
+            try:
+                self._stores[name].close()
+            except BaseException as exc:
+                failures.append((name, exc))
+        try:
+            if self._on_close is not None:
+                self._on_close()
+        except BaseException as exc:
+            failures.append(("<on_close>", exc))
+        if failures:
+            detail = "; ".join(
+                f"{name}: {type(exc).__name__}: {exc}" for name, exc in failures
+            )
+            raise StoreCloseError(
+                f"{len(failures)} member store(s) failed to close: {detail}",
+                failures,
+            )
 
     def store(self, name: str) -> ProvenanceStoreInterface:
         try:
@@ -316,6 +362,9 @@ def sharded_store_fleet(
     shards: int = 1,
     sync: bool = True,
     auto_compact: bool = False,
+    transport: str = "inprocess",
+    pipeline_depth: int = 1,
+    commit_barrier_s: float = 0.0,
 ) -> StoreRouter:
     """A §7 deployment in one call: a router over KVLog-backed members.
 
@@ -324,19 +373,59 @@ def sharded_store_fleet(
     parallelises submission *across* stores, ``shards`` parallelises group
     commits *within* each store.
 
-    ``auto_compact=True`` attaches **one** shared
-    :class:`~repro.store.maintenance.CompactionScheduler` to every member:
-    a single maintenance budget for the whole fleet, compacting the worst
-    shard of the worst member per tick.  Tear the fleet down with
-    :meth:`StoreRouter.close` (closing any member also stops the shared
-    scheduler).
+    ``transport`` selects where the member stores run — the two layouts
+    are identical on disk, so a fleet written with one transport reopens
+    with the other:
+
+    ``"inprocess"`` (default)
+        Members are :class:`~repro.store.backends.KVLogBackend` instances
+        in this process; every call is a direct method call.
+    ``"process"``
+        Members are worker *processes* (one
+        :class:`~repro.fleet.manager.ProcessFleet` child per member, each
+        hosting a PReServ actor over its own backend) reached through the
+        Envelope socket transport; the router holds
+        :class:`~repro.fleet.remote.RemoteStore` proxies and
+        ``router.close()`` tears the whole fleet down (terminate/join +
+        socket cleanup).  ``pipeline_depth`` configures each worker's
+        ingest pipeline, and ``commit_barrier_s`` models a per-group-commit
+        device stall (see :func:`repro.fleet.worker.attach_commit_barrier`)
+        — both apply to the in-process transport too, for like-for-like
+        baselines.
+
+    ``auto_compact=True`` attaches background compaction: in-process, **one**
+    shared :class:`~repro.store.maintenance.CompactionScheduler` across all
+    members (a single maintenance budget for the whole fleet); per-worker
+    schedulers in process mode (each child owns its maintenance).  Tear the
+    fleet down with :meth:`StoreRouter.close`.
     """
     from repro.store.backends import KVLogBackend
     from repro.store.maintenance import CompactionScheduler
 
     if members < 1:
         raise ValueError("fleet needs at least one member store")
+    if transport not in ("inprocess", "process"):
+        raise ValueError(
+            f"unknown transport {transport!r}; use 'inprocess' or 'process'"
+        )
     root = Path(root)
+    if transport == "process":
+        from repro.fleet.manager import ProcessFleet
+
+        fleet = ProcessFleet(
+            root,
+            members=members,
+            shards=shards,
+            sync=sync,
+            auto_compact=auto_compact,
+            pipeline_depth=pipeline_depth,
+            commit_barrier_s=commit_barrier_s,
+        )
+        router = StoreRouter(
+            fleet.stores(), on_close=lambda: fleet.close(raise_errors=False)
+        )
+        router.fleet = fleet  # type: ignore[attr-defined]
+        return router
     existing = sorted(p for p in root.glob("store-*") if p.name[6:].isdigit())
     if existing and len(existing) != members:
         raise ValueError(
@@ -354,6 +443,10 @@ def sharded_store_fleet(
         # wrong shard count hits KVLogBackend's layout guard instead of
         # silently standing up empty stores beside the old data.
         store = KVLogBackend(root / name, sync=sync, shards=shards)
+        if commit_barrier_s > 0:
+            from repro.fleet.worker import attach_commit_barrier
+
+            attach_commit_barrier(store, commit_barrier_s)
         if scheduler is not None:
             scheduler.register(store, name)
             store.maintenance = scheduler

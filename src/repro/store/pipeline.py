@@ -33,15 +33,15 @@ Knobs (the module's configuration surface — threaded through
     Decode pool size (default ``min(depth, cpu_count, 4)``); ignored
     without ``decode``.
 ``gil_switch_s``
-    Optional CPython switch-interval override held while the engine is
-    alive (restored by :meth:`PipelinedIngest.close`).  The default 5 ms
-    forced-switch interval means the committer can wait up to 5 ms to
-    reacquire the GIL after *every* GIL-releasing write/fsync while a
-    decode worker is CPU-busy — at group-commit grains of a few
-    milliseconds that handoff tax erases the overlap.  Ingest deployments
-    set this to a few hundred microseconds (the standard CPython tuning
-    for mixed IO/CPU thread workloads); it is process-global, which is
-    why it is opt-in.
+    **Deprecated** (still accepted, with a ``DeprecationWarning``).  The
+    CPython switch-interval override was a workaround for decode and
+    commit threads fighting over one GIL; the process fleet
+    (:mod:`repro.fleet`) removes the contention at the source by giving
+    each worker its own interpreter, so interpreter-switch tuning is
+    obsolete.  While the knob remains it behaves as before: the override
+    is held for the engine's lifetime and restored by
+    :meth:`PipelinedIngest.close`; it is process-global, which is why it
+    was opt-in.
 
 Ordering and failure contract:
 
@@ -65,6 +65,7 @@ import queue
 import sys
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -121,8 +122,16 @@ class PipelinedIngest:
     ):
         if depth < 1:
             raise ValueError("depth must be >= 1")
-        if gil_switch_s is not None and gil_switch_s <= 0:
-            raise ValueError("gil_switch_s must be > 0")
+        if gil_switch_s is not None:
+            if gil_switch_s <= 0:
+                raise ValueError("gil_switch_s must be > 0")
+            warnings.warn(
+                "gil_switch_s is deprecated: run stores as separate "
+                "processes (repro.fleet) instead of tuning the "
+                "interpreter's switch interval; the knob will be removed",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._commit_fn = commit
         self._decode_fn = decode
         self.depth = depth

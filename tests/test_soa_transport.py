@@ -1,0 +1,456 @@
+"""Wire-protocol tests for the Envelope socket transport.
+
+The contract under test (see :mod:`repro.soa.transport`): one frame is one
+envelope; replies correlate by ``<message-id>-r``; service faults travel as
+data (``status: fault``) and re-raise as :class:`Fault` exactly like the
+in-process bus; *every* transport failure — refused dial, reset, EOF,
+protocol violation — surfaces as ``Fault("worker-unavailable", ...)``; a
+malformed frame costs the sender its connection and nobody else anything.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.soa.bus import MessageBus
+from repro.soa.actor import Actor
+from repro.soa.envelope import Envelope, Fault
+from repro.soa.transport import (
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    EnvelopeClient,
+    EnvelopeServer,
+    RemoteEndpoint,
+    TransportError,
+    _HEADER,
+    connect_to,
+    recv_frame,
+    send_frame,
+)
+from repro.soa.xmldoc import XmlElement
+
+
+class WireTestActor(Actor):
+    """Echo / fault / crash / sleep — one op per failure mode under test."""
+
+    def __init__(self, endpoint: str = "wire"):
+        super().__init__(endpoint, description="wire-protocol test actor")
+
+    def op_echo(self, payload: XmlElement) -> XmlElement:
+        return XmlElement("pong", dict(payload.attrs))
+
+    def op_blob(self, payload: XmlElement) -> XmlElement:
+        out = XmlElement("blob-back")
+        out.element("data", payload.require("data").text)
+        return out
+
+    def op_fail(self, payload: XmlElement) -> XmlElement:
+        raise Fault("boom", "declared service failure")
+
+    def op_crash(self, payload: XmlElement) -> XmlElement:
+        raise RuntimeError("kapow")
+
+    def op_slow(self, payload: XmlElement) -> XmlElement:
+        time.sleep(float(payload.attrs["delay"]))
+        return XmlElement("slept")
+
+
+@pytest.fixture
+def served(tmp_path):
+    actor = WireTestActor()
+    server = EnvelopeServer(
+        actor, ("unix", str(tmp_path / "wire.sock")), poll_interval_s=0.05
+    )
+    address = server.start()
+    client = EnvelopeClient(address)
+    yield server, client, actor
+    client.close()
+    server.stop()
+
+
+# -- framing ------------------------------------------------------------------
+
+class TestFraming:
+    def test_roundtrip_various_sizes(self):
+        left, right = socket.socketpair()
+        try:
+            for payload in (b"", b"x", b"hello frame", b"\x00\xff" * 500):
+                send_frame(left, payload)
+                assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_large_frame_crosses_recv_buffers(self):
+        # ~2 MiB forces many 64 KiB recv() calls on the reading side; a
+        # threaded writer avoids deadlocking on the socketpair's buffers.
+        payload = b"ACGT" * (2 * 1024 * 1024 // 4)
+        left, right = socket.socketpair()
+        try:
+            writer = threading.Thread(target=send_frame, args=(left, payload))
+            writer.start()
+            received = recv_frame(right)
+            writer.join()
+            assert received == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_send_refuses_oversized_frame(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(TransportError, match="refusing to send"):
+                send_frame(left, b"\x00" * (MAX_FRAME_BYTES + 1))
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_magic_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"NOPE" + b"\x00\x00\x00\x04data")
+            with pytest.raises(TransportError, match="bad frame magic"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_length_rejected_before_buffering(self):
+        left, right = socket.socketpair()
+        try:
+            # Claims a 4 GiB-ish payload; the reader must refuse from the
+            # header alone instead of trying to buffer it.
+            left.sendall(_HEADER.pack(FRAME_MAGIC, MAX_FRAME_BYTES + 1))
+            with pytest.raises(TransportError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_is_connection_closed(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_HEADER.pack(FRAME_MAGIC, 100) + b"only ten b")
+            left.close()
+            with pytest.raises(ConnectionClosed):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+# -- request/reply over a live server ----------------------------------------
+
+class TestRequestReply:
+    def test_unix_roundtrip(self, served):
+        server, client, _actor = served
+        reply = client.call(
+            source="t", target="wire", operation="echo",
+            payload=XmlElement("ping", {"n": "42"}),
+        )
+        assert reply.name == "pong"
+        assert reply.attrs["n"] == "42"
+        assert server.requests_served == 1
+
+    def test_tcp_port_zero_resolves_and_serves(self):
+        actor = WireTestActor()
+        server = EnvelopeServer(
+            actor, ("tcp", "127.0.0.1", 0), poll_interval_s=0.05
+        )
+        address = server.start()
+        try:
+            assert address[0] == "tcp" and address[2] != 0
+            client = EnvelopeClient(address)
+            reply = client.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping", {"n": "7"}),
+            )
+            assert reply.attrs["n"] == "7"
+            client.close()
+        finally:
+            server.stop()
+
+    def test_large_payload_roundtrip(self, served):
+        _server, client, _actor = served
+        # Well past any single recv() buffer on both directions.
+        text = "ACGT" * (2 * 1024 * 1024 // 4)
+        payload = XmlElement("blob")
+        payload.element("data", text)
+        reply = client.call(
+            source="t", target="wire", operation="blob", payload=payload
+        )
+        assert reply.require("data").text == text
+
+    def test_concurrent_interleaved_requests_correlate(self, served):
+        server, client, _actor = served
+        workers, calls_each = 8, 10
+        mismatches = []
+        errors = []
+        ready = threading.Barrier(workers)
+
+        def run(worker: int) -> None:
+            ready.wait()
+            try:
+                for i in range(calls_each):
+                    tag = f"{worker}:{i}"
+                    reply = client.call(
+                        source=f"w{worker}", target="wire", operation="echo",
+                        payload=XmlElement("ping", {"tag": tag}),
+                    )
+                    if reply.attrs["tag"] != tag:
+                        mismatches.append((tag, reply.attrs["tag"]))
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not mismatches
+        assert server.requests_served == workers * calls_each
+
+    def test_reply_reuses_message_id_with_r_suffix(self, served):
+        # Speak the wire protocol by hand to pin the header contract.
+        server, _client, _actor = served
+        sock = connect_to(server.address)
+        try:
+            request = Envelope(
+                headers={
+                    "source": "hand",
+                    "target": "wire",
+                    "operation": "echo",
+                    "message-id": "hand-00000001",
+                },
+                body=XmlElement("ping", {"n": "1"}),
+            )
+            send_frame(sock, request.serialize().encode("utf-8"))
+            reply = Envelope.deserialize(recv_frame(sock).decode("utf-8"))
+            assert reply.headers["message-id"] == "hand-00000001-r"
+            assert reply.headers["operation"] == "echo-response"
+            assert reply.headers["status"] == "ok"
+            assert reply.headers["source"] == "wire"
+            assert reply.headers["target"] == "hand"
+        finally:
+            sock.close()
+
+
+# -- faults -------------------------------------------------------------------
+
+class TestFaults:
+    def test_declared_fault_reraises_and_connection_survives(self, served):
+        _server, client, _actor = served
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="fail",
+                payload=XmlElement("x"),
+            )
+        assert excinfo.value.code == "boom"
+        assert "declared service failure" in excinfo.value.reason
+        # Faults are data, not connection state: the next call reuses the
+        # pooled connection and succeeds.
+        reply = client.call(
+            source="t", target="wire", operation="echo",
+            payload=XmlElement("ping", {"n": "after"}),
+        )
+        assert reply.attrs["n"] == "after"
+
+    def test_unexpected_exception_becomes_internal_error(self, served):
+        _server, client, _actor = served
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="crash",
+                payload=XmlElement("x"),
+            )
+        assert excinfo.value.code == "internal-error"
+        assert "RuntimeError" in excinfo.value.reason
+        assert "kapow" in excinfo.value.reason
+
+    def test_wrong_target_is_no_such_endpoint(self, served):
+        _server, client, _actor = served
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="somebody-else", operation="echo",
+                payload=XmlElement("ping"),
+            )
+        assert excinfo.value.code == "no-such-endpoint"
+
+    def test_unknown_operation_is_a_fault_not_a_hangup(self, served):
+        # Actor.handle raises OperationError (not a Fault) — the server
+        # must map it to internal-error instead of killing the connection.
+        _server, client, _actor = served
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="no-such-op",
+                payload=XmlElement("x"),
+            )
+        assert excinfo.value.code == "internal-error"
+
+    def test_dial_with_nothing_listening(self, tmp_path):
+        client = EnvelopeClient(("unix", str(tmp_path / "nobody.sock")))
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping"),
+            )
+        assert excinfo.value.code == "worker-unavailable"
+
+    def test_closed_client_refuses_calls(self, served):
+        _server, client, _actor = served
+        client.close()
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping"),
+            )
+        assert excinfo.value.code == "worker-unavailable"
+
+    def test_correlation_mismatch_is_worker_unavailable(self, tmp_path):
+        # A rogue server that replies with the wrong message id: the client
+        # must not hand that reply to the caller as if it matched.
+        path = str(tmp_path / "rogue.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(1)
+
+        def rogue() -> None:
+            conn, _ = listener.accept()
+            recv_frame(conn)
+            reply = Envelope(
+                headers={
+                    "source": "rogue",
+                    "target": "t",
+                    "operation": "echo-response",
+                    "message-id": "someone-elses-id-r",
+                    "status": "ok",
+                },
+                body=XmlElement("pong"),
+            )
+            send_frame(conn, reply.serialize().encode("utf-8"))
+            conn.close()
+
+        thread = threading.Thread(target=rogue)
+        thread.start()
+        try:
+            client = EnvelopeClient(("unix", path))
+            with pytest.raises(Fault) as excinfo:
+                client.call(
+                    source="t", target="rogue", operation="echo",
+                    payload=XmlElement("ping"),
+                )
+            assert excinfo.value.code == "worker-unavailable"
+            assert "correlation" in excinfo.value.reason
+            client.close()
+        finally:
+            thread.join()
+            listener.close()
+
+
+# -- malformed frames ---------------------------------------------------------
+
+class TestMalformedFrames:
+    def _await_rejections(self, server: EnvelopeServer, n: int) -> None:
+        deadline = time.monotonic() + 5.0
+        while server.frames_rejected < n and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.frames_rejected >= n
+
+    def test_garbage_closes_that_connection_only(self, served):
+        server, client, _actor = served
+        rogue = connect_to(server.address)
+        try:
+            rogue.sendall(b"GARBAGE!")  # 8 bytes: read as a frame header
+            self._await_rejections(server, 1)
+            # The offender's connection is gone...
+            rogue.settimeout(5.0)
+            assert rogue.recv(1) == b""
+        finally:
+            rogue.close()
+        # ...while a well-formed client is entirely unaffected.
+        reply = client.call(
+            source="t", target="wire", operation="echo",
+            payload=XmlElement("ping", {"n": "ok"}),
+        )
+        assert reply.attrs["n"] == "ok"
+
+    def test_unparsable_envelope_closes_connection(self, served):
+        server, client, _actor = served
+        for junk in (b"not xml at all", b"<pong/>"):
+            rogue = connect_to(server.address)
+            try:
+                before = server.frames_rejected
+                send_frame(rogue, junk)
+                self._await_rejections(server, before + 1)
+                rogue.settimeout(5.0)
+                assert rogue.recv(1) == b""
+            finally:
+                rogue.close()
+        assert client.call(
+            source="t", target="wire", operation="echo",
+            payload=XmlElement("ping", {"n": "still"}),
+        ).attrs["n"] == "still"
+
+
+# -- shutdown -----------------------------------------------------------------
+
+class TestShutdown:
+    def test_stop_drains_in_flight_request(self, served):
+        server, client, _actor = served
+        result = {}
+
+        def slow_call() -> None:
+            result["reply"] = client.call(
+                source="t", target="wire", operation="slow",
+                payload=XmlElement("nap", {"delay": "0.4"}),
+            )
+
+        thread = threading.Thread(target=slow_call)
+        thread.start()
+        time.sleep(0.1)  # let the request reach the actor
+        server.stop(drain_s=5.0)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result["reply"].name == "slept"
+
+    def test_stop_is_idempotent_and_refuses_new_connections(self, served):
+        server, client, _actor = served
+        server.stop()
+        server.stop()
+        fresh = EnvelopeClient(server.address)
+        with pytest.raises(Fault) as excinfo:
+            fresh.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping"),
+            )
+        assert excinfo.value.code == "worker-unavailable"
+        fresh.close()
+
+
+# -- bus integration ----------------------------------------------------------
+
+class TestRemoteEndpoint:
+    def test_bus_clients_reach_socket_served_actor(self, served):
+        _server, client, _actor = served
+        bus = MessageBus()
+        proxy = RemoteEndpoint(client, "wire", operations=("echo", "fail"))
+        bus.register(proxy)
+        assert proxy.operations() == ["echo", "fail"]
+        reply = bus.call(
+            source="bus-user", target="wire", operation="echo",
+            payload=XmlElement("ping", {"n": "via-bus"}),
+        )
+        assert reply.attrs["n"] == "via-bus"
+        # Remote faults propagate through the bus exactly like local ones.
+        with pytest.raises(Fault) as excinfo:
+            bus.call(
+                source="bus-user", target="wire", operation="fail",
+                payload=XmlElement("x"),
+            )
+        assert excinfo.value.code == "boom"

@@ -7,6 +7,7 @@ import pytest
 from repro.store.backends import MemoryBackend
 from repro.store.distributed import (
     FederatedQueryClient,
+    StoreCloseError,
     StoreRouter,
     consolidate,
 )
@@ -66,6 +67,65 @@ class TestRouting:
         router.put(ga(1))
         for s in stores.values():
             assert s.group_members("session-A") == [key(1)]
+
+
+class _ExplodingStore(MemoryBackend):
+    """A member whose close() always fails (a dead fleet worker stand-in)."""
+
+    def close(self) -> None:
+        raise RuntimeError("fsync handle already gone")
+
+
+class TestRouterClose:
+    def test_close_is_idempotent(self):
+        router, stores = make_router()
+        closed = []
+        for name, store in stores.items():
+            store.close = lambda name=name: closed.append(name)
+        router.close()
+        router.close()  # second close is a no-op, not a double-close
+        assert sorted(closed) == sorted(stores)
+
+    def test_close_attempts_every_member_and_aggregates(self):
+        stores = {
+            "store-0": _ExplodingStore(),
+            "store-1": MemoryBackend(),
+            "store-2": _ExplodingStore(),
+        }
+        survivors = []
+        stores["store-1"].close = lambda: survivors.append("store-1")
+        router = StoreRouter(stores)
+        with pytest.raises(StoreCloseError) as excinfo:
+            router.close()
+        # The healthy member was still closed despite its siblings failing.
+        assert survivors == ["store-1"]
+        assert [name for name, _ in excinfo.value.failures] == [
+            "store-0",
+            "store-2",
+        ]
+        assert all(
+            isinstance(exc, RuntimeError) for _, exc in excinfo.value.failures
+        )
+        # And the failure does not reopen the router: close stays done.
+        router.close()
+
+    def test_on_close_hook_runs_last_even_when_members_fail(self):
+        events = []
+        stores = {"store-0": _ExplodingStore(), "store-1": MemoryBackend()}
+        stores["store-1"].close = lambda: events.append("member")
+        router = StoreRouter(stores, on_close=lambda: events.append("hook"))
+        with pytest.raises(StoreCloseError):
+            router.close()
+        assert events == ["member", "hook"]
+
+    def test_failing_on_close_hook_is_aggregated(self):
+        def hook():
+            raise RuntimeError("fleet teardown failed")
+
+        router = StoreRouter({"store-0": MemoryBackend()}, on_close=hook)
+        with pytest.raises(StoreCloseError) as excinfo:
+            router.close()
+        assert [name for name, _ in excinfo.value.failures] == ["<on_close>"]
 
 
 class TestCrossLinks:
