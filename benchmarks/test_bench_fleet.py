@@ -20,7 +20,12 @@ from __future__ import annotations
 import multiprocessing
 from pathlib import Path
 
-from repro.figures.fleet import fleet_sweep_table, run_fleet_sweep
+from repro.figures.fleet import (
+    availability_table,
+    fleet_sweep_table,
+    run_availability_drill,
+    run_fleet_sweep,
+)
 
 #: acceptance bar: 4-worker process fleet vs the in-process baseline.
 SPEEDUP_BAR = 1.5
@@ -100,5 +105,54 @@ def test_bench_fleet_smoke_two_workers(benchmark, tmp_path, report):
     sockets_after = sorted(Path("/tmp").glob("preserv-fleet-*"))
     assert sockets_after == sockets_before, (
         f"smoke left socket directories behind: "
+        f"{[str(p) for p in sockets_after if p not in sockets_before]}"
+    )
+
+
+#: recovery must complete well inside the drill, with CI-host slack.
+RECOVERY_BOUND_S = 30.0
+
+
+def test_bench_fleet_availability_drill(benchmark, tmp_path, report):
+    """Availability under a mid-stream worker crash (R=2 replication).
+
+    A supervised 2-worker R=2 fleet takes concurrent batch writes and
+    reads while one worker is SIGKILLed.  The drill itself verifies zero
+    acked-write loss byte-identically; this bench additionally pins the
+    operational envelope: the read error rate is exactly 0 (failover,
+    not luck) and the supervisor restores replication in bounded time.
+    """
+    sockets_before = sorted(Path("/tmp").glob("preserv-fleet-*"))
+    try:
+        drill = run_availability_drill(
+            tmp_path,
+            workers=2,
+            replicas=2,
+            batches=10,
+            records_per_batch=4,
+            kill_after_batches=3,
+        )
+    finally:
+        for child in _fleet_children():  # pragma: no cover - failure path
+            child.terminate()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report("A10 availability: crash drill", availability_table(drill))
+    benchmark.extra_info["reads"] = drill.reads
+    benchmark.extra_info["read_failures"] = drill.read_failures
+    benchmark.extra_info["failovers"] = drill.failovers
+    benchmark.extra_info["recovery_s"] = round(drill.recovery_s, 3)
+    assert drill.read_error_rate == 0.0, (
+        f"{drill.read_failures}/{drill.reads} reads failed during the drill"
+    )
+    assert drill.verified_records == drill.acked_records == 40
+    assert 0.0 < drill.recovery_s < RECOVERY_BOUND_S, (
+        f"recovery took {drill.recovery_s:.2f}s "
+        f"(bound {RECOVERY_BOUND_S:.0f}s)"
+    )
+    # Orphan guards, as for the smoke: no workers, no socket debris.
+    assert not _fleet_children(), "drill left live worker processes behind"
+    sockets_after = sorted(Path("/tmp").glob("preserv-fleet-*"))
+    assert sockets_after == sockets_before, (
+        f"drill left socket directories behind: "
         f"{[str(p) for p in sockets_after if p not in sockets_before]}"
     )

@@ -26,6 +26,7 @@ from repro.app.services import (
 from repro.app.workflow import CompressibilityWorkflow, WorkflowRunResult
 from repro.bio.refseq import RefSeqDatabase
 from repro.core.client import ProvenanceQueryClient
+from repro.fleet.faults import FaultRule
 from repro.core.instrument import ProvenanceInterceptor
 from repro.core.recorder import Journal, ProvenanceRecorder, RecordingMode
 from repro.registry.client import RegistryClient
@@ -88,6 +89,13 @@ class ExperimentConfig:
     #: attach a background compaction scheduler to the persistent backends
     #: (see :mod:`repro.store.maintenance`); stopped by :meth:`Experiment.close`.
     store_auto_compact: bool = False
+    #: scripted faults for the store worker (crash-sim scenarios, see
+    #: :mod:`repro.fleet.faults`): a tuple of frozen ``FaultRule`` handed
+    #: to the worker's :class:`~repro.fleet.worker.WorkerConfig`, so an
+    #: experiment can deterministically kill/stall its store at a named
+    #: commit point.  Requires ``store_transport="process"`` — there is
+    #: no worker to instrument in-process.
+    store_fault_rules: Tuple[FaultRule, ...] = ()
     journal_path: Optional[Path] = None
     #: virtual-time latency charged per store call (the paper's ~15 ms
     #: retrieve-and-map unit uses the same service).
@@ -136,6 +144,11 @@ class Experiment:
 
         # --- provenance store -------------------------------------------
         if self.config.store_transport == "inprocess":
+            if self.config.store_fault_rules:
+                raise ValueError(
+                    "store_fault_rules requires store_transport='process'; "
+                    "there is no worker process to instrument in-process"
+                )
             self.backend: Optional[ProvenanceStoreInterface] = _make_backend(
                 self.config
             )
@@ -176,6 +189,7 @@ class Experiment:
                 shards=self.config.store_shards,
                 auto_compact=self.config.store_auto_compact,
                 pipeline_depth=self.config.store_pipeline_depth,
+                fault_rules=tuple(self.config.store_fault_rules),
             )
             self.store_worker = WorkerHandle(
                 "preserv", worker_config, multiprocessing.get_context("spawn")

@@ -249,6 +249,228 @@ def run_fleet_sweep(
     return points
 
 
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """One crash drill's outcome: what the replicated fleet survived."""
+
+    workers: int
+    replicas: int
+    acked_records: int
+    retried_batches: int
+    reads: int
+    read_failures: int
+    failovers: int
+    recovery_s: float
+    verified_records: int
+
+    @property
+    def read_error_rate(self) -> float:
+        return self.read_failures / self.reads if self.reads else 0.0
+
+
+def run_availability_drill(
+    tmp_dir: Path,
+    workers: int = 4,
+    replicas: int = 2,
+    batches: int = 24,
+    records_per_batch: int = 4,
+    kill_after_batches: int = 6,
+    victim: Optional[str] = None,
+    sync: bool = True,
+    probe_interval_s: float = 0.1,
+    recovery_timeout_s: float = 60.0,
+) -> AvailabilityReport:
+    """The deterministic crash drill: kill a replica mid-stream, lose nothing.
+
+    An R-way replicated process fleet takes a stream of ``put_many``
+    batches while a reader queries already-acknowledged records.  After
+    ``kill_after_batches`` acknowledged batches one worker is SIGKILLed.
+    The writer retries in-doubt batches until they acknowledge (replicated
+    commits are duplicate-tolerant, so retries converge); the reader must
+    never fail (replica failover); the supervisor must restart and resync
+    the victim.  The drill then verifies **every acknowledged record** is
+    readable and byte-identical to what was written, from every live
+    replica that should hold it.
+    """
+    from repro.fleet.supervisor import FleetSupervisor
+    from repro.store.distributed import (
+        FederatedQueryClient,
+        PartialCommitError,
+        sharded_store_fleet,
+    )
+    from repro.soa.envelope import Fault
+
+    if not 0 < kill_after_batches < batches:
+        raise ValueError("kill_after_batches must fall inside the batch stream")
+    router = sharded_store_fleet(
+        tmp_dir / "drill",
+        members=workers,
+        transport="process",
+        sync=sync,
+        replicas=replicas,
+    )
+    fleet = router.fleet  # type: ignore[attr-defined]
+    supervisor = FleetSupervisor(
+        fleet, router=router, probe_interval_s=probe_interval_s
+    )
+    victim = victim or fleet.worker_names[0]
+    queries = FederatedQueryClient(router)
+    #: store_key -> canonical bytes of what was acknowledged.
+    acked: dict = {}
+    retried_batches = 0
+    reads = 0
+    read_failures = 0
+    stop_reader = threading.Event()
+    reader_errors: List[BaseException] = []
+
+    def reader() -> None:
+        nonlocal reads, read_failures
+        while not stop_reader.is_set():
+            for store_key in list(acked):
+                if stop_reader.is_set():
+                    return
+                try:
+                    queries.interaction_passertions(store_key[0])
+                except BaseException as exc:
+                    read_failures += 1
+                    reader_errors.append(exc)
+                reads += 1
+            time.sleep(0.01)
+
+    try:
+        with supervisor:
+            reader_thread = threading.Thread(target=reader, daemon=True)
+            reader_thread.start()
+            counter = 0
+            for batch_index in range(batches):
+                batch = []
+                for _ in range(records_per_batch):
+                    key = InteractionKey(
+                        interaction_id=f"drill-{counter:06d}",
+                        sender="drill-client",
+                        receiver="drill-service",
+                    )
+                    content = XmlElement("envelope")
+                    content.element("body").element(
+                        "data", f"payload-{counter}"
+                    )
+                    batch.append(
+                        InteractionPAssertion(
+                            interaction_key=key,
+                            view=ViewKind.SENDER,
+                            asserter="drill-client",
+                            local_id=f"pa-{counter}",
+                            operation="invoke",
+                            content=content,
+                        )
+                    )
+                    counter += 1
+                # Retry until the whole batch acknowledges: a partial
+                # commit is never acked, and replicated retries converge.
+                while True:
+                    try:
+                        router.put_many(batch)
+                        break
+                    except (PartialCommitError, Fault):
+                        retried_batches += 1
+                        time.sleep(0.05)
+                for assertion in batch:
+                    acked[assertion.store_key] = (
+                        assertion.to_xml().serialize()
+                    )
+                if batch_index + 1 == kill_after_batches:
+                    fleet.kill(victim)
+            # Wait for the supervisor to restore full replication.
+            deadline = time.monotonic() + recovery_timeout_s
+            while time.monotonic() < deadline:
+                if (
+                    supervisor.status()[victim]["state"] == "healthy"
+                    and not router.degraded_members
+                    and not router.pending_repairs()
+                ):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError(
+                    f"fleet did not recover within {recovery_timeout_s:.0f}s: "
+                    f"status={supervisor.status()!r} "
+                    f"degraded={router.degraded_members!r} "
+                    f"pending={router.pending_repairs()!r}"
+                )
+            stop_reader.set()
+            reader_thread.join(timeout=30.0)
+            died = next(
+                t for t, w, e, _ in supervisor.events
+                if w == victim and e == "died"
+            )
+            restored = next(
+                t for t, w, e, _ in supervisor.events
+                if w == victim and e == "restored" and t > died
+            )
+            # -- verification: zero acked-write loss, byte-identical ------
+            verified = 0
+            for (key, *_rest), expected in acked.items():
+                for member in router.replica_set(key):
+                    held = router.store(member).interaction_passertions(key)
+                    match = [
+                        p for p in held
+                        if p.to_xml().serialize() == expected
+                    ]
+                    if not match:
+                        raise AssertionError(
+                            f"acked record {key} missing or altered on "
+                            f"replica {member!r}"
+                        )
+                verified += 1
+    finally:
+        stop_reader.set()
+        router.close()
+    if reader_errors:
+        raise AssertionError(
+            f"{read_failures} read(s) failed during the drill; first: "
+            f"{reader_errors[0]!r}"
+        )
+    return AvailabilityReport(
+        workers=workers,
+        replicas=replicas,
+        acked_records=len(acked),
+        retried_batches=retried_batches,
+        reads=reads,
+        read_failures=read_failures,
+        failovers=queries.failovers,
+        recovery_s=restored - died,
+        verified_records=verified,
+    )
+
+
+def availability_table(report: AvailabilityReport) -> str:
+    headers = [
+        "workers",
+        "replicas",
+        "acked",
+        "verified",
+        "retried batches",
+        "reads",
+        "read errors",
+        "failovers",
+        "recovery (s)",
+    ]
+    rows = [
+        [
+            report.workers,
+            report.replicas,
+            report.acked_records,
+            report.verified_records,
+            report.retried_batches,
+            report.reads,
+            report.read_failures,
+            report.failovers,
+            f"{report.recovery_s:.2f}",
+        ]
+    ]
+    return format_table(headers, rows)
+
+
 def fleet_sweep_table(points: List[FleetSweepPoint]) -> str:
     base_point: Optional[FleetSweepPoint] = next(
         (p for p in points if p.transport == BUS), points[0] if points else None

@@ -58,14 +58,27 @@ class FleetError(RuntimeError):
 
 
 class WorkerHandle:
-    """One worker: its process, its config, and a client to its socket."""
+    """One worker: its process, its config, and a client to its socket.
 
-    def __init__(self, name: str, config: WorkerConfig, ctx) -> None:
+    The client outlives the *process*: a restart respawns the worker on
+    the same socket path and hands the old handle's client to the fresh
+    handle (``client=``), so a :class:`~repro.fleet.remote.RemoteStore`
+    built before a crash keeps working after the supervisor's restart —
+    the pool is invalidated, not closed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: WorkerConfig,
+        ctx,
+        client: Optional[EnvelopeClient] = None,
+    ) -> None:
         self.name = name
         self.config = config
         self._ctx = ctx
         self.process: Optional[multiprocessing.Process] = None
-        self.client = EnvelopeClient(config.address)
+        self.client = client or EnvelopeClient(config.address, peer_name=name)
 
     def spawn(self) -> None:
         # Daemonic: if the parent dies without cleanup, the interpreter
@@ -139,11 +152,16 @@ class WorkerHandle:
         self.client.close()
 
     def kill(self) -> None:
-        """SIGKILL, no warning — the crash-drill entry point."""
+        """SIGKILL, no warning — the crash-drill entry point.
+
+        Pooled connections now point at a corpse, so they are evicted;
+        the client itself stays open because a supervisor restart brings
+        the same socket path back and existing proxies must keep working.
+        """
         if self.process is not None and self.process.is_alive():
             self.process.kill()
             self.process.join(timeout=10.0)
-        self.client.close()
+        self.client.invalidate()
 
 
 class ProcessFleet:
@@ -167,6 +185,7 @@ class ProcessFleet:
         start_method: str = "spawn",
         health_timeout_s: float = HEALTH_TIMEOUT_S,
         socket_dir: Optional[str] = None,
+        fault_rules: Optional[Dict[str, tuple]] = None,
     ):
         if members < 1:
             raise ValueError("fleet needs at least one member store")
@@ -210,6 +229,10 @@ class ProcessFleet:
                 auto_compact=auto_compact,
                 pipeline_depth=pipeline_depth,
                 commit_barrier_s=commit_barrier_s,
+                # Scripted crash-sim faults for this worker; the rules
+                # travel in the picklable config and the child rebuilds
+                # its FaultPlan (see repro.fleet.faults).
+                fault_rules=tuple((fault_rules or {}).get(name, ())),
             )
             self._handles[name] = WorkerHandle(name, config, self._ctx)
         atexit.register(self._atexit_cleanup)
@@ -269,7 +292,13 @@ class ProcessFleet:
         sock_path = Path(handle.config.address[1])
         if sock_path.exists():
             sock_path.unlink()  # a killed worker leaves its socket file
-        fresh = WorkerHandle(name, handle.config, self._ctx)
+        # Same socket path, same client: proxies built before the crash
+        # keep working (their pooled sockets were evicted by kill()).  A
+        # worker stopped gracefully closed its client, so it gets a new one.
+        client = None if handle.client.closed else handle.client
+        if client is not None:
+            client.invalidate()
+        fresh = WorkerHandle(name, handle.config, self._ctx, client=client)
         self._handles[name] = fresh
         fresh.spawn()
         fresh.wait_healthy(health_timeout_s)

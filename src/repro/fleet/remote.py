@@ -23,7 +23,7 @@ the logs live, not a streaming RPC.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.client import ProvenanceQueryClient, ProvenanceRecordClient
 from repro.core.passertion import (
@@ -138,6 +138,58 @@ class RemoteStore:
     def shard_generations(self) -> tuple:
         raw = self._admin("shard-generations").attrs["generations"]
         return tuple(int(g) for g in raw.split(",") if g)
+
+    def sequence_watermark(self) -> int:
+        """The worker log's next sequence number (the resync cursor)."""
+        return int(self._admin("watermark").attrs["watermark"])
+
+    # -- resync stream ---------------------------------------------------------
+    def _replicate(self, payload: XmlElement) -> XmlElement:
+        return self.client.call(
+            source=f"{self.name}-resync",
+            target=self._endpoint,
+            operation="replicate",
+            payload=payload,
+        )
+
+    def replicate_pull(
+        self, after: int = 0, limit: int = 256
+    ) -> Tuple[List[Tuple[int, XmlElement]], int, bool]:
+        """One page of this worker's log past cursor ``after``.
+
+        Returns ``(entries, next_cursor, done)`` where each entry is
+        ``(sequence, assertion_element)`` in global insertion order.
+        """
+        page = self._replicate(
+            XmlElement(
+                "replicate",
+                {"mode": "pull", "after": str(after), "limit": str(limit)},
+            )
+        )
+        entries: List[Tuple[int, XmlElement]] = []
+        for entry in page.find_all("entry"):
+            inner = next(entry.iter_elements(), None)
+            if inner is not None:
+                entries.append((int(entry.attrs["seq"]), inner))
+        return (
+            entries,
+            int(page.attrs["next"]),
+            page.attrs.get("done") == "true",
+        )
+
+    def replicate_push(
+        self, assertions: Iterable[XmlElement]
+    ) -> Tuple[int, int]:
+        """Apply wire-form assertions, skipping duplicates.
+
+        Returns ``(applied, skipped)`` — idempotent, so a crashed resync
+        can simply replay its last page.
+        """
+        payload = XmlElement("replicate", {"mode": "push"})
+        for el in assertions:
+            payload.element("entry").add(el)
+        ack = self._replicate(payload)
+        return int(ack.attrs["applied"]), int(ack.attrs["skipped"])
 
     def ping(self) -> Dict[str, str]:
         """Liveness probe; returns the worker's pong attributes."""

@@ -27,12 +27,15 @@ from __future__ import annotations
 import signal
 import threading
 import time
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
+from repro.core.passertion import GroupAssertion, parse_passertion
+from repro.fleet.faults import FaultPlan, FaultRule, attach_fault_points
 from repro.soa.envelope import Fault
 from repro.soa.transport import Address, EnvelopeServer
-from repro.soa.xmldoc import XmlElement
+from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.interface import DuplicateAssertionError
 from repro.store.service import PReServActor
 
 
@@ -51,6 +54,10 @@ class WorkerConfig:
     pipeline_depth: int = 1
     #: modelled per-group-commit device stall (0 = real device speed).
     commit_barrier_s: float = 0.0
+    #: scripted faults for this worker (crash-sim scenarios); a tuple of
+    #: frozen :class:`~repro.fleet.faults.FaultRule` so the config stays
+    #: picklable for ``spawn`` — the child rebuilds the FaultPlan.
+    fault_rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
 
 
 def attach_commit_barrier(backend: object, barrier_s: float) -> None:
@@ -88,6 +95,13 @@ def encode_generation_token(token: object) -> str:
     if isinstance(token, tuple):
         return ":".join(str(part) for part in token)
     return f"g:{token}"
+
+
+def _assertion_from_el(el: XmlElement):
+    """Decode one wire-form assertion element (group or p-assertion)."""
+    if el.name == "group-assertion":
+        return GroupAssertion.from_xml(el)
+    return parse_passertion(el)
 
 
 class FleetWorkerActor(PReServActor):
@@ -128,7 +142,70 @@ class FleetWorkerActor(PReServActor):
                 "admin-result",
                 {"generations": ",".join(str(g) for g in gens)},
             )
+        if op == "watermark":
+            watermark = getattr(self.backend, "sequence_watermark", None)
+            if watermark is None:
+                raise Fault(
+                    "bad-admin",
+                    f"backend {type(self.backend).__name__} has no "
+                    f"sequence watermark (resync needs a log-backed store)",
+                )
+            return XmlElement(
+                "admin-result", {"watermark": str(watermark())}
+            )
         raise Fault("bad-admin", f"unknown admin op {op!r}")
+
+    def op_replicate(self, payload: XmlElement) -> XmlElement:
+        """Resync stream: page out this store's log, or absorb a peer's.
+
+        ``pull`` returns a page of ``(sequence, assertion)`` records past a
+        cursor in global insertion order; ``push`` applies a page of
+        assertions, skipping duplicates — so a resync (pull from a live
+        peer, push into the rejoined replica) is idempotent end to end and
+        a crashed resync simply restarts from its last cursor.
+        """
+        mode = payload.attrs.get("mode", "")
+        if mode == "pull":
+            scan = getattr(self.backend, "scan_suffix", None)
+            if scan is None:
+                raise Fault(
+                    "bad-replicate",
+                    f"backend {type(self.backend).__name__} cannot stream "
+                    f"its log (no scan_suffix)",
+                )
+            after = int(payload.attrs.get("after", "0"))
+            limit = int(payload.attrs.get("limit", "256"))
+            entries = scan(after=after, limit=limit + 1)
+            done = len(entries) <= limit
+            entries = entries[:limit]
+            page = XmlElement(
+                "replica-page",
+                {
+                    "count": str(len(entries)),
+                    "next": str(entries[-1][0] + 1 if entries else after),
+                    "done": "true" if done else "false",
+                },
+            )
+            for seq, text in entries:
+                page.element("entry", seq=str(seq)).add(parse_xml(text))
+            return page
+        if mode == "push":
+            applied = skipped = 0
+            for entry in payload.find_all("entry"):
+                inner = next(entry.iter_elements(), None)
+                if inner is None:
+                    continue
+                assertion = _assertion_from_el(inner)
+                try:
+                    self.backend.put(assertion)
+                    applied += 1
+                except DuplicateAssertionError:
+                    skipped += 1
+            return XmlElement(
+                "replica-ack",
+                {"applied": str(applied), "skipped": str(skipped)},
+            )
+        raise Fault("bad-replicate", f"unknown replicate mode {mode!r}")
 
     def op_shutdown(self, payload: XmlElement) -> XmlElement:
         """Ask the worker to exit; the ack is sent before it does."""
@@ -137,7 +214,9 @@ class FleetWorkerActor(PReServActor):
         return XmlElement("shutdown-ack", {"endpoint": self.endpoint})
 
 
-def build_worker_backend(config: WorkerConfig):
+def build_worker_backend(
+    config: WorkerConfig, fault_plan: Optional[FaultPlan] = None
+):
     """The worker's own backend, via the store factory."""
     from repro.store import make_backend
 
@@ -148,6 +227,10 @@ def build_worker_backend(config: WorkerConfig):
         kwargs["segment_size"] = config.segment_size
     backend = make_backend(config.backend, config.path, **kwargs)
     attach_commit_barrier(backend, config.commit_barrier_s)
+    if fault_plan is not None:
+        # Fault points wrap *outside* the barrier: a scripted ``die`` at
+        # ``commit`` fires before anything persists.
+        attach_fault_points(backend, fault_plan)
     return backend
 
 
@@ -158,14 +241,19 @@ def run_worker(config: WorkerConfig) -> None:
     # gone; SIGINT would otherwise hit every fleet child on a console ^C.
     signal.signal(signal.SIGTERM, lambda *_: shutdown.set())
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    backend = build_worker_backend(config)
+    fault_plan = FaultPlan(config.fault_rules) if config.fault_rules else None
+    if fault_plan is not None:
+        # Counted per process: a worker scripted to die here dies on every
+        # (re)start — the flap shape the supervisor's backoff cap handles.
+        fault_plan.fire("worker-start")
+    backend = build_worker_backend(config, fault_plan)
     actor = FleetWorkerActor(
         backend,
         endpoint=config.endpoint,
         pipeline_depth=config.pipeline_depth,
         shutdown_event=shutdown,
     )
-    server = EnvelopeServer(actor, config.address)
+    server = EnvelopeServer(actor, config.address, fault_plan=fault_plan)
     server.start()
     try:
         shutdown.wait()

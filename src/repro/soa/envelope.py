@@ -15,22 +15,45 @@ from repro.soa.xmldoc import XmlElement, parse_xml
 
 
 class Fault(Exception):
-    """A service-side failure transported back to the caller."""
+    """A service-side failure transported back to the caller.
 
-    def __init__(self, code: str, reason: str):
+    ``detail`` is an optional flat string map of diagnostic context —
+    which worker failed, at what address, after how many attempts — so an
+    operator reading the fault can tell *which* member of a fleet broke,
+    not just that one did.  It round-trips through the wire form and is
+    never part of fault identity (handlers dispatch on ``code`` alone).
+    """
+
+    def __init__(
+        self, code: str, reason: str, detail: Optional[Dict[str, str]] = None
+    ):
         super().__init__(f"{code}: {reason}")
         self.code = code
         self.reason = reason
+        self.detail: Dict[str, str] = dict(detail or {})
 
     def to_xml(self) -> XmlElement:
         el = XmlElement("fault")
         el.element("code", self.code)
         el.element("reason", self.reason)
+        if self.detail:
+            detail_el = el.element("detail")
+            for key in sorted(self.detail):
+                detail_el.element("entry", self.detail[key], key=key)
         return el
 
     @classmethod
     def from_xml(cls, el: XmlElement) -> "Fault":
-        return cls(code=el.require("code").text, reason=el.require("reason").text)
+        detail: Dict[str, str] = {}
+        detail_el = el.find("detail")
+        if detail_el is not None:
+            for entry in detail_el.find_all("entry"):
+                detail[entry.attrs["key"]] = entry.text
+        return cls(
+            code=el.require("code").text,
+            reason=el.require("reason").text,
+            detail=detail or None,
+        )
 
 
 @dataclass

@@ -41,6 +41,8 @@ import itertools
 import socket
 import struct
 import threading
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.soa.actor import Actor
@@ -59,8 +61,56 @@ POLL_INTERVAL_S = 0.2
 #: once a frame has started arriving, how long the rest may take.
 MID_FRAME_TIMEOUT_S = 30.0
 
+#: data-path default: a group commit against a slow device may take a while.
+DEFAULT_TIMEOUT_S = 120.0
+#: health/admin default: probes and failover decisions must be *fast* — a
+#: supervisor waiting the data-path 120 s to learn a worker is dead would
+#: turn every failover into a two-minute outage.
+ADMIN_TIMEOUT_S = 2.0
+#: operations that are safe to retry after any transport failure: a
+#: re-executed ping/query/admin changes no store state, a shutdown
+#: re-requested is a no-op, and the resync stream (``replicate``) skips
+#: duplicates by design — so at-least-once delivery is harmless.
+IDEMPOTENT_OPERATIONS = frozenset(
+    {"ping", "query", "admin", "shutdown", "replicate"}
+)
+
 #: ("unix", path) or ("tcp", host, port).
 Address = Union[Tuple[str, str], Tuple[str, str, int]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for idempotent operations.
+
+    ``attempts`` is the *total* number of tries; delays between try ``k``
+    and ``k+1`` grow geometrically from ``backoff_s`` and are capped at
+    ``max_backoff_s``.  The policy exists so a transient worker restart
+    (sub-second under the supervisor) is invisible to idempotent callers,
+    while a genuinely dead worker still surfaces quickly — with the final
+    underlying failure, not a retry-layer abstraction, in the fault.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Sleep before attempt ``attempt`` (2-based; no delay before 1)."""
+        exponent = max(0, attempt - 2)
+        return min(
+            self.backoff_s * (self.backoff_factor ** exponent),
+            self.max_backoff_s,
+        )
+
+
+#: retry nothing: one attempt whatever the operation.
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 class TransportError(Exception):
@@ -180,10 +230,15 @@ class EnvelopeServer:
         address: Address,
         serialize_dispatch: bool = True,
         poll_interval_s: float = POLL_INTERVAL_S,
+        fault_plan: Optional[object] = None,
     ):
         self.actor = actor
         self._requested_address = address
         self._poll_interval_s = poll_interval_s
+        #: a :class:`~repro.fleet.faults.FaultPlan` (duck-typed: anything
+        #: with ``check(point)``) scripting deterministic failures at the
+        #: ``server-recv``/``server-send`` fault points; None in production.
+        self.fault_plan = fault_plan
         self._dispatch_lock = threading.Lock() if serialize_dispatch else None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -283,12 +338,30 @@ class EnvelopeServer:
                 sock.settimeout(MID_FRAME_TIMEOUT_S)
                 try:
                     frame = recv_frame(sock, head=head)
+                    if self._fire_fault("server-recv"):
+                        return  # scripted drop: sever this connection
                     reply = self._handle_frame(frame)
                 except (TransportError, socket.timeout, ValueError, KeyError):
                     # Malformed frame or unparsable envelope: the stream's
                     # framing can no longer be trusted — reject by closing.
                     self.frames_rejected += 1
                     return
+                rule = (
+                    self.fault_plan.check("server-send")
+                    if self.fault_plan is not None
+                    else None
+                )
+                if rule is not None:
+                    if rule.action == "drop":
+                        return  # reply scripted to never arrive
+                    if rule.action == "corrupt":
+                        # Flip one payload byte: the client must reject the
+                        # reply (parse/correlation failure), not trust it.
+                        reply = reply[:-1] + bytes([reply[-1] ^ 0xFF])
+                    else:
+                        from repro.fleet.faults import apply_rule
+
+                        apply_rule(rule, "server-send")
                 try:
                     send_frame(sock, reply)
                 except OSError:
@@ -300,6 +373,26 @@ class EnvelopeServer:
                 pass
             with self._conn_lock:
                 self._connections.pop(threading.current_thread(), None)
+
+    def _fire_fault(self, point: str) -> bool:
+        """Consult the fault plan at ``point``; True = sever the connection.
+
+        ``die`` and ``delay`` are applied in place; ``drop``/``fault``
+        (and ``corrupt``, which has no meaning before a reply exists)
+        sever the offending connection — precisely the blast radius a
+        malformed frame gets.
+        """
+        if self.fault_plan is None:
+            return False
+        rule = self.fault_plan.check(point)
+        if rule is None:
+            return False
+        if rule.action in ("drop", "corrupt", "fault"):
+            return True
+        from repro.fleet.faults import apply_rule
+
+        apply_rule(rule, point)  # die exits the process; delay sleeps
+        return False
 
     def _handle_frame(self, frame: bytes) -> bytes:
         """One request → one serialized reply envelope (never raises)."""
@@ -353,6 +446,27 @@ class EnvelopeServer:
 
 # -- client -------------------------------------------------------------------
 
+class _SendFailed(Exception):
+    """Internal marker: the request frame never (fully) reached the wire.
+
+    ``pooled`` records whether the socket came from the idle pool — the
+    stale-connection signature a worker restart leaves behind.
+    """
+
+    def __init__(self, cause: BaseException, pooled: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.pooled = pooled
+
+
+class _ExchangeFailed(Exception):
+    """Internal marker: the request may have been dispatched server-side."""
+
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
 class EnvelopeClient:
     """The caller half: ``call()`` has the in-process bus's signature.
 
@@ -360,44 +474,95 @@ class EnvelopeClient:
     their own connection (the server runs one request thread per
     connection), and idle connections are reused.  Any transport failure —
     refused connection, reset, EOF mid-reply, protocol violation — is
-    raised as ``Fault("worker-unavailable", ...)``: to the layers above, a
-    dead worker looks like a faulting service, not a socket error.
+    raised as ``Fault("worker-unavailable", ...)`` whose detail payload
+    names the worker, its address, and how many attempts were made: to the
+    layers above, a dead worker looks like a faulting service, not a
+    socket error, and the operator can tell *which* member failed.
+
+    Three robustness policies, all bounded and deterministic:
+
+    * **per-operation deadlines** — ``ping``/``admin`` default to
+      :data:`ADMIN_TIMEOUT_S` (~2 s) instead of the 120 s data-path
+      timeout, so health probes and failover decisions are fast; any call
+      may pass an explicit ``timeout_s``;
+    * **stale-pool eviction** — a pooled socket a worker restart broke
+      fails at *send* time; since the request never reached the new
+      worker, the client discards the socket and transparently redials
+      once, whatever the operation — the first call after a restart
+      succeeds instead of surfacing ``worker-unavailable``;
+    * **idempotent retry** — operations in :data:`IDEMPOTENT_OPERATIONS`
+      (``ping``/``query``/``admin``/``shutdown``) are additionally retried
+      under :class:`RetryPolicy` with exponential backoff, because
+      re-executing them changes no store state.  Non-idempotent operations
+      (``record``) are *never* retried past the send phase: the batch may
+      have committed, and replaying it would duplicate data.  When the
+      budget is exhausted the *final underlying* failure propagates in the
+      fault's reason/cause.
     """
 
     def __init__(
         self,
         address: Address,
-        timeout_s: Optional[float] = 120.0,
+        timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
         max_pool: int = 8,
+        peer_name: Optional[str] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        admin_timeout_s: float = ADMIN_TIMEOUT_S,
+        fault_plan: Optional[object] = None,
     ):
         self.address = address
         self.timeout_s = timeout_s
         self.max_pool = max_pool
+        #: which worker this client dials, for fault detail payloads.
+        self.peer_name = peer_name
+        self.retry = retry
+        #: per-operation deadline overrides; health/admin ops probe fast.
+        self.op_timeouts: Dict[str, float] = {
+            "ping": admin_timeout_s,
+            "admin": admin_timeout_s,
+        }
+        self.fault_plan = fault_plan
         self._free: List[socket.socket] = []
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
         self.calls = 0
+        self.reconnects = 0
+        self.retries = 0
 
     # -- pool ----------------------------------------------------------------
-    def _acquire(self) -> socket.socket:
+    def _acquire(self, timeout_s: Optional[float]) -> Tuple[socket.socket, bool]:
+        """A connection plus whether it was reused from the idle pool."""
         with self._lock:
             if self._closed:
-                raise Fault("worker-unavailable", "client is closed")
+                raise Fault(
+                    "worker-unavailable",
+                    "client is closed",
+                    detail=self._fault_detail(1),
+                )
             if self._free:
-                return self._free.pop()
+                sock = self._free.pop()
+                sock.settimeout(timeout_s)
+                return sock, True
+        if self.fault_plan is not None:
+            rule = self.fault_plan.check("client-connect")
+            if rule is not None:
+                if rule.action in ("drop", "fault", "corrupt"):
+                    raise _SendFailed(
+                        ConnectionRefusedError("scripted connect fault"),
+                        pooled=False,
+                    )
+                from repro.fleet.faults import apply_rule
+
+                apply_rule(rule, "client-connect")
         try:
-            sock = connect_to(self.address, timeout=self.timeout_s)
+            sock = connect_to(self.address, timeout=timeout_s)
         except OSError as exc:
-            # Nothing listening (yet, or any more): same fault the layers
-            # above see for every other transport failure.
-            raise Fault(
-                "worker-unavailable",
-                f"cannot connect to {self.address}: "
-                f"{type(exc).__name__}: {exc}",
-            ) from exc
-        sock.settimeout(self.timeout_s)
-        return sock
+            # Nothing listening (yet, or any more): the caller's retry
+            # loop decides whether to back off or surface the fault.
+            raise _ExchangeFailed(exc) from exc
+        sock.settimeout(timeout_s)
+        return sock, False
 
     def _release(self, sock: socket.socket) -> None:
         with self._lock:
@@ -405,6 +570,20 @@ class EnvelopeClient:
                 self._free.append(sock)
                 return
         sock.close()
+
+    def invalidate(self) -> None:
+        """Drop every idle pooled connection; the client stays usable.
+
+        Called when the peer is known to have restarted (the pooled
+        sockets all point at a dead process); the next call dials fresh.
+        """
+        with self._lock:
+            free, self._free = self._free, []
+        for sock in free:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def close(self) -> None:
         with self._lock:
@@ -416,21 +595,30 @@ class EnvelopeClient:
             except OSError:  # pragma: no cover - already closed
                 pass
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # -- invocation ----------------------------------------------------------
-    def call(
+    def _fault_detail(self, attempts: int) -> Dict[str, str]:
+        detail = {
+            "address": str(self.address),
+            "attempts": str(attempts),
+        }
+        if self.peer_name is not None:
+            detail["worker"] = self.peer_name
+        return detail
+
+    def _exchange(
         self,
         source: str,
         target: str,
         operation: str,
         payload: XmlElement,
-        extra_headers: Optional[Dict[str, str]] = None,
+        extra_headers: Optional[Dict[str, str]],
+        timeout_s: Optional[float],
     ) -> XmlElement:
-        """Invoke ``operation`` on the remote actor; returns the reply body.
-
-        Same contract as :meth:`repro.soa.bus.MessageBus.call`: a service
-        fault is re-raised as :class:`~repro.soa.envelope.Fault`; transport
-        failures become ``Fault("worker-unavailable", ...)``.
-        """
+        """One request/reply exchange; raises the internal markers."""
         message_id = f"{source}-{next(self._ids):08d}"
         headers = {
             "source": source,
@@ -443,12 +631,20 @@ class EnvelopeClient:
         request = Envelope(headers=headers, body=payload)
         request.validate()
         frame = request.serialize().encode("utf-8")
-        sock = self._acquire()
+        sock, pooled = self._acquire(timeout_s)
+        sent = False
         try:
+            if self.fault_plan is not None:
+                rule = self.fault_plan.check("client-send")
+                if rule is not None:
+                    if rule.action in ("drop", "fault", "corrupt"):
+                        raise BrokenPipeError("scripted send fault")
+                    from repro.fleet.faults import apply_rule
+
+                    apply_rule(rule, "client-send")
             send_frame(sock, frame)
-            response = Envelope.deserialize(
-                recv_frame(sock).decode("utf-8")
-            )
+            sent = True
+            response = Envelope.deserialize(recv_frame(sock).decode("utf-8"))
             if response.headers.get("message-id") != f"{message_id}-r":
                 raise TransportError(
                     f"reply correlation mismatch: sent {message_id!r}, "
@@ -456,17 +652,94 @@ class EnvelopeClient:
                 )
         except (OSError, TransportError, ValueError) as exc:
             sock.close()
-            raise Fault(
-                "worker-unavailable",
-                f"{target!r} at {self.address}: "
-                f"{type(exc).__name__}: {exc}",
-            ) from exc
+            if not sent:
+                # The server never saw a full frame (a partial send is
+                # rejected by its framing layer, never dispatched), so
+                # re-sending cannot double-execute anything.
+                raise _SendFailed(exc, pooled=pooled) from exc
+            raise _ExchangeFailed(exc) from exc
         with self._lock:
             self.calls += 1
         self._release(sock)
         if response.headers.get("status") == "fault":
             raise Fault.from_xml(response.body)
         return response.body
+
+    def call(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        payload: XmlElement,
+        extra_headers: Optional[Dict[str, str]] = None,
+        timeout_s: Optional[float] = None,
+        idempotent: Optional[bool] = None,
+    ) -> XmlElement:
+        """Invoke ``operation`` on the remote actor; returns the reply body.
+
+        Same contract as :meth:`repro.soa.bus.MessageBus.call`: a service
+        fault is re-raised as :class:`~repro.soa.envelope.Fault`; transport
+        failures become ``Fault("worker-unavailable", ...)`` after the
+        retry budget (see the class docstring) is exhausted.  ``timeout_s``
+        overrides the per-operation deadline; ``idempotent`` overrides the
+        :data:`IDEMPOTENT_OPERATIONS` default for this call.
+        """
+        if idempotent is None:
+            idempotent = operation in IDEMPOTENT_OPERATIONS
+        effective_timeout = (
+            timeout_s
+            if timeout_s is not None
+            else self.op_timeouts.get(operation, self.timeout_s)
+        )
+        budget = self.retry.attempts if idempotent else 1
+        reconnect_budget = 1  # one free redial for a stale pooled socket
+        attempt = 0
+        attempts_made = 0
+        last_cause: Optional[BaseException] = None
+        while attempt < budget:
+            attempt += 1
+            attempts_made += 1
+            try:
+                return self._exchange(
+                    source,
+                    target,
+                    operation,
+                    payload,
+                    extra_headers,
+                    effective_timeout,
+                )
+            except _SendFailed as exc:
+                last_cause = exc.cause
+                if exc.pooled and reconnect_budget > 0:
+                    # Stale pooled socket (the worker restarted under
+                    # it): evict the rest of the pool too — they all
+                    # point at the dead process — and redial once without
+                    # spending the retry budget.
+                    reconnect_budget -= 1
+                    attempt -= 1
+                    self.invalidate()
+                    with self._lock:
+                        self.reconnects += 1
+                    continue
+                if not idempotent:
+                    # Unsent request: safe to retry even without
+                    # idempotence, but only within the retry budget — and
+                    # non-idempotent ops have a budget of one.
+                    break
+            except _ExchangeFailed as exc:
+                last_cause = exc.cause
+                if not idempotent:
+                    break
+            if attempt < budget:
+                with self._lock:
+                    self.retries += 1
+                time.sleep(self.retry.delay_before(attempt + 1))
+        target_desc = f"{target!r} at {self.address}"
+        raise Fault(
+            "worker-unavailable",
+            f"{target_desc}: {type(last_cause).__name__}: {last_cause}",
+            detail=self._fault_detail(attempts_made),
+        ) from last_cause
 
 
 class RemoteEndpoint(Actor):

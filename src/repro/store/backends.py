@@ -526,6 +526,38 @@ class KVLogBackend(ProvenanceStoreInterface):
         finally:
             self._bump_for(keyed, len(assertions))
 
+    # -- resync stream (see repro.fleet.supervisor) -------------------------
+    def sequence_watermark(self) -> int:
+        """The next sequence number this store will assign.
+
+        Every committed record has a sequence strictly below the
+        watermark, so a peer that recorded this store's watermark at time
+        T can later pull exactly the records committed after T with
+        ``scan_suffix(after=watermark)`` — the resync protocol's cursor.
+        """
+        return self._seq
+
+    def scan_suffix(self, after: int = 0, limit: int = 1024) -> List[Tuple[int, str]]:
+        """Up to ``limit`` ``(sequence, assertion_xml)`` records with
+        sequence >= ``after``, in global insertion order.
+
+        Each page re-walks the log from the start (the append-only layout
+        has no seek index), so a full resync costs O(pages x log) reads —
+        acceptable for the recovery path, which runs rarely and off the
+        ingest thread.  ``after=0`` streams the whole store.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        out: List[Tuple[int, str]] = []
+        for key, value in self._log.scan():
+            seq = int(key.rsplit(b"|", 1)[-1].decode("ascii"))
+            if seq < after:
+                continue
+            out.append((seq, value.decode("utf-8")))
+            if len(out) >= limit:
+                break
+        return out
+
     # -- shard-granular cache invalidation ----------------------------------
     def scope_shard(self, scope: str) -> int:
         """Which shard owns ``scope`` (always 0 for the single-log layout)."""

@@ -41,6 +41,7 @@ from repro.core.passertion import (
     PAssertion,
     ViewKind,
 )
+from repro.soa.envelope import Fault
 from repro.store.interface import (
     DuplicateAssertionError,
     ProvenanceStoreInterface,
@@ -50,6 +51,61 @@ from repro.store.interface import (
 from repro.store.querycache import GenerationVector
 
 Assertion = Union[PAssertion, GroupAssertion]
+
+
+def _is_unavailable(exc: BaseException) -> bool:
+    """Is this the transport's member-down signature?"""
+    if isinstance(exc, Fault):
+        return exc.code == "worker-unavailable"
+    return isinstance(exc, (ConnectionError, OSError))
+
+
+def _is_duplicate(exc: BaseException) -> bool:
+    """Duplicate rejection, local or over the wire."""
+    if isinstance(exc, DuplicateAssertionError):
+        return True
+    return isinstance(exc, Fault) and exc.code == "duplicate-assertion"
+
+
+def _journal_key(assertion: Assertion) -> tuple:
+    """Identity for repair-journal dedupe (a retried batch journals once)."""
+    if isinstance(assertion, GroupAssertion):
+        return (
+            "group",
+            assertion.group_id,
+            assertion.member,
+            assertion.asserter,
+            assertion.sequence,
+        )
+    return ("passertion", assertion.interaction_key, assertion.store_key)
+
+
+class PartialCommitError(RuntimeError):
+    """A replicated write persisted on some replicas but not all.
+
+    The write was **not acknowledged**: the caller must treat the batch as
+    in doubt and may retry it (replicated commits skip duplicates, so a
+    retry converges instead of tripping over the replicas that already
+    hold the data).  The missing replicas' shares are recorded in the
+    router's repair journal and flushed by :meth:`StoreRouter.repair` once
+    the members rejoin — so the partial commit is repaired, never silently
+    acked.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        committed: List[str],
+        missing: List[str],
+        causes: Optional[Dict[str, BaseException]] = None,
+    ):
+        super().__init__(message)
+        #: members whose share of the write persisted.
+        self.committed = committed
+        #: members whose share did not persist (journaled for repair).
+        self.missing = missing
+        #: the underlying per-member failures.
+        self.causes = causes or {}
 
 
 class StoreCloseError(RuntimeError):
@@ -87,28 +143,167 @@ class StoreRouter:
     Placement is deterministic (rendezvous by key hash), so every client
     computes the same owner without coordination — the property that makes
     *parallel submission* safe.
+
+    With ``replicas=R`` (R > 1) every interaction's records live on R
+    members: the owner plus its R-1 ring successors (successor placement
+    over the sorted member list).  Writes group-commit to the full replica
+    set and acknowledge only when **all R** copies persist; a member-down
+    partial commit journals the missing member's share for
+    :meth:`repair` and raises :class:`PartialCommitError` — recorded and
+    repaired, never silently acked.  Replicated commits skip duplicate
+    rejections, so a client retry of an in-doubt batch converges (the
+    replicas already holding the data accept it idempotently) instead of
+    failing forever.  Reads (see :class:`FederatedQueryClient`) fail over
+    to any live replica, which is what makes one worker's death invisible
+    to the query side.
     """
 
     def __init__(
         self,
         stores: Dict[str, ProvenanceStoreInterface],
         on_close: Optional[Callable[[], None]] = None,
+        replicas: int = 1,
     ):
         if not stores:
             raise ValueError("router needs at least one store")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if replicas > len(stores):
+            raise ValueError(
+                f"replicas={replicas} exceeds the {len(stores)} member "
+                f"store(s); a replica set cannot repeat members"
+            )
         self._names: List[str] = sorted(stores)
         self._stores = dict(stores)
+        self.replicas = replicas
         #: per-store cross-link tables: store name -> {interaction key -> owner}.
         self._links: Dict[str, Dict[InteractionKey, str]] = {
             name: {} for name in self._names
         }
         self.records_routed = 0
+        #: members currently treated as down (writes journal instead of
+        #: dialing them; reads prefer their replica peers).
+        self._degraded: set = set()
+        #: members restored but not yet confirmed fresh by a read-side
+        #: generation probe (see FederatedQueryClient).
+        self._suspect: set = set()
+        #: repair journal: member -> journal-key -> assertion it missed.
+        self._pending: Dict[str, Dict[tuple, Assertion]] = {}
+        #: highest write generation ever observed per member — the read
+        #: side's freshness floor for rejoined replicas.
+        self._gen_floor: Dict[str, int] = {}
+        #: monotonic counter making down-member generation placeholders
+        #: unique per observation, so no cached vector revalidates against
+        #: an unreachable member.
+        self._down_nonce = 0
         self._on_close = on_close
         self._closed = False
 
     @property
     def store_names(self) -> List[str]:
         return list(self._names)
+
+    # -- replica placement ----------------------------------------------------
+    def replica_set(self, key: InteractionKey) -> List[str]:
+        """The R members holding this interaction, owner first.
+
+        Successor placement: the owner's bucket plus the next R-1 members
+        of the sorted ring — so any R-1 member failures leave every
+        replica set with at least one live member.
+        """
+        n = len(self._names)
+        bucket = _hash_to_bucket(key, n)
+        return [self._names[(bucket + i) % n] for i in range(self.replicas)]
+
+    # -- degraded-member bookkeeping -------------------------------------------
+    @property
+    def degraded_members(self) -> List[str]:
+        return sorted(self._degraded)
+
+    def mark_degraded(self, name: str) -> None:
+        """Treat ``name`` as down: writes journal for it, reads avoid it."""
+        if name not in self._stores:
+            raise KeyError(f"unknown store {name!r}")
+        self._degraded.add(name)
+
+    def mark_restored(self, name: str) -> None:
+        """``name`` is back (restarted + resynced): route traffic again.
+
+        The member stays *suspect* until a read-side generation probe
+        confirms it reports at least the highest generation ever observed
+        from it — reads prefer its replica peers until then.
+        """
+        if name not in self._stores:
+            raise KeyError(f"unknown store {name!r}")
+        self._degraded.discard(name)
+        self._suspect.add(name)
+
+    @property
+    def suspect_members(self) -> List[str]:
+        return sorted(self._suspect)
+
+    def confirm_fresh(self, name: str) -> bool:
+        """Probe a suspect member's generation against its floor.
+
+        True (and the suspect mark cleared) iff the member answers with a
+        generation >= the highest this router ever observed from it.
+        """
+        if name not in self._suspect:
+            return name not in self._degraded
+        try:
+            generation = self._stores[name].generation
+        except BaseException as exc:
+            if _is_unavailable(exc):
+                self.mark_degraded(name)
+                return False
+            raise
+        if generation >= self._gen_floor.get(name, 0):
+            self._suspect.discard(name)
+            self._gen_floor[name] = generation
+            return True
+        return False
+
+    # -- repair journal --------------------------------------------------------
+    def _journal(self, name: str, assertions: Iterable[Assertion]) -> None:
+        table = self._pending.setdefault(name, {})
+        for assertion in assertions:
+            table[_journal_key(assertion)] = assertion
+
+    def pending_repairs(self) -> Dict[str, int]:
+        """Outstanding journal sizes per member (empty when fully healed)."""
+        return {name: len(table) for name, table in self._pending.items() if table}
+
+    def repair(self, name: Optional[str] = None) -> int:
+        """Flush the repair journal to rejoined members; returns the number
+        of assertions pushed (duplicates the member already held included).
+
+        Skips members still marked degraded.  A member that fails again
+        mid-repair keeps its remaining journal and is re-marked degraded.
+        """
+        targets = [name] if name is not None else sorted(self._pending)
+        repaired = 0
+        for member in targets:
+            table = self._pending.get(member)
+            if not table or member in self._degraded:
+                continue
+            store = self._stores[member]
+            for jkey in list(table):
+                assertion = table[jkey]
+                try:
+                    store.put(assertion)
+                except BaseException as exc:
+                    if _is_duplicate(exc):
+                        pass  # already held (e.g. resync got there first)
+                    elif _is_unavailable(exc):
+                        self.mark_degraded(member)
+                        break
+                    else:
+                        raise
+                del table[jkey]
+                repaired += 1
+            if not table:
+                self._pending.pop(member, None)
+        return repaired
 
     def close(self) -> None:
         """Close every member store (stopping any attached maintenance).
@@ -156,98 +351,259 @@ class StoreRouter:
         return self._names[_hash_to_bucket(key, len(self._names))]
 
     # -- cache freshness ----------------------------------------------------
-    def generations(self) -> Dict[str, int]:
-        """Per-member write generations (cross-links ride member writes)."""
-        return {name: self._stores[name].generation for name in self._names}
+    def generations(self) -> Dict[str, Optional[int]]:
+        """Per-member write generations (cross-links ride member writes).
+
+        A member that cannot be reached reports ``None`` (and is marked
+        degraded) instead of failing the whole observation — the federated
+        read side must keep working through an outage.
+        """
+        out: Dict[str, Optional[int]] = {}
+        for name in self._names:
+            try:
+                generation = self._stores[name].generation
+            except BaseException as exc:
+                if not _is_unavailable(exc):
+                    raise
+                self.mark_degraded(name)
+                out[name] = None
+                continue
+            floor = self._gen_floor.get(name, 0)
+            self._gen_floor[name] = max(floor, generation)
+            out[name] = generation
+        return out
 
     def generation_vector(self) -> GenerationVector:
-        """Freshness token: a router query is cacheable iff no member advanced."""
-        return GenerationVector.of(self._stores)
+        """Freshness token: a router query is cacheable iff no member advanced.
+
+        Down members contribute a per-observation nonce instead of a
+        generation, so no cached federated result ever revalidates while
+        any member is unreachable — a rejoining replica can then never
+        serve a stale merge out of a client cache.
+        """
+        gens: List[object] = []
+        for name, generation in sorted(self.generations().items()):
+            if generation is None:
+                self._down_nonce += 1
+                gens.append(("down", name, self._down_nonce))
+            else:
+                gens.append(generation)
+        return GenerationVector(tuple(gens))
+
+    def _commit_share(self, name: str, share: List[Assertion]) -> None:
+        """Commit one member's share of a write, replication-aware.
+
+        Replicated mode tolerates duplicate rejections by falling back to
+        per-assertion puts that skip them: a retried in-doubt batch must
+        converge on the replicas that already hold (part of) it.  At R=1
+        duplicates propagate unchanged — they are a client error, not a
+        retry artifact.
+        """
+        store = self._stores[name]
+        if self.replicas == 1:
+            if len(share) == 1:
+                store.put(share[0])
+            else:
+                store.put_many(share)
+            return
+        try:
+            if len(share) == 1:
+                store.put(share[0])
+            else:
+                store.put_many(share)
+        except BaseException as exc:
+            if not _is_duplicate(exc):
+                raise
+            for assertion in share:
+                try:
+                    store.put(assertion)
+                except BaseException as inner:
+                    if not _is_duplicate(inner):
+                        raise
 
     def put(self, assertion: Assertion) -> str:
-        """Route one assertion; returns the name of the store that took it.
+        """Route one assertion; returns the name of the store that took it
+        (``"*"`` for a broadcast group assertion).
 
         Group assertions are broadcast (membership supports navigation from
-        any store); p-assertions go to their owner, and every *other* store
-        gains a cross-link to the owner.
+        any store); p-assertions go to their full replica set (the owner at
+        R=1), and every *other* store gains a cross-link to the owner.
+
+        A member-down failure journals the missing member's copy for
+        :meth:`repair`; at R>1 the call then raises
+        :class:`PartialCommitError` (a broadcast still acks while at least
+        ``replicas`` live members hold it), at R=1 the transport fault
+        propagates unchanged.
         """
-        self.records_routed += 1
         if isinstance(assertion, GroupAssertion):
-            for name in self._names:
-                self._stores[name].put(assertion)
-            owner = self.owner_of(assertion.member)
-            self._note_link(assertion.member, owner)
-            return "*"
-        owner = self.owner_of(assertion.interaction_key)
-        self._stores[owner].put(assertion)
-        self._note_link(assertion.interaction_key, owner)
-        return owner
+            targets = list(self._names)
+            route_key = assertion.member
+            label = "*"
+        else:
+            targets = self.replica_set(assertion.interaction_key)
+            route_key = assertion.interaction_key
+            label = targets[0]
+        committed: List[str] = []
+        causes: Dict[str, BaseException] = {}
+        for name in targets:
+            if self.replicas > 1 and name in self._degraded:
+                self._journal(name, [assertion])
+                causes[name] = Fault(
+                    "worker-unavailable",
+                    f"member {name!r} is marked degraded",
+                    detail={"worker": name},
+                )
+                continue
+            try:
+                self._commit_share(name, [assertion])
+            except BaseException as exc:
+                if _is_unavailable(exc):
+                    self.mark_degraded(name)
+                    self._journal(name, [assertion])
+                    causes[name] = exc
+                    if self.replicas == 1:
+                        raise  # unreplicated: fail fast, as a plain store would
+                    continue
+                raise
+            committed.append(name)
+        if causes and label != "*":
+            raise PartialCommitError(
+                f"write to {sorted(causes)} did not persist (committed on "
+                f"{committed or 'no members'}); journaled for repair, "
+                f"not acknowledged",
+                committed=committed,
+                missing=sorted(causes),
+                causes=causes,
+            )
+        if causes and len(committed) < self.replicas:
+            raise PartialCommitError(
+                f"broadcast persisted on only {len(committed)} member(s), "
+                f"below the replication floor {self.replicas}; journaled "
+                f"for repair, not acknowledged",
+                committed=committed,
+                missing=sorted(causes),
+                causes=causes,
+            )
+        self.records_routed += 1
+        self._note_link(route_key, self.owner_of(route_key))
+        return label
 
     def put_many(self, assertions: Iterable[Assertion]) -> List[str]:
         """Route a batch: one group commit per member store.
 
-        Assertions are partitioned by owning store (group assertions are
-        broadcast, as in :meth:`put`), then each store takes its share in a
-        single :meth:`~ProvenanceStoreInterface.put_many` call — per-store
-        relative order is preserved.  Returns each assertion's placement.
+        Assertions are partitioned by member (group assertions broadcast;
+        p-assertions go to every member of their replica set), then each
+        store takes its share in a single
+        :meth:`~ProvenanceStoreInterface.put_many` call — per-store
+        relative order is preserved.  Returns each assertion's placement
+        (the replica set's owner, or ``"*"`` for broadcasts).
 
         If a member store rejects part of its batch the exception
         propagates; cross-links and ``records_routed`` are then recorded
-        exactly for the assertions that were durably stored (including the
-        accepted prefix of the failing store's batch, just as a put loop
-        would have linked each stored assertion before failing) — the
-        navigation tables never point at a store that did not take the
-        data, and never miss data a store did take.
+        exactly for the assertions whose *full* target set durably stored
+        them (including the accepted prefix of a failing store's batch,
+        just as a put loop would have linked each stored assertion before
+        failing) — the navigation tables never point at a store that did
+        not take the data, and never miss data a store did take.
+
+        Member-down handling at R>1: the dead member's share is journaled
+        for :meth:`repair`, the *other* members' shares still commit (so a
+        retry of the batch converges via duplicate-skip), and the call
+        raises :class:`PartialCommitError` — the batch is never partially
+        acked.  At R=1 a transport fault aborts and propagates unchanged.
         """
         per_store: Dict[str, List[Assertion]] = {name: [] for name in self._names}
-        plan: List[Tuple[Assertion, str]] = []
+        plan: List[Tuple[Assertion, str, Tuple[str, ...]]] = []
         for assertion in assertions:
             if isinstance(assertion, GroupAssertion):
-                for name in self._names:
+                targets = tuple(self._names)
+                for name in targets:
                     per_store[name].append(assertion)
-                plan.append((assertion, "*"))
+                plan.append((assertion, "*", targets))
             else:
-                owner = self.owner_of(assertion.interaction_key)
-                per_store[owner].append(assertion)
-                plan.append((assertion, owner))
+                targets = tuple(self.replica_set(assertion.interaction_key))
+                for name in targets:
+                    per_store[name].append(assertion)
+                plan.append((assertion, targets[0], targets))
         committed: set = set()
-        failed: Optional[str] = None
+        failed: set = set()
+        causes: Dict[str, BaseException] = {}
         try:
             for name in self._names:
-                if per_store[name]:
-                    try:
-                        self._stores[name].put_many(per_store[name])
-                    except BaseException:
-                        failed = name
-                        raise
+                share = per_store[name]
+                if not share:
+                    committed.add(name)
+                    continue
+                if self.replicas > 1 and name in self._degraded:
+                    failed.add(name)
+                    self._journal(name, share)
+                    causes[name] = Fault(
+                        "worker-unavailable",
+                        f"member {name!r} is marked degraded",
+                        detail={"worker": name},
+                    )
+                    continue
+                try:
+                    self._commit_share(name, share)
+                except BaseException as exc:
+                    failed.add(name)
+                    if self.replicas > 1 and _is_unavailable(exc):
+                        self.mark_degraded(name)
+                        self._journal(name, share)
+                        causes[name] = exc
+                        continue
+                    raise
                 committed.add(name)
         finally:
-            for assertion, owner in plan:
+            for assertion, owner, targets in plan:
                 if owner == "*":
-                    if all(
+                    placed = all(
                         name in committed or self._holds(name, assertion)
                         for name in self._names
-                    ):
-                        self.records_routed += 1
-                        self._note_link(
-                            assertion.member, self.owner_of(assertion.member)
-                        )
-                elif owner in committed or (
-                    owner == failed and self._holds(owner, assertion)
-                ):
+                    )
+                else:
+                    placed = all(
+                        name in committed
+                        or (name in failed and self._holds(name, assertion))
+                        for name in targets
+                    )
+                if placed:
                     self.records_routed += 1
-                    self._note_link(assertion.interaction_key, owner)
-        return [owner for _, owner in plan]
+                    route_key = (
+                        assertion.member
+                        if owner == "*"
+                        else assertion.interaction_key
+                    )
+                    self._note_link(route_key, self.owner_of(route_key))
+        if causes:
+            raise PartialCommitError(
+                f"batch share(s) for {sorted(causes)} did not persist "
+                f"(committed on {sorted(committed)}); journaled for "
+                f"repair, not acknowledged",
+                committed=sorted(committed),
+                missing=sorted(causes),
+                causes=causes,
+            )
+        return [owner for _, owner, _ in plan]
 
     def _holds(self, store_name: str, assertion: Assertion) -> bool:
-        """Whether ``store_name`` durably holds ``assertion`` (post-failure)."""
+        """Whether ``store_name`` durably holds ``assertion`` (post-failure).
+
+        A member that cannot even be asked (down mid-batch) holds nothing
+        we can vouch for — report False rather than fail the accounting.
+        """
         store = self._stores[store_name]
-        if isinstance(assertion, GroupAssertion):
-            return assertion.member in store.group_members(assertion.group_id)
-        if isinstance(assertion, InteractionPAssertion):
-            found = store.interaction_passertions(assertion.interaction_key)
-        else:
-            found = store.actor_state_passertions(assertion.interaction_key)
+        try:
+            if isinstance(assertion, GroupAssertion):
+                return assertion.member in store.group_members(assertion.group_id)
+            if isinstance(assertion, InteractionPAssertion):
+                found = store.interaction_passertions(assertion.interaction_key)
+            else:
+                found = store.actor_state_passertions(assertion.interaction_key)
+        except BaseException as exc:
+            if _is_unavailable(exc):
+                return False
+            raise
         return any(p.store_key == assertion.store_key for p in found)
 
     def _note_link(self, key: InteractionKey, owner: str) -> None:
@@ -287,7 +643,18 @@ class FederatedQueryClient:
 
     Federation-wide merges (:meth:`interaction_keys`, :meth:`counts`) are
     memoized under the router's generation vector: a merged result is served
-    from cache iff no member store advanced since it was built.
+    from cache iff no member store advanced since it was built (and never
+    while any member is down — down members poison the vector per
+    observation, see :meth:`StoreRouter.generation_vector`).
+
+    With router replication (R > 1) every per-key read fails over across
+    the key's replica set: a member that does not answer is marked
+    degraded and the next replica is asked, so one worker's death costs a
+    read nothing but a fast-timeout probe.  Replicas the supervisor just
+    restored are *suspect* until a generation probe confirms they report
+    at least the freshest generation this router ever observed from them
+    (:meth:`StoreRouter.confirm_fresh`) — reads prefer their peers until
+    then, so a rejoined-but-behind replica cannot serve a stale answer.
     """
 
     def __init__(self, router: StoreRouter):
@@ -297,24 +664,119 @@ class FederatedQueryClient:
         ] = None
         self._counts_cache: Optional[Tuple[GenerationVector, StoreCounts]] = None
         self.cache_hits = 0
+        #: reads answered by a non-primary replica after a failover.
+        self.failovers = 0
+
+    # -- replica selection ----------------------------------------------------
+    def _read_order(self, targets: List[str]) -> List[str]:
+        """Replicas in preference order: live and fresh first.
+
+        Degraded members go last (a read may still try them as a final
+        resort — transport probes are fast and they might have quietly
+        recovered); suspect members are probed via
+        :meth:`StoreRouter.confirm_fresh` and demoted while behind.
+        """
+        preferred: List[str] = []
+        demoted: List[str] = []
+        for name in targets:
+            if name in self.router._degraded:
+                demoted.append(name)
+            elif name in self.router._suspect and not self.router.confirm_fresh(name):
+                demoted.append(name)
+            else:
+                preferred.append(name)
+        return preferred + demoted
+
+    def _read_replicas(self, key: InteractionKey, read: Callable) -> object:
+        """Run ``read(store)`` against the key's replica set with failover."""
+        targets = self.router.replica_set(key)
+        last: Optional[BaseException] = None
+        for index, name in enumerate(self._read_order(targets)):
+            store = self.router.store(name)
+            try:
+                result = read(store)
+            except BaseException as exc:
+                if not _is_unavailable(exc):
+                    raise
+                self.router.mark_degraded(name)
+                last = exc
+                continue
+            if index > 0:
+                self.failovers += 1
+            return result
+        raise Fault(
+            "worker-unavailable",
+            f"every replica of {targets} is unreachable for {key}",
+            detail={
+                "replicas": ",".join(targets),
+                **(getattr(last, "detail", None) or {}),
+            },
+        ) from last
+
+    def _any_live(self, read: Callable) -> object:
+        """Run ``read(store)`` against any live member (broadcast data)."""
+        last: Optional[BaseException] = None
+        for name in self._read_order(self.router.store_names):
+            try:
+                return read(self.router.store(name))
+            except BaseException as exc:
+                if not _is_unavailable(exc):
+                    raise
+                self.router.mark_degraded(name)
+                last = exc
+        raise Fault(
+            "worker-unavailable",
+            "no member store is reachable",
+        ) from last
 
     def interaction_keys(self) -> List[InteractionKey]:
         vector = self.router.generation_vector()
         if self._keys_cache is not None and self._keys_cache[0].fresh(vector):
             self.cache_hits += 1
             return list(self._keys_cache[1])
-        keys = set()
+        keys: set = set()
+        down: List[str] = []
         for name in self.router.store_names:
-            keys.update(self.router.store(name).interaction_keys())
+            try:
+                keys.update(self.router.store(name).interaction_keys())
+            except BaseException as exc:
+                if not _is_unavailable(exc):
+                    raise
+                self.router.mark_degraded(name)
+                down.append(name)
+        if down and not self._union_complete(down):
+            raise Fault(
+                "worker-unavailable",
+                f"members {down} are down and some replica set has no "
+                f"live member; a keys merge would silently omit records",
+                detail={"down": ",".join(down)},
+            )
         merged = sorted(keys)
         self._keys_cache = (vector, merged)
         return list(merged)
 
+    def _union_complete(self, down: List[str]) -> bool:
+        """Is the live-member union still exhaustive?
+
+        Under successor placement a replica set is ``replicas`` consecutive
+        ring members, so the union over live members covers every key iff
+        no ``replicas`` consecutive members are all down.
+        """
+        names = self.router.store_names
+        down_set = set(down) | set(self.router.degraded_members)
+        n = len(names)
+        r = self.router.replicas
+        for start in range(n):
+            if all(names[(start + i) % n] in down_set for i in range(r)):
+                return False
+        return True
+
     def interaction_passertions(
         self, key: InteractionKey, view: Optional[ViewKind] = None
     ) -> List[InteractionPAssertion]:
-        owner = self.router.owner_of(key)
-        return self.router.store(owner).interaction_passertions(key, view)
+        return self._read_replicas(
+            key, lambda store: store.interaction_passertions(key, view)
+        )
 
     def actor_state_passertions(
         self,
@@ -322,36 +784,56 @@ class FederatedQueryClient:
         view: Optional[ViewKind] = None,
         state_type: Optional[str] = None,
     ) -> List[ActorStatePAssertion]:
-        owner = self.router.owner_of(key)
-        return self.router.store(owner).actor_state_passertions(key, view, state_type)
+        return self._read_replicas(
+            key,
+            lambda store: store.actor_state_passertions(key, view, state_type),
+        )
 
     def group_members(self, group_id: str) -> List[InteractionKey]:
-        # Groups are broadcast; any store can answer.
-        first = self.router.store_names[0]
-        return self.router.store(first).group_members(group_id)
+        # Groups are broadcast; any live store can answer.
+        return self._any_live(lambda store: store.group_members(group_id))
 
     def counts(self) -> StoreCounts:
-        """Aggregate counts (group assertions counted once, not per replica)."""
+        """Aggregate counts (group assertions counted once, not per replica).
+
+        At R=1 this sums per-member counts.  At R>1 a member sum would
+        count every p-assertion R times, so counts are computed per key
+        from one live replica of its set — O(keys) round trips, amortized
+        by the generation-vector cache.
+        """
         vector = self.router.generation_vector()
         if self._counts_cache is not None and self._counts_cache[0].fresh(vector):
             self.cache_hits += 1
             return self._counts_cache[1]
-        inter = state = 0
-        records = set()
-        for name in self.router.store_names:
-            store = self.router.store(name)
-            c = store.counts()
-            inter += c.interaction_passertions
-            state += c.actor_state_passertions
-            records.update(store.interaction_keys())
-        first = self.router.store(self.router.store_names[0])
-        groups = first.counts().group_assertions
-        merged = StoreCounts(
-            interaction_passertions=inter,
-            actor_state_passertions=state,
-            group_assertions=groups,
-            interaction_records=len(records),
-        )
+        if self.router.replicas == 1:
+            inter = state = 0
+            records: set = set()
+            for name in self.router.store_names:
+                store = self.router.store(name)
+                c = store.counts()
+                inter += c.interaction_passertions
+                state += c.actor_state_passertions
+                records.update(store.interaction_keys())
+            groups = self._any_live(lambda store: store.counts()).group_assertions
+            merged = StoreCounts(
+                interaction_passertions=inter,
+                actor_state_passertions=state,
+                group_assertions=groups,
+                interaction_records=len(records),
+            )
+        else:
+            keys = self.interaction_keys()
+            inter = state = 0
+            for key in keys:
+                inter += len(self.interaction_passertions(key))
+                state += len(self.actor_state_passertions(key))
+            groups = self._any_live(lambda store: store.counts()).group_assertions
+            merged = StoreCounts(
+                interaction_passertions=inter,
+                actor_state_passertions=state,
+                group_assertions=groups,
+                interaction_records=len(keys),
+            )
         self._counts_cache = (vector, merged)
         return merged
 
@@ -365,6 +847,8 @@ def sharded_store_fleet(
     transport: str = "inprocess",
     pipeline_depth: int = 1,
     commit_barrier_s: float = 0.0,
+    replicas: int = 1,
+    fault_rules: Optional[Dict[str, tuple]] = None,
 ) -> StoreRouter:
     """A §7 deployment in one call: a router over KVLog-backed members.
 
@@ -398,6 +882,13 @@ def sharded_store_fleet(
     members (a single maintenance budget for the whole fleet); per-worker
     schedulers in process mode (each child owns its maintenance).  Tear the
     fleet down with :meth:`StoreRouter.close`.
+
+    ``replicas=R`` (R > 1) turns on R-way replica sets in the router:
+    every interaction's records persist on R members before a write acks
+    (see :class:`StoreRouter`), and federated reads fail over within the
+    set.  ``fault_rules`` (process transport only) maps worker names to
+    scripted :class:`~repro.fleet.faults.FaultRule` tuples for
+    deterministic crash drills.
     """
     from repro.store.backends import KVLogBackend
     from repro.store.maintenance import CompactionScheduler
@@ -420,9 +911,12 @@ def sharded_store_fleet(
             auto_compact=auto_compact,
             pipeline_depth=pipeline_depth,
             commit_barrier_s=commit_barrier_s,
+            fault_rules=fault_rules,
         )
         router = StoreRouter(
-            fleet.stores(), on_close=lambda: fleet.close(raise_errors=False)
+            fleet.stores(),
+            on_close=lambda: fleet.close(raise_errors=False),
+            replicas=replicas,
         )
         router.fleet = fleet  # type: ignore[attr-defined]
         return router
@@ -453,7 +947,7 @@ def sharded_store_fleet(
         stores[name] = store
     if scheduler is not None:
         scheduler.start()
-    return StoreRouter(stores)
+    return StoreRouter(stores, replicas=replicas)
 
 
 def consolidate(
@@ -462,12 +956,15 @@ def consolidate(
     """§7's consolidation facility: merge all member stores into ``target``.
 
     Returns ``(p_assertions_moved, group_assertions_moved)``.  Broadcast
-    group assertions are deduplicated; duplicate p-assertions (which should
-    not exist under routing) are detected and reported as errors.
+    group assertions are deduplicated.  At R=1 a duplicate p-assertion
+    (which cannot exist under routing) is reported as an error; at R>1
+    every p-assertion legitimately exists on R members, so replicas are
+    deduplicated and each p-assertion is counted once.
     """
     moved_p = 0
     moved_g = 0
     seen_groups: set = set()
+    seen_p: set = set()
     for name in router.store_names:
         for assertion in router.store(name).all_assertions():
             if isinstance(assertion, GroupAssertion):
@@ -482,6 +979,13 @@ def consolidate(
                 seen_groups.add(dedupe_key)
                 target.put(assertion)
                 moved_g += 1
+            elif router.replicas > 1:
+                dedupe_key = (assertion.interaction_key, assertion.store_key)
+                if dedupe_key in seen_p:
+                    continue
+                seen_p.add(dedupe_key)
+                target.put(assertion)
+                moved_p += 1
             else:
                 try:
                     target.put(assertion)

@@ -254,3 +254,40 @@ class TestExperimentTransport:
 
         with pytest.raises(ValueError, match="store_transport"):
             Experiment(ExperimentConfig(store_transport="carrier-pigeon"))
+
+    def test_fault_rules_require_process_transport(self):
+        from repro.app.experiment import Experiment, ExperimentConfig
+        from repro.fleet.faults import FaultRule
+
+        with pytest.raises(ValueError, match="store_fault_rules"):
+            Experiment(
+                ExperimentConfig(
+                    store_fault_rules=(FaultRule("commit", "die"),)
+                )
+            )
+
+    def test_scripted_store_crash_reaches_the_experiment(
+        self, experiment_factory
+    ):
+        """`store_fault_rules` scripts a deterministic store crash.
+
+        The worker dies at its first commit point; the experiment's flush
+        surfaces that as `Fault("worker-unavailable")` — not a hang, not a
+        socket traceback — and the child exits with the fault exit code.
+        """
+        from repro.fleet.faults import FAULT_EXIT_CODE, FaultRule
+
+        rules = (FaultRule("commit", "die"),)
+        exp = experiment_factory(
+            store_transport="process", store_fault_rules=rules
+        )
+        try:
+            assert exp.store_worker.config.fault_rules == rules
+            with pytest.raises(Fault) as excinfo:
+                exp.run()
+            assert excinfo.value.code == "worker-unavailable"
+            exp.store_worker.process.join(timeout=10.0)
+            assert exp.store_worker.process.exitcode == FAULT_EXIT_CODE
+        finally:
+            exp.close()
+        assert not live_workers()

@@ -1,0 +1,241 @@
+"""Deterministic fault injection: plans, points, and scripted crashes.
+
+Three layers under test: the :class:`FaultPlan` scheduling machinery
+itself (pure, in-process), the transport's instrumented fault points
+(drop/corrupt/sever over a real socket server), and the crash-sim
+primitive — a fleet worker scripted to ``die`` at a named commit point,
+verified by its exit code (:data:`FAULT_EXIT_CODE`, distinct from a
+stray SIGKILL) and by what its recovered log does and does not hold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet.faults import (
+    FAULT_EXIT_CODE,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    attach_fault_points,
+)
+from repro.soa.envelope import Fault
+from repro.soa.transport import EnvelopeClient, EnvelopeServer, RetryPolicy
+from repro.soa.xmldoc import XmlElement
+from repro.store.backends import MemoryBackend
+
+from tests.test_soa_transport import WireTestActor
+from tests.test_store_backends import ipa, key
+
+
+class TestFaultRules:
+    def test_action_validated(self):
+        with pytest.raises(ValueError):
+            FaultRule("commit", "explode")
+        with pytest.raises(ValueError):
+            FaultRule("commit", "die", after=-1)
+        with pytest.raises(ValueError):
+            FaultRule("commit", "die", count=0)
+
+    def test_fires_on_window(self):
+        rule = FaultRule("commit", "fault", after=2, count=2)
+        assert [rule.fires_on(h) for h in range(1, 6)] == [
+            False, False, True, True, False,
+        ]
+
+    def test_unbounded_count(self):
+        rule = FaultRule("worker-start", "die", after=1, count=-1)
+        assert not rule.fires_on(1)
+        assert all(rule.fires_on(h) for h in range(2, 10))
+
+    def test_plan_counts_per_point_and_logs(self):
+        plan = FaultPlan([FaultRule("commit", "fault", after=1, count=1)])
+        assert plan.check("commit") is None
+        rule = plan.check("commit")
+        assert rule is not None and rule.action == "fault"
+        assert plan.check("commit") is None
+        assert plan.hits("commit") == 3
+        assert plan.log == [("commit", "fault", 2)]
+
+    def test_fire_applies_fault_action(self):
+        plan = FaultPlan([FaultRule("commit", "fault")])
+        with pytest.raises(FaultInjected):
+            plan.fire("commit")
+
+    def test_fire_delay_sleeps(self):
+        plan = FaultPlan([FaultRule("commit", "delay", delay_s=0.05)])
+        start = time.monotonic()
+        plan.fire("commit")
+        assert time.monotonic() - start >= 0.05
+
+
+class TestBackendFaultPoints:
+    def test_die_at_commit_loses_unacked_batch(self):
+        """``commit`` fires before persistence: nothing lands."""
+        backend = MemoryBackend()
+        plan = FaultPlan([FaultRule("commit", "fault")])
+        attach_fault_points(backend, plan)
+        with pytest.raises(FaultInjected):
+            backend.put(ipa(1))
+        assert not backend.interaction_passertions(key(1))
+
+    def test_fault_at_committed_is_durable_but_unacked(self):
+        """``committed`` fires after persistence: the data must survive."""
+        backend = MemoryBackend()
+        plan = FaultPlan([FaultRule("committed", "fault")])
+        attach_fault_points(backend, plan)
+        with pytest.raises(FaultInjected):
+            backend.put_many([ipa(1), ipa(2)])
+        assert backend.interaction_passertions(key(1))
+        assert backend.interaction_passertions(key(2))
+
+
+@pytest.fixture
+def fault_served(tmp_path):
+    """A wire server whose fault plan the test fills in post-hoc."""
+    plan = FaultPlan()
+    actor = WireTestActor()
+    server = EnvelopeServer(
+        actor,
+        ("unix", str(tmp_path / "faulty.sock")),
+        poll_interval_s=0.05,
+        fault_plan=plan,
+    )
+    address = server.start()
+    client = EnvelopeClient(
+        address, retry=RetryPolicy(attempts=3, backoff_s=0.01)
+    )
+    yield plan, server, client
+    client.close()
+    server.stop()
+
+
+class TestTransportFaultPoints:
+    def _echo(self, client, idempotent=None):
+        return client.call(
+            source="t",
+            target="wire",
+            operation="echo",
+            payload=XmlElement("ping", {"n": "1"}),
+            idempotent=idempotent,
+        )
+
+    def test_server_send_drop_severs_and_retry_recovers(self, fault_served):
+        plan, _server, client = fault_served
+        plan.rules = (FaultRule("server-send", "drop"),)
+        reply = self._echo(client, idempotent=True)
+        assert reply.attrs["n"] == "1"
+        assert ("server-send", "drop", 1) in plan.log
+        assert client.retries >= 1
+
+    def test_server_send_drop_fails_non_idempotent_call(self, fault_served):
+        plan, _server, client = fault_served
+        plan.rules = (FaultRule("server-send", "drop"),)
+        with pytest.raises(Fault) as excinfo:
+            self._echo(client, idempotent=False)
+        assert excinfo.value.code == "worker-unavailable"
+        assert excinfo.value.detail["attempts"] == "1"
+
+    def test_corrupt_reply_is_rejected_not_trusted(self, fault_served):
+        plan, _server, client = fault_served
+        plan.rules = (FaultRule("server-send", "corrupt"),)
+        reply = self._echo(client, idempotent=True)
+        # First reply had a flipped byte and was rejected; the retry's
+        # reply is clean.  The client never surfaces the corrupt one.
+        assert reply.attrs["n"] == "1"
+        assert ("server-send", "corrupt", 1) in plan.log
+
+    def test_server_recv_drop_severs_connection(self, fault_served):
+        plan, _server, client = fault_served
+        plan.rules = (FaultRule("server-recv", "drop"),)
+        reply = self._echo(client, idempotent=True)
+        assert reply.attrs["n"] == "1"
+
+    def test_client_connect_fault_refuses_dial(self, tmp_path, fault_served):
+        _plan, server, _client = fault_served
+        client_plan = FaultPlan([FaultRule("client-connect", "drop")])
+        client = EnvelopeClient(
+            server.address,
+            retry=RetryPolicy(attempts=2, backoff_s=0.01),
+            fault_plan=client_plan,
+        )
+        try:
+            reply = self._echo(client, idempotent=True)
+            assert reply.attrs["n"] == "1"
+            assert client_plan.log[0][:2] == ("client-connect", "drop")
+        finally:
+            client.close()
+
+    def test_client_send_fault_on_non_idempotent_op_fails_fast(
+        self, fault_served
+    ):
+        _plan, server, _client = fault_served
+        client_plan = FaultPlan(
+            [FaultRule("client-send", "drop", count=-1)]
+        )
+        client = EnvelopeClient(
+            server.address,
+            retry=RetryPolicy(attempts=3, backoff_s=0.01),
+            fault_plan=client_plan,
+        )
+        try:
+            with pytest.raises(Fault) as excinfo:
+                self._echo(client, idempotent=False)
+            assert excinfo.value.code == "worker-unavailable"
+        finally:
+            client.close()
+
+
+class TestScriptedWorkerCrash:
+    """The crash-sim primitive over a real process fleet."""
+
+    def _fleet(self, tmp_path, rules):
+        from repro.fleet.manager import ProcessFleet
+
+        return ProcessFleet(
+            tmp_path / "fleet",
+            members=1,
+            sync=True,
+            fault_rules={"store-00": tuple(rules)},
+        )
+
+    def test_die_at_commit_point_has_fault_exit_code(self, tmp_path):
+        from repro.store.distributed import StoreRouter
+
+        fleet = self._fleet(
+            tmp_path, [FaultRule("commit", "die", after=1, count=1)]
+        )
+        try:
+            router = StoreRouter(fleet.stores())
+            router.put(ipa(1))  # first commit passes (after=1)
+            with pytest.raises(Fault) as excinfo:
+                router.put(ipa(2))  # second commit dies mid-write
+            assert excinfo.value.code == "worker-unavailable"
+            handle = fleet.handle("store-00")
+            handle.process.join(timeout=10.0)
+            assert handle.process.exitcode == FAULT_EXIT_CODE
+            # Recovery: the restarted log holds the acked write and NOT
+            # the one whose commit the crash preempted.
+            fleet.restart("store-00")
+            store = fleet.store("store-00")
+            assert store.interaction_passertions(key(1))
+            assert not store.interaction_passertions(key(2))
+        finally:
+            fleet.close(raise_errors=False)
+
+    def test_die_at_committed_point_keeps_durable_write(self, tmp_path):
+        fleet = self._fleet(tmp_path, [FaultRule("committed", "die")])
+        try:
+            store = fleet.store("store-00")
+            with pytest.raises(Fault):
+                store.put(ipa(1))  # persisted, then died before the ack
+            handle = fleet.handle("store-00")
+            handle.process.join(timeout=10.0)
+            assert handle.process.exitcode == FAULT_EXIT_CODE
+            fleet.restart("store-00")
+            # Durable-but-unacked: recovery must keep it.
+            assert fleet.store("store-00").interaction_passertions(key(1))
+        finally:
+            fleet.close(raise_errors=False)

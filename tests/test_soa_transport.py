@@ -433,6 +433,114 @@ class TestShutdown:
         fresh.close()
 
 
+# -- deadlines, retry, and reconnect ------------------------------------------
+
+class TestDeadlinesAndRetry:
+    def test_admin_ops_get_fast_default_deadline(self, served):
+        from repro.soa.transport import ADMIN_TIMEOUT_S, DEFAULT_TIMEOUT_S
+
+        _server, client, _actor = served
+        assert client.op_timeouts["ping"] == ADMIN_TIMEOUT_S
+        assert client.op_timeouts["admin"] == ADMIN_TIMEOUT_S
+        assert ADMIN_TIMEOUT_S <= 2.0 < DEFAULT_TIMEOUT_S
+        assert client.timeout_s == DEFAULT_TIMEOUT_S
+
+    def test_unavailable_fault_names_worker_address_attempts(self, tmp_path):
+        from repro.soa.transport import RetryPolicy
+
+        client = EnvelopeClient(
+            ("unix", str(tmp_path / "nobody.sock")),
+            peer_name="store-07",
+            retry=RetryPolicy(attempts=3, backoff_s=0.01),
+        )
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="query",
+                payload=XmlElement("q"),
+            )
+        detail = excinfo.value.detail
+        assert detail["worker"] == "store-07"
+        assert "nobody.sock" in detail["address"]
+        assert detail["attempts"] == "3"  # the idempotent budget, spent
+        client.close()
+
+    def test_non_idempotent_op_is_never_retried(self, tmp_path):
+        client = EnvelopeClient(
+            ("unix", str(tmp_path / "nobody.sock")), peer_name="store-07"
+        )
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="record",
+                payload=XmlElement("r"),
+            )
+        assert excinfo.value.detail["attempts"] == "1"
+        assert client.retries == 0
+        client.close()
+
+    def test_retry_exhaustion_carries_final_underlying_cause(self, tmp_path):
+        from repro.soa.transport import RetryPolicy
+
+        client = EnvelopeClient(
+            ("unix", str(tmp_path / "nobody.sock")),
+            retry=RetryPolicy(attempts=2, backoff_s=0.01),
+        )
+        with pytest.raises(Fault) as excinfo:
+            client.call(
+                source="t", target="wire", operation="ping",
+                payload=XmlElement("ping"),
+            )
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, OSError)
+        assert type(cause).__name__ in excinfo.value.reason
+        client.close()
+
+    def test_detail_payload_roundtrips_through_fault_xml(self):
+        fault = Fault(
+            "worker-unavailable",
+            "gone",
+            detail={"worker": "store-03", "attempts": "2", "address": "x"},
+        )
+        parsed = Fault.from_xml(fault.to_xml())
+        assert parsed.detail == fault.detail
+        assert parsed.code == fault.code
+
+    def test_pool_survives_server_restart_with_one_reconnect(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "restart.sock")
+        actor = WireTestActor()
+        server = EnvelopeServer(actor, ("unix", path), poll_interval_s=0.05)
+        server.start()
+        client = EnvelopeClient(("unix", path))
+        try:
+            # Prime the pool with a live connection.
+            reply = client.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping", {"n": "before"}),
+            )
+            assert reply.attrs["n"] == "before"
+            server.stop()
+            if os.path.exists(path):
+                os.unlink(path)
+            server = EnvelopeServer(
+                WireTestActor(), ("unix", path), poll_interval_s=0.05
+            )
+            server.start()
+            # The pooled socket now points at the dead process.  Even a
+            # non-idempotent op must transparently redial once: the frame
+            # never reached the new worker, so resending is safe.
+            reply = client.call(
+                source="t", target="wire", operation="echo",
+                payload=XmlElement("ping", {"n": "after"}),
+                idempotent=False,
+            )
+            assert reply.attrs["n"] == "after"
+            assert client.reconnects == 1
+        finally:
+            client.close()
+            server.stop()
+
+
 # -- bus integration ----------------------------------------------------------
 
 class TestRemoteEndpoint:
