@@ -14,6 +14,7 @@ Subcommands::
     repro-figures compaction   # A8: background compaction vs stop-the-world
     repro-figures pipeline     # A9: pipelined decode→commit ingest sweep
     repro-figures fleet        # A10: in-process bus vs process-fleet ingest
+    repro-figures reopen       # A11: reopen cost vs history, ± checkpoints
     repro-figures all          # everything above
 """
 
@@ -45,6 +46,11 @@ from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
 from repro.figures.fleet import fleet_sweep_table, run_fleet_sweep
 from repro.figures.pipeline import pipeline_table, run_pipeline_sweep
+from repro.figures.reopen import (
+    reopen_table,
+    run_reopen_sweep,
+    write_reopen_json,
+)
 from repro.figures.shards import run_shard_sweep, shard_sweep_table
 from repro.figures.fig4 import fig4_table, run_fig4
 from repro.figures.fig4b import fig4b_table, run_fig4b
@@ -172,6 +178,20 @@ def cmd_fleet(args: argparse.Namespace) -> str:
         )
 
 
+def cmd_reopen(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-reopen-") as tmp:
+        points = run_reopen_sweep(
+            Path(tmp),
+            backends=tuple(args.backends),
+            shard_counts=tuple(args.shards),
+            history_sizes=tuple(args.history),
+            repeats=args.repeats,
+        )
+    if args.json:
+        write_reopen_json(points, Path(args.json))
+    return reopen_table(points)
+
+
 def cmd_scaling(args: argparse.Namespace) -> str:
     return scaling_table(run_scaling())
 
@@ -288,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_fleet)
 
+    p = sub.add_parser(
+        "reopen",
+        help="A11: reopen cost vs ingest history, with/without checkpoints",
+    )
+    p.add_argument("--backends", nargs="*", default=["kvlog"])
+    p.add_argument("--shards", type=int, nargs="*", default=[1])
+    p.add_argument("--history", type=int, nargs="*", default=[256, 512, 1024])
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--json",
+        default=None,
+        help="also write the sweep as machine-readable JSON to this path",
+    )
+    p.set_defaults(fn=cmd_reopen)
+
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)
     p.add_argument("--batch-size", type=int, default=256)
@@ -354,6 +389,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                     _section("A10: out-of-process store fleet"),
                     fleet_sweep_table(
                         run_fleet_sweep(Path(tmp), worker_counts=(2, 4))
+                    ),
+                )
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-reopen-") as tmp:
+            blocks.append(
+                (
+                    _section("A11: reopen cost ± checkpoints"),
+                    reopen_table(
+                        run_reopen_sweep(
+                            Path(tmp), history_sizes=(256, 512), repeats=2
+                        )
                     ),
                 )
             )

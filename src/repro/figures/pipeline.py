@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
@@ -197,24 +197,28 @@ def run_pipeline_sweep(
         with ShardedKVLog(root, shards=n, sync=sync, partition=pipe_partition) as log:
             warmup(log)
             start = time.perf_counter()
-            # A9 measures the *single-process* pipeline exactly as PR 5
-            # shipped it, interpreter tuning included — the knob is
-            # deprecated for new code (the A10 process fleet replaces it)
-            # but on a 1-core host it is load-bearing for this figure, so
-            # the sweep keeps it and owns the deprecation locally.
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                engine_cm = PipelinedIngest(
+            # A9 measures the single-process pipeline; on a 1-core host a
+            # shorter interpreter switch interval is load-bearing for the
+            # decode/commit overlap, so the sweep owns the process-global
+            # override itself (the engine no longer takes it — the A10
+            # process fleet removed the contention for production paths).
+            old_switch: Optional[float] = None
+            if gil_switch_s is not None:
+                old_switch = sys.getswitchinterval()
+                sys.setswitchinterval(gil_switch_s)
+            try:
+                with PipelinedIngest(
                     commit=make_commit(log),
                     decode=decode_batch,
                     depth=depth,
-                    gil_switch_s=gil_switch_s,
-                )
-            with engine_cm as engine:
-                for batch in batches:
-                    engine.submit(batch)
-                engine.flush()
-                stats = engine.stats
+                ) as engine:
+                    for batch in batches:
+                        engine.submit(batch)
+                    engine.flush()
+                    stats = engine.stats
+            finally:
+                if old_switch is not None:
+                    sys.setswitchinterval(old_switch)
             elapsed = time.perf_counter() - start
             _check_count(log, records + _WARMUP)
         return PipelinePoint(

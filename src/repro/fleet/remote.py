@@ -143,6 +143,27 @@ class RemoteStore:
         """The worker log's next sequence number (the resync cursor)."""
         return int(self._admin("watermark").attrs["watermark"])
 
+    def scan_suffix(
+        self, after: int = 0, limit: int = 1024
+    ) -> List[Tuple[int, str]]:
+        """The worker log's suffix past ``after``, as serialized text.
+
+        Completes :class:`~repro.store.interface.ResyncCapable` for the
+        proxy, so a RemoteStore can itself seed a peer's resync.  One
+        ``replicate pull`` round trip (the worker caps the page at its
+        own limit; pass a smaller ``limit`` to page manually).
+        """
+        entries, _next, _done = self.replicate_pull(after=after, limit=limit)
+        return [(seq, el.serialize()) for seq, el in entries]
+
+    def checkpoint(self) -> str:
+        """Snapshot the worker's index now; returns the snapshot path."""
+        return self._admin("checkpoint").attrs["snapshot"]
+
+    def checkpoint_stats(self) -> Dict[str, str]:
+        """The worker's recovery/checkpoint counters, as wire strings."""
+        return dict(self._admin("checkpoint-stats").attrs)
+
     # -- resync stream ---------------------------------------------------------
     def _replicate(self, payload: XmlElement) -> XmlElement:
         return self.client.call(

@@ -33,7 +33,11 @@ before its last successful probe.
 
 Every state transition lands in :attr:`FleetSupervisor.events` and the
 per-worker :meth:`status` — a crash drill can assert the exact recovery
-path (died → restarted → resynced → restored) it scripted.
+path (died → restarted → resynced → restored) it scripted.  Right after
+a restart the supervisor also pulls the worker's checkpoint/recovery
+stats (``recovered`` event; ``status()[name]["recovery"]``), so drills
+can additionally assert *how* the rejoined store reopened — snapshot +
+tail replay versus a full log replay.
 """
 
 from __future__ import annotations
@@ -99,6 +103,9 @@ class FleetSupervisor:
         self._last_error: Dict[str, str] = {}
         #: per-worker watermark observed in the latest healthy probe round.
         self._watermarks: Dict[str, int] = {}
+        #: per-worker recovery/checkpoint stats from the latest restart
+        #: (how the rejoined store reopened: snapshot+tail vs full replay).
+        self._recovery: Dict[str, Dict[str, str]] = {}
         #: frozen peer-watermark snapshot per dead worker (resync cursors).
         self._cursors: Dict[str, Dict[str, int]] = {}
         #: monotonic deadline before which a worker's next restart may run.
@@ -139,6 +146,7 @@ class FleetSupervisor:
                     "restarts": self._restarts.get(name, 0),
                     "last_error": self._last_error.get(name, ""),
                     "watermark": self._watermarks.get(name),
+                    "recovery": dict(self._recovery.get(name, {})),
                 }
                 for name in self.fleet.worker_names
             }
@@ -287,6 +295,20 @@ class FleetSupervisor:
         with self._lock:
             self._restarts[name] = self._restarts.get(name, 0) + 1
         self._record(name, "restarted", f"attempt {attempt}")
+        try:
+            stats = self._remote(name).checkpoint_stats()
+        except Fault:
+            pass  # backend without checkpoint stats (e.g. memory)
+        else:
+            with self._lock:
+                self._recovery[name] = stats
+            self._record(
+                name,
+                "recovered",
+                f"mode={stats.get('recovery-mode', '?')} "
+                f"tail={stats.get('tail-records', '?')} "
+                f"open_s={stats.get('open-s', '?')}",
+            )
         try:
             pushed = self._resync(name)
         except Fault as exc:

@@ -35,7 +35,7 @@ from repro.fleet.faults import FaultPlan, FaultRule, attach_fault_points
 from repro.soa.envelope import Fault
 from repro.soa.transport import Address, EnvelopeServer
 from repro.soa.xmldoc import XmlElement, parse_xml
-from repro.store.interface import DuplicateAssertionError
+from repro.store.interface import DuplicateAssertionError, ResyncCapable
 from repro.store.service import PReServActor
 
 
@@ -51,6 +51,8 @@ class WorkerConfig:
     sync: bool = True
     segment_size: int = 256
     auto_compact: bool = False
+    #: arm the backend's index-checkpoint policy (None = manual only).
+    checkpoint_bytes: Optional[int] = None
     pipeline_depth: int = 1
     #: modelled per-group-commit device stall (0 = real device speed).
     commit_barrier_s: float = 0.0
@@ -143,16 +145,38 @@ class FleetWorkerActor(PReServActor):
                 {"generations": ",".join(str(g) for g in gens)},
             )
         if op == "watermark":
-            watermark = getattr(self.backend, "sequence_watermark", None)
-            if watermark is None:
+            if not isinstance(self.backend, ResyncCapable):
                 raise Fault(
                     "bad-admin",
                     f"backend {type(self.backend).__name__} has no "
                     f"sequence watermark (resync needs a log-backed store)",
                 )
             return XmlElement(
-                "admin-result", {"watermark": str(watermark())}
+                "admin-result",
+                {"watermark": str(self.backend.sequence_watermark())},
             )
+        if op == "checkpoint":
+            checkpoint = getattr(self.backend, "checkpoint", None)
+            if checkpoint is None:
+                raise Fault(
+                    "bad-admin",
+                    f"backend {type(self.backend).__name__} does not "
+                    f"support index checkpoints",
+                )
+            try:
+                path = checkpoint()
+            except Exception as exc:
+                raise Fault("checkpoint-failed", repr(exc))
+            return XmlElement("admin-result", {"snapshot": str(path)})
+        if op == "checkpoint-stats":
+            stats = getattr(self.backend, "checkpoint_stats", None)
+            if stats is None:
+                raise Fault(
+                    "bad-admin",
+                    f"backend {type(self.backend).__name__} has no "
+                    f"checkpoint stats",
+                )
+            return XmlElement("admin-result", stats.as_wire())
         raise Fault("bad-admin", f"unknown admin op {op!r}")
 
     def op_replicate(self, payload: XmlElement) -> XmlElement:
@@ -166,8 +190,7 @@ class FleetWorkerActor(PReServActor):
         """
         mode = payload.attrs.get("mode", "")
         if mode == "pull":
-            scan = getattr(self.backend, "scan_suffix", None)
-            if scan is None:
+            if not isinstance(self.backend, ResyncCapable):
                 raise Fault(
                     "bad-replicate",
                     f"backend {type(self.backend).__name__} cannot stream "
@@ -175,7 +198,7 @@ class FleetWorkerActor(PReServActor):
                 )
             after = int(payload.attrs.get("after", "0"))
             limit = int(payload.attrs.get("limit", "256"))
-            entries = scan(after=after, limit=limit + 1)
+            entries = self.backend.scan_suffix(after=after, limit=limit + 1)
             done = len(entries) <= limit
             entries = entries[:limit]
             page = XmlElement(
@@ -221,6 +244,8 @@ def build_worker_backend(
     from repro.store import make_backend
 
     kwargs = {"sync": config.sync, "auto_compact": config.auto_compact}
+    if config.checkpoint_bytes is not None:
+        kwargs["checkpoint_bytes"] = config.checkpoint_bytes
     if config.backend == "kvlog":
         kwargs["shards"] = config.shards
     elif config.backend == "filesystem":

@@ -33,6 +33,17 @@ from repro.store.interface import (
     interaction_scope,
 )
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+from repro.store.checkpoint import (
+    CheckpointStats,
+    Snapshot,
+    SnapshotError,
+    list_snapshots,
+    load_latest_snapshot,
+    read_snapshot,
+    snapshot_dir_for,
+    write_snapshot,
+)
+from repro.store.interface import ResyncCapable
 from repro.store.kvlog import CorruptRecordError, KVLog
 from repro.store.maintenance import (
     CompactionEvent,
@@ -73,6 +84,7 @@ def make_backend(
     sync: bool = True,
     segment_size: int = 256,
     auto_compact: Union[bool, CompactionScheduler] = False,
+    checkpoint_bytes: Optional[int] = None,
 ) -> ProvenanceStoreInterface:
     """The store factory: one place every deployment resolves its backend.
 
@@ -91,6 +103,13 @@ def make_backend(
     so dead bytes and single-put file debris are reclaimed in the
     background instead of growing forever.  Pass an existing scheduler to
     share one maintenance budget across several backends.
+
+    ``checkpoint_bytes`` arms the persistent backends' index-checkpoint
+    policy: once the un-snapshotted log tail exceeds roughly that many
+    bytes, the maintenance scheduler (when attached) snapshots the index
+    and truncates the covered log prefix, keeping reopen cost
+    proportional to the tail instead of the full history.  Leave it
+    ``None`` for manual ``backend.checkpoint()`` control.
     """
     if kind not in ("memory", "filesystem", "kvlog"):
         raise ValueError(f"unknown store backend {kind!r}")
@@ -115,15 +134,23 @@ def make_backend(
                 "the 'memory' backend has nothing to reclaim — "
                 "auto_compact applies to the persistent backends"
             )
+        if checkpoint_bytes is not None:
+            raise ValueError(
+                "the 'memory' backend has no log to checkpoint — "
+                "checkpoint_bytes applies to the persistent backends"
+            )
         return MemoryBackend()
     if path is None:
         raise ValueError(f"backend {kind!r} requires a path")
     if kind == "filesystem":
         backend: ProvenanceStoreInterface = FileSystemBackend(
-            path, segment_size=segment_size, sync=sync
+            path, segment_size=segment_size, sync=sync,
+            checkpoint_bytes=checkpoint_bytes,
         )
     else:
-        backend = KVLogBackend(path, sync=sync, shards=shards)
+        backend = KVLogBackend(
+            path, sync=sync, shards=shards, checkpoint_bytes=checkpoint_bytes
+        )
     if auto_compact:
         scheduler = (
             auto_compact
@@ -139,6 +166,7 @@ def make_backend(
 __all__ = [
     "ArchiveError",
     "CacheStats",
+    "CheckpointStats",
     "CompactionEvent",
     "CompactionScheduler",
     "CompactionStats",
@@ -169,11 +197,19 @@ __all__ = [
     "PlugIn",
     "ProvenanceStoreInterface",
     "QueryPlugIn",
+    "ResyncCapable",
     "ShardedKVLog",
+    "Snapshot",
+    "SnapshotError",
     "StoreCounts",
     "StoreIndex",
     "StorePlugIn",
     "interaction_scope",
+    "list_snapshots",
+    "load_latest_snapshot",
     "make_backend",
+    "read_snapshot",
     "sharded_store_fleet",
+    "snapshot_dir_for",
+    "write_snapshot",
 ]

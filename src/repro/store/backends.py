@@ -46,13 +46,27 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import zlib
+from bisect import bisect_left
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.passertion import GroupAssertion, parse_passertion
 from repro.core.prep import PrepRecord
 from repro.soa.xmldoc import XmlElement, parse_xml
+from repro.store.checkpoint import (
+    DEFAULT_CODEC,
+    DEFAULT_RETAIN,
+    CheckpointStats,
+    SnapshotError,
+    load_index_checkpoint,
+    pack_entries,
+    snapshot_dir_for,
+    sweep_snapshot_debris,
+    truncatable_watermark,
+    write_snapshot,
+)
 from repro.store.interface import (
     Assertion,
     ProvenanceStoreInterface,
@@ -86,7 +100,204 @@ class MemoryBackend(ProvenanceStoreInterface):
         pass
 
 
-class FileSystemBackend(ProvenanceStoreInterface):
+class _CheckpointedStore(ProvenanceStoreInterface):
+    """Shared checkpoint + resync machinery of the persistent backends.
+
+    Concrete subclasses call :meth:`_init_checkpoints` before their
+    replay, replay via snapshot-then-tail (loading the ladder with
+    :func:`~repro.store.checkpoint.load_index_checkpoint`, reporting the
+    tail through :meth:`_note_recovery`), record every persisted record
+    with :meth:`_append_entry`, and implement two hooks:
+
+    * ``_truncate_below(watermark) -> int`` — drop log history with
+      sequence below ``watermark``, returning bytes reclaimed;
+    * ``_tail_bytes() -> int`` — the on-disk bytes a reopen would have to
+      replay (the checkpoint policy's pressure signal).
+
+    The mixin owns the **entry stream** ``[(sequence, assertion), ...]``
+    — every record this store has indexed, in insertion order, kept for
+    the store's whole lifetime.  It serves two masters: the resync
+    surface (:meth:`scan_suffix` binary-searches it, so a page costs
+    O(log n + page) instead of re-walking the log — and still reaches
+    history whose log prefix was truncated) and the snapshot payload
+    (the sequences give the tail cursor meaning across reopen).  The
+    entries reference the same assertion objects the index holds, so the
+    marginal memory is one list cell and one int per record.
+
+    Write-path serialization: the backends' writes were always driven
+    serially (the actor/bus contract), but checkpoints run on the
+    maintenance scheduler's thread, so :meth:`put`/:meth:`put_many` take
+    a state lock that :meth:`checkpoint` also takes while capturing its
+    payload — ingest blocks only for the capture (a pickle of the index),
+    never for compression or the fsync'd write.
+    """
+
+    def _init_checkpoints(
+        self,
+        store_path: Union[str, "os.PathLike[str]"],
+        sync: bool,
+        codec: str,
+        retain: int,
+        checkpoint_bytes: Optional[int],
+    ) -> None:
+        if retain < 1:
+            raise ValueError("checkpoint_retain must be >= 1")
+        if checkpoint_bytes is not None and checkpoint_bytes < 1:
+            raise ValueError("checkpoint_bytes must be >= 1 (or None)")
+        self._sync = sync
+        self.checkpoint_codec = codec
+        self.checkpoint_retain = retain
+        #: tail-size bound (bytes) past which the scheduler's checkpoint
+        #: policy fires; None disables policy-driven checkpoints (manual
+        #: :meth:`checkpoint` calls still work).
+        self.checkpoint_bytes = checkpoint_bytes
+        self.checkpoint_stats = CheckpointStats()
+        self._ckpt_dir = snapshot_dir_for(store_path)
+        self._ckpt_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._entries: List[Tuple[int, Assertion]] = []
+        if self._ckpt_dir.is_dir():
+            sweep_snapshot_debris(self._ckpt_dir, sync=sync)
+
+    # -- write path (serialized against checkpoint capture) ------------------
+    def put(self, assertion: Assertion) -> None:
+        with self._state_lock:
+            super().put(assertion)
+
+    def put_many(self, assertions: Iterable[Assertion]) -> int:
+        with self._state_lock:
+            return super().put_many(assertions)
+
+    def _append_entry(self, seq: int, assertion: Assertion) -> None:
+        self._entries.append((seq, assertion))
+
+    def _note_recovery(
+        self, watermark: int, tail: int, snapshot_records: int, started: float
+    ) -> None:
+        stats = self.checkpoint_stats
+        stats.recovery_mode = "snapshot+tail" if watermark > 0 else "full-replay"
+        stats.last_watermark = watermark
+        stats.tail_records = tail
+        stats.snapshot_records = snapshot_records
+        stats.open_s = time.perf_counter() - started
+
+    # -- resync surface (the ResyncCapable protocol) --------------------------
+    def sequence_watermark(self) -> int:
+        """The next sequence number this store will assign.
+
+        Every committed record has a sequence strictly below the
+        watermark, so a peer that recorded this store's watermark at time
+        T can later pull exactly the records committed after T with
+        ``scan_suffix(after=watermark)`` — the resync protocol's cursor.
+        """
+        return self._seq
+
+    def scan_suffix(
+        self, after: int = 0, limit: int = 1024
+    ) -> List[Tuple[int, str]]:
+        """Up to ``limit`` ``(sequence, assertion_xml)`` records with
+        sequence >= ``after``, in global insertion order.
+
+        Served from the in-memory entry stream — index-visible state, the
+        same authority queries answer from — so a page costs a binary
+        search plus ``limit`` re-serializations, and ``after=0`` streams
+        the whole store even after its log prefix was truncated under a
+        checkpoint.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        entries = self._entries
+        start = bisect_left(entries, after, key=lambda e: e[0])
+        return [
+            (seq, _assertion_to_text(assertion))
+            for seq, assertion in entries[start : start + limit]
+        ]
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Snapshot the index at the current watermark; truncate covered log.
+
+        The write is durable before any truncation is considered, and
+        truncation only drops history below the *oldest retained valid*
+        snapshot's watermark (see
+        :func:`~repro.store.checkpoint.truncatable_watermark`) — so a
+        corrupt newest snapshot never strands records.  Safe to call from
+        the maintenance thread while ingest runs; raises
+        :class:`~repro.store.checkpoint.SnapshotError` if the store holds
+        index entries whose persistence is in doubt (a failed persist),
+        since checkpoint-then-truncate must never launder an
+        unacknowledged write into durable history.
+        """
+        with self._ckpt_lock:
+            with self._state_lock:
+                if len(self._entries) != self._index.record_count:
+                    raise SnapshotError(
+                        f"index holds {self._index.record_count} records but "
+                        f"only {len(self._entries)} are known persisted; "
+                        f"refusing to checkpoint a store with in-doubt writes"
+                    )
+                watermark = self._seq
+                seqs = [seq for seq, _assertion in self._entries]
+                index_blob = self._index.serialize()
+            payload = pack_entries(seqs, index_blob)
+            path = write_snapshot(
+                self._ckpt_dir,
+                watermark,
+                payload,
+                codec=self.checkpoint_codec,
+                meta={"records": len(seqs), "backend": type(self).__name__},
+                sync=self._sync,
+                retain=self.checkpoint_retain,
+            )
+            stats = self.checkpoint_stats
+            stats.snapshots_taken += 1
+            stats.last_watermark = watermark
+            stats.last_snapshot_bytes = path.stat().st_size
+            cut = truncatable_watermark(
+                self._ckpt_dir, retain=self.checkpoint_retain
+            )
+            if cut > 0:
+                stats.bytes_truncated += self._truncate_below(cut)
+            # The snapshot covers everything written so far: whatever log
+            # bytes remain (retention lag included) are no longer "tail".
+            self._note_snapshot_covered()
+            return path
+
+    def _truncate_below(self, watermark: int) -> int:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def _tail_bytes(self) -> int:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def _note_snapshot_covered(self) -> None:
+        """Hook: a snapshot at the current watermark just became durable."""
+
+    # -- checkpoint policy (see repro.store.maintenance) ----------------------
+    def checkpoint_candidates(self) -> List[tuple]:
+        """``(target, score, reclaimable_bytes, cost_bytes)``, like reclaim.
+
+        Pressure is the replayable tail's on-disk size against the
+        ``checkpoint_bytes`` bound: the score passes the scheduler's
+        default 0.30 threshold once the tail exceeds ~60% of the bound
+        and saturates at twice it, so a hot store checkpoints *before*
+        its reopen cost doubles.  Empty when the policy is disabled.
+        """
+        if self.checkpoint_bytes is None:
+            return []
+        tail = self._tail_bytes()
+        if tail <= 0:
+            return []
+        score = min(1.0, 0.5 * tail / self.checkpoint_bytes)
+        return [("checkpoint", score, tail, tail)]
+
+    def run_checkpoint(self, target: object) -> int:
+        """Scheduler entry point: one checkpoint; returns bytes truncated."""
+        before = self.checkpoint_stats.bytes_truncated
+        self.checkpoint()
+        return self.checkpoint_stats.bytes_truncated - before
+
+
+class FileSystemBackend(_CheckpointedStore):
     """XML files under a directory tree, one file per put *or* per batch.
 
     Layout: ``root/NNNNNNNN.xml`` where the stem is the sequence number of
@@ -107,6 +318,13 @@ class FileSystemBackend(ProvenanceStoreInterface):
     folds contiguous runs of them into ``<segment>`` files in the
     background (the scheduler drives it via the reclaim protocol), keeping
     the directory's file count bounded under sustained fine-grained load.
+
+    Checkpoints (see :class:`_CheckpointedStore`) live in
+    ``root/checkpoints/`` — invisible to the ``*.xml`` discovery glob.  A
+    store file's sequence range never straddles a snapshot watermark
+    (snapshots are taken at ``self._seq``, which always sits on a file
+    boundary), so snapshot-then-tail replay skips covered files without
+    even parsing them, and truncation deletes whole files.
     """
 
     def __init__(
@@ -114,6 +332,9 @@ class FileSystemBackend(ProvenanceStoreInterface):
         root: Union[str, "os.PathLike[str]"],
         segment_size: int = 256,
         sync: bool = True,
+        checkpoint_codec: str = DEFAULT_CODEC,
+        checkpoint_retain: int = DEFAULT_RETAIN,
+        checkpoint_bytes: Optional[int] = None,
     ):
         if segment_size < 1:
             raise ValueError("segment_size must be >= 1")
@@ -121,9 +342,6 @@ class FileSystemBackend(ProvenanceStoreInterface):
         self.root = Path(root)
         mkdir_durable(self.root, sync=sync)
         self.segment_size = segment_size
-        #: fsync segment files and the directory on every commit; set
-        #: sync=False for page-cache-only durability (mirrors KVLog).
-        self._sync = sync
         self._seq = 0
         #: single-assertion files eligible for folding, sorted by sequence.
         self._singles: List[Tuple[int, Path]] = []
@@ -132,6 +350,9 @@ class FileSystemBackend(ProvenanceStoreInterface):
         # without ever blocking ingest.
         self._accounting_lock = threading.Lock()
         self._fold_lock = threading.Lock()
+        self._init_checkpoints(
+            self.root, sync, checkpoint_codec, checkpoint_retain, checkpoint_bytes
+        )
         self._sweep_stale_tmp()
         self._replay()
 
@@ -156,16 +377,43 @@ class FileSystemBackend(ProvenanceStoreInterface):
         # Incremental: the stream yields one assertion at a time and never
         # holds more than a single parsed segment document, so open-time
         # memory is bounded by the largest segment plus the index — not by
-        # the store's total size.
-        for assertion in self._replay_stream():
+        # the store's total size.  Snapshot-then-tail: the newest valid
+        # checkpoint seeds the index and the entry stream, and replay then
+        # parses only files past its watermark (falling down the ladder —
+        # older snapshot, then full replay — if every snapshot is
+        # unusable).
+        started = time.perf_counter()
+        watermark = 0
+        restored = 0
+        loaded = load_index_checkpoint(self._ckpt_dir)
+        if loaded is not None:
+            watermark, entries, index = loaded
+            self._index = index
+            self._entries = entries
+            self._seq = watermark
+            restored = len(entries)
+        tail = 0
+        for seq, assertion in self._replay_stream(skip_below=watermark):
             self._index.add(assertion)
+            self._entries.append((seq, assertion))
+            tail += 1
+        self._note_recovery(watermark, tail, restored, started)
 
-    def _replay_stream(self):
-        """Yield the store's assertions in insertion order, one at a time.
+    def _replay_stream(self, skip_below: int = 0):
+        """Yield ``(sequence, assertion)`` in insertion order, one at a time.
 
         Owns all of replay's on-disk bookkeeping as it streams: sequence
         tracking, the single-put fold accounting, fold-crash dedupe, and
         the final debris sweep (run when the stream completes).
+
+        ``skip_below`` is the snapshot watermark: a file whose whole
+        sequence range sits below it holds only snapshot-covered history,
+        so it is skipped *without being read or parsed* (its range is
+        known from the next file's start sequence — files are contiguous
+        in sequence space) — that unparsed skip is where snapshot-then-tail
+        recovery's time goes from O(history) to O(tail).  Covered files
+        are NOT deleted here: only :meth:`checkpoint`'s truncation drops
+        files, and only below the oldest *retained* snapshot's watermark.
         """
         # Stray files (editor leftovers, crash debris with non-numeric
         # stems) are not ours to interpret: skip them instead of raising.
@@ -179,6 +427,23 @@ class FileSystemBackend(ProvenanceStoreInterface):
         covered = 0  # sequences below this are already indexed
         debris: List[Path] = []
         for position, (start_seq, path) in enumerate(segments):
+            next_start = (
+                segments[position + 1][0]
+                if position + 1 < len(segments)
+                else None
+            )
+            if (
+                skip_below
+                and next_start is not None
+                and next_start <= skip_below
+            ):
+                # Whole file below the watermark: snapshot-covered history
+                # awaiting truncation.  Skip it unparsed; the bookkeeping
+                # still advances so the sequence counter can never fall
+                # behind the files on disk.
+                covered = max(covered, next_start)
+                self._seq = max(self._seq, covered)
+                continue
             try:
                 el = parse_xml(path.read_text(encoding="utf-8"))
             except (ValueError, UnicodeDecodeError) as exc:
@@ -219,11 +484,13 @@ class FileSystemBackend(ProvenanceStoreInterface):
             covered = start_seq + count
             self._seq = max(self._seq, covered)
             if members is None:
-                self._singles.append((start_seq, path))
-                yield _assertion_from_el(el)
+                if start_seq >= skip_below:
+                    self._singles.append((start_seq, path))
+                    yield start_seq, _assertion_from_el(el)
             else:
-                for child in members:
-                    yield _assertion_from_el(child)
+                for offset, child in enumerate(members):
+                    if start_seq + offset >= skip_below:
+                        yield start_seq + offset, _assertion_from_el(child)
         for path in debris:
             path.unlink(missing_ok=True)
         if debris and self._sync:
@@ -246,6 +513,7 @@ class FileSystemBackend(ProvenanceStoreInterface):
         name = f"{seq:08d}.xml"
         self._seq += 1
         self._write_file(name, _assertion_to_text(assertion))
+        self._append_entry(seq, assertion)
         with self._accounting_lock:
             self._singles.append((seq, self.root / name))
 
@@ -260,9 +528,12 @@ class FileSystemBackend(ProvenanceStoreInterface):
             segment = XmlElement("segment", attrs={"count": str(len(chunk))})
             for assertion in chunk:
                 segment.add(assertion.to_xml())
-            name = f"{self._seq:08d}.xml"
+            base = self._seq
+            name = f"{base:08d}.xml"
             self._seq += len(chunk)
             self._write_file(name, segment.serialize())
+            for offset, assertion in enumerate(chunk):
+                self._append_entry(base + offset, assertion)
 
     # -- segment folding ----------------------------------------------------
     def fold_candidates(self) -> List[List[Tuple[int, Path]]]:
@@ -361,6 +632,78 @@ class FileSystemBackend(ProvenanceStoreInterface):
         _folded, reclaimed = self.fold_segments()
         return reclaimed
 
+    # -- checkpoint hooks (see _CheckpointedStore) ---------------------------
+    def _truncate_below(self, watermark: int) -> int:
+        """Delete store files whose whole sequence range sits below
+        ``watermark`` (which always falls on a file boundary — snapshots
+        are taken at ``self._seq``).
+
+        Held under the state lock so no new file appears mid-walk; each
+        deletion is independent, so a crash partway leaves some covered
+        files behind — harmless (replay's unparsed skip covers them, and
+        the next checkpoint finishes the job).
+        """
+        with self._state_lock:
+            files: List[Tuple[int, Path]] = []
+            for path in self.root.glob("*.xml"):
+                try:
+                    files.append((int(path.stem), path))
+                except ValueError:
+                    continue
+            files.sort()
+            reclaimed = 0
+            doomed: List[Path] = []
+            for position, (start_seq, path) in enumerate(files):
+                end = (
+                    files[position + 1][0]
+                    if position + 1 < len(files)
+                    else self._seq
+                )
+                if end <= watermark:
+                    doomed.append(path)
+            dropped_names = {path.name for path in doomed}
+            for path in doomed:
+                try:
+                    reclaimed += path.stat().st_size
+                except OSError:  # pragma: no cover - raced with a fold
+                    pass
+                path.unlink(missing_ok=True)
+            if doomed and self._sync:
+                fsync_dir(self.root)
+            with self._accounting_lock:
+                self._singles = [
+                    (seq, path)
+                    for seq, path in self._singles
+                    if path.name not in dropped_names
+                ]
+        return reclaimed
+
+    def _tail_bytes(self) -> int:
+        """On-disk bytes a reopen would parse: files past the newest
+        snapshot's watermark (all files, when no snapshot exists)."""
+        watermark = self.checkpoint_stats.last_watermark
+        total = 0
+        files: List[Tuple[int, Path]] = []
+        for path in self.root.glob("*.xml"):
+            try:
+                files.append((int(path.stem), path))
+            except ValueError:
+                continue
+        files.sort()
+        for position, (start_seq, path) in enumerate(files):
+            end = (
+                files[position + 1][0]
+                if position + 1 < len(files)
+                else self._seq
+            )
+            if end <= watermark:
+                continue
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - raced with a fold
+                continue
+        return total
+
 
 def scope_prefix(scope: str) -> bytes:
     """8-hex-char partition prefix for a scope string."""
@@ -376,12 +719,17 @@ def _assertion_scope(assertion: Assertion) -> str:
     return interaction_scope(member)
 
 
-class KVLogBackend(ProvenanceStoreInterface):
+class KVLogBackend(_CheckpointedStore):
     """Database backend over the embedded :class:`KVLog` store.
 
     Plays the role of the paper's Berkeley DB JE backend: assertions are
     values keyed by an insertion sequence number; the index is rebuilt by
-    scanning the log on open.
+    scanning the log on open — from the newest valid checkpoint plus the
+    log tail past its watermark when one exists (see
+    :class:`_CheckpointedStore`), full history otherwise.  Checkpoints
+    live beside the log: ``<file>.ckpt/`` for the single-file layout,
+    ``<dir>/checkpoints/`` for the sharded one (invisible to the
+    ``log.*.kv`` shard discovery).
 
     With ``shards=N`` (N > 1) the log is a :class:`ShardedKVLog` directory
     instead of a single file: record keys gain an interaction-scope hash
@@ -404,6 +752,9 @@ class KVLogBackend(ProvenanceStoreInterface):
         path: Union[str, "os.PathLike[str]"],
         sync: bool = True,
         shards: int = 1,
+        checkpoint_codec: str = DEFAULT_CODEC,
+        checkpoint_retain: int = DEFAULT_RETAIN,
+        checkpoint_bytes: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -437,6 +788,9 @@ class KVLogBackend(ProvenanceStoreInterface):
         # query could now observe must expire the shard's cached results.
         self._shard_gens = [0] * shards
         self._seq = 0
+        self._init_checkpoints(
+            path, sync, checkpoint_codec, checkpoint_retain, checkpoint_bytes
+        )
         self._replay()
         # Index generation already persisted: lets the persist hooks tell
         # an effective write from an idempotent group re-assertion (which
@@ -451,11 +805,51 @@ class KVLogBackend(ProvenanceStoreInterface):
         # bounded by the index, not by a materialized copy of the log.
         # The key's trailing field is the sequence number whichever
         # layout wrote it.
-        for key, value in self._log.scan():
+        #
+        # Snapshot-then-tail: with a valid checkpoint, only records past
+        # its watermark are decoded — the sharded layout filters inside
+        # each shard's stream before the k-way merge (scan(min_seq=...),
+        # the per-shard start cursor), the single-log layout skips on the
+        # key's sequence field before the XML parse.  Prefix truncation
+        # makes the skip physical: a truncated log simply holds no
+        # covered records to skip.
+        started = time.perf_counter()
+        watermark = 0
+        restored = 0
+        loaded = load_index_checkpoint(self._ckpt_dir)
+        if loaded is not None:
+            watermark, entries, index = loaded
+            self._index = index
+            self._entries = entries
+            self._seq = watermark
+            restored = len(entries)
+        tail = 0
+        if isinstance(self._log, ShardedKVLog):
+            stream = self._log.scan(min_seq=watermark)
+        else:
+            stream = self._log.scan()
+        for key, value in stream:
+            seq = int(key.rsplit(b"|", 1)[-1].decode("ascii"))
+            if seq < watermark:
+                continue  # single-log: covered prefix not yet truncated
             assertion = _assertion_from_text(value.decode("utf-8"))
             self._index.add(assertion)
-            seq = int(key.rsplit(b"|", 1)[-1].decode("ascii"))
+            self._entries.append((seq, assertion))
             self._seq = max(self._seq, seq + 1)
+            tail += 1
+        if isinstance(self._log, ShardedKVLog):
+            # Pin the sequence floor: after truncation the shard files may
+            # be empty, and lazy watermark resolution would otherwise
+            # restart at zero — reusing sequences the snapshot covers.
+            self._log.set_sequence_floor(self._seq)
+        # Tail-pressure baseline: a clean snapshot+zero-tail open means the
+        # whole log is snapshot-covered; any replayed tail (or a full
+        # replay) leaves the baseline at 0 — pressure reads high and the
+        # next policy checkpoint re-establishes it.
+        self._covered_log_bytes = (
+            self._log.file_size() if (watermark > 0 and tail == 0) else 0
+        )
+        self._note_recovery(watermark, tail, restored, started)
 
     def _key_for(self, assertion: Assertion) -> Tuple[bytes, Optional[int]]:
         """The next record key and, when sharded, its owning shard index."""
@@ -499,11 +893,13 @@ class KVLogBackend(ProvenanceStoreInterface):
 
     def _persist(self, assertion: Assertion) -> None:
         keyed: List[Tuple[bytes, Optional[int]]] = []
+        seq = self._seq
         try:
             keyed.append(self._key_for(assertion))
             self._log.put(
                 keyed[0][0], _assertion_to_text(assertion).encode("utf-8")
             )
+            self._append_entry(seq, assertion)
         finally:
             self._bump_for(keyed, 1)
 
@@ -515,6 +911,7 @@ class KVLogBackend(ProvenanceStoreInterface):
         # bumps every touched shard; only a purely idempotent batch keeps
         # its shards' caches warm.)
         keyed: List[Tuple[bytes, Optional[int]]] = []
+        base = self._seq
         try:
             for assertion in assertions:
                 keyed.append(self._key_for(assertion))
@@ -523,40 +920,47 @@ class KVLogBackend(ProvenanceStoreInterface):
                 for (key, _), a in zip(keyed, assertions)
             ]
             self._log.put_many(pairs)
+            for offset, assertion in enumerate(assertions):
+                self._append_entry(base + offset, assertion)
         finally:
             self._bump_for(keyed, len(assertions))
 
-    # -- resync stream (see repro.fleet.supervisor) -------------------------
-    def sequence_watermark(self) -> int:
-        """The next sequence number this store will assign.
+    # -- checkpoint hooks (see _CheckpointedStore) ---------------------------
+    def _truncate_below(self, watermark: int) -> int:
+        """Rewrite the log without records a retained snapshot covers.
 
-        Every committed record has a sequence strictly below the
-        watermark, so a peer that recorded this store's watermark at time
-        T can later pull exactly the records committed after T with
-        ``scan_suffix(after=watermark)`` — the resync protocol's cursor.
+        Sharded: the log drops by sequence prefix, shard by shard (each
+        shard's rewrite atomic, the cross-shard walk resumable).  Single
+        file: the sequence lives in the record key, so a key predicate
+        does the same job.
         """
-        return self._seq
+        if watermark <= 0:
+            return 0
+        if isinstance(self._log, ShardedKVLog):
+            return self._log.truncate_prefix(watermark)
 
-    def scan_suffix(self, after: int = 0, limit: int = 1024) -> List[Tuple[int, str]]:
-        """Up to ``limit`` ``(sequence, assertion_xml)`` records with
-        sequence >= ``after``, in global insertion order.
+        def keep(key: bytes, _value: bytes) -> bool:
+            return (
+                int(key.rsplit(b"|", 1)[-1].decode("ascii")) >= watermark
+            )
 
-        Each page re-walks the log from the start (the append-only layout
-        has no seek index), so a full resync costs O(pages x log) reads —
-        acceptable for the recovery path, which runs rarely and off the
-        ingest thread.  ``after=0`` streams the whole store.
+        return self._log.truncate_prefix(keep)
+
+    def _tail_bytes(self) -> int:
+        """Log bytes appended since the last snapshot made them covered.
+
+        The log file is not seq-addressable, so the tail is tracked as a
+        size delta against the baseline recorded whenever a snapshot
+        lands (or a clean zero-tail reopen proves the whole log covered).
+        A full replay or a tail-bearing reopen leaves the baseline at 0 —
+        pressure over-reads and the next policy checkpoint resets it.
         """
-        if limit < 1:
-            raise ValueError("limit must be >= 1")
-        out: List[Tuple[int, str]] = []
-        for key, value in self._log.scan():
-            seq = int(key.rsplit(b"|", 1)[-1].decode("ascii"))
-            if seq < after:
-                continue
-            out.append((seq, value.decode("utf-8")))
-            if len(out) >= limit:
-                break
-        return out
+        return max(0, self._log.file_size() - self._covered_log_bytes)
+
+    def _note_snapshot_covered(self) -> None:
+        # Post-truncation size: the retention window's lag (history
+        # between the oldest retained watermark and now) stays covered.
+        self._covered_log_bytes = self._log.file_size()
 
     # -- shard-granular cache invalidation ----------------------------------
     def scope_shard(self, scope: str) -> int:

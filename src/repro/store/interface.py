@@ -22,10 +22,12 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Set,
     Tuple,
     Union,
+    runtime_checkable,
 )
 
 from repro.core.passertion import (
@@ -72,6 +74,34 @@ class StoreCounts:
 
 class DuplicateAssertionError(Exception):
     """A p-assertion with an identical store key was already recorded."""
+
+
+@runtime_checkable
+class ResyncCapable(Protocol):
+    """The resync surface a store exposes to replication peers.
+
+    Implemented by the log-backed backends and by
+    :class:`~repro.fleet.remote.RemoteStore` (so the supervisor's resync
+    ladder works against local and socket-served stores alike).  The
+    contract both methods share: every committed record has a sequence
+    strictly below :meth:`sequence_watermark`, so a peer that saved the
+    watermark at time T later pulls exactly what it missed with
+    ``scan_suffix(after=watermark)`` — and ``after=0`` streams the whole
+    store, *including* history whose log prefix has since been truncated
+    under a checkpoint (the stream serves index-visible state, not raw
+    log bytes).
+    """
+
+    def sequence_watermark(self) -> int:
+        """The next sequence number this store will assign."""
+        ...  # pragma: no cover - protocol
+
+    def scan_suffix(
+        self, after: int = 0, limit: int = 1024
+    ) -> List[Tuple[int, str]]:
+        """Up to ``limit`` ``(sequence, assertion_xml)`` with sequence >=
+        ``after``, in global insertion order."""
+        ...  # pragma: no cover - protocol
 
 
 class StoreIndex:
@@ -244,6 +274,55 @@ class StoreIndex:
             group_assertions=self._n_groups,
             interaction_records=len(self._all_keys),
         )
+
+    # -- checkpointing -------------------------------------------------------
+    #: serialize() format tag; restore() rejects anything else.
+    SERIAL_FORMAT = "store-index/1"
+
+    @property
+    def record_count(self) -> int:
+        """Records in insertion order — including idempotent group
+        re-assertions, so this can exceed ``counts().total``."""
+        return len(self._order)
+
+    def serialize(self) -> bytes:
+        """The index as a replayable record stream (for checkpoints).
+
+        We snapshot ``_order`` — the complete insertion-ordered assertion
+        stream — rather than the derived tables: :meth:`restore` re-adds
+        each record through :meth:`add`, so every derived structure,
+        counter, and the write ``generation`` come out exactly as a full
+        replay of the same records would produce them.  That equivalence
+        is what makes snapshot-then-tail recovery indistinguishable from
+        full replay.
+        """
+        import pickle
+
+        return pickle.dumps(
+            (self.SERIAL_FORMAT, self._order), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def restore(self, blob: bytes) -> List[Assertion]:
+        """Replay a :meth:`serialize` blob into this (empty) index.
+
+        Returns the restored assertions in insertion order so the caller
+        can cross-check the count against its own bookkeeping.  Raises
+        ``ValueError`` on a format-tag mismatch and whatever :mod:`pickle`
+        raises on damage — callers treat any failure as "snapshot
+        unusable" and fall down the recovery ladder.
+        """
+        import pickle
+
+        if self._order:
+            raise ValueError("restore() requires an empty index")
+        tag, order = pickle.loads(blob)
+        if tag != self.SERIAL_FORMAT:
+            raise ValueError(
+                f"snapshot index format {tag!r} != {self.SERIAL_FORMAT!r}"
+            )
+        for assertion in order:
+            self.add(assertion)
+        return list(order)
 
 
 class GroupKindMembers:

@@ -128,7 +128,15 @@ def _iter_records(
 class _PendingCompaction:
     """Phase-one output of a two-phase compaction, handed to phase two."""
 
-    __slots__ = ("tmp_path", "handle", "index", "size", "dead", "snapshot_end")
+    __slots__ = (
+        "tmp_path",
+        "handle",
+        "index",
+        "size",
+        "dead",
+        "snapshot_end",
+        "dropped",
+    )
 
     def __init__(self, tmp_path: Path, handle: BinaryIO, snapshot_end: int):
         self.tmp_path = tmp_path
@@ -137,6 +145,9 @@ class _PendingCompaction:
         self.size = 0
         self.dead = 0
         self.snapshot_end = snapshot_end
+        #: live keys a truncation predicate intentionally discarded (empty
+        #: for a plain compaction) — phase two's safety net exempts them.
+        self.dropped: set = set()
 
 
 class KVLog:
@@ -458,7 +469,56 @@ class KVLog:
                 pending.tmp_path.unlink(missing_ok=True)
                 raise
 
-    def _compact_prepare(self, snapshot_end: int, keep: set) -> _PendingCompaction:
+    def truncate_prefix(self, keep_record) -> int:
+        """Drop the live records ``keep_record(key, value) -> bool`` rejects.
+
+        The checkpoint subsystem's half of log truncation: once a durable
+        snapshot covers a record, the record's log bytes are pure history,
+        and this rewrites the log without them (dead records go too — a
+        truncation is also a free compaction).  Returns the bytes given
+        back to the filesystem.
+
+        Caller contract: only reject records whose content is durably
+        captured elsewhere (a checkpoint snapshot) — after truncation,
+        :meth:`get` on a dropped key returns None and :meth:`scan` no
+        longer yields it, exactly as if it had been tombstoned and
+        compacted away.
+
+        Same two-phase structure and crash discipline as :meth:`compact`:
+        the filtered rewrite streams without the writer lock held, records
+        appended meanwhile are caught up verbatim under the lock (they are
+        above any snapshot watermark by construction), and the atomic
+        swap-or-nothing rename means a crash leaves either the old log or
+        the complete truncated one.  A stranded ``*.compact`` temp is
+        swept on the next open.
+        """
+        self._check_open()
+        with self._compact_lock:
+            with self._lock:
+                self._file.flush()
+                self._file.seek(0, os.SEEK_END)
+                snapshot_end = self._file.tell()
+                before = snapshot_end
+                keep = {
+                    offset - _HEADER.size - len(key)
+                    for key, (offset, _length) in self._index.items()
+                }
+            pending = self._compact_prepare(
+                snapshot_end, keep, predicate=keep_record
+            )
+            try:
+                with self._lock:
+                    self._compact_commit(pending)
+            except BaseException:
+                if not pending.handle.closed:
+                    pending.handle.close()
+                pending.tmp_path.unlink(missing_ok=True)
+                raise
+        return max(0, before - self.file_size())
+
+    def _compact_prepare(
+        self, snapshot_end: int, keep: set, predicate=None
+    ) -> _PendingCompaction:
         """Phase one (no lock): copy the snapshot's live records to a temp log.
 
         One sequential pass over the immutable prefix, copying the records
@@ -466,6 +526,11 @@ class KVLog:
         snapshot) and building the replacement index as it goes, so phase
         two installs it instead of re-scanning under the lock.  A corrupt
         record aborts with the log untouched.
+
+        ``predicate`` is the prefix-truncation hook: a ``(key, value) ->
+        bool`` filter applied to live records, where False *discards* the
+        record (recorded in ``pending.dropped`` so phase two's safety net
+        knows the omission was intentional).
         """
         tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
         pending: Optional[_PendingCompaction] = None
@@ -477,13 +542,19 @@ class KVLog:
                 for pos, key, val_len, _tombstone, raw in _iter_records(
                     src, 0, snapshot_end
                 ):
-                    if pos in keep:
-                        pending.handle.write(raw)
-                        pending.index[key] = (
-                            pending.size + _HEADER.size + len(key),
-                            val_len,
-                        )
-                        pending.size += len(raw)
+                    if pos not in keep:
+                        continue
+                    if predicate is not None and not predicate(
+                        key, raw[_HEADER.size + len(key) :]
+                    ):
+                        pending.dropped.add(key)
+                        continue
+                    pending.handle.write(raw)
+                    pending.index[key] = (
+                        pending.size + _HEADER.size + len(key),
+                        val_len,
+                    )
+                    pending.size += len(raw)
             return pending
         except BaseException:
             if pending is not None and not pending.handle.closed:
@@ -525,11 +596,16 @@ class KVLog:
             os.fsync(pending.handle.fileno())
         pending.handle.close()
         # Safety net: the replacement must carry exactly the live set the
-        # index serves right now; anything else (the file changed beneath
-        # us) aborts with the old log untouched.
-        if {k: span[1] for k, span in pending.index.items()} != {
-            k: span[1] for k, span in self._index.items()
-        }:
+        # index serves right now — minus records a truncation predicate
+        # dropped on purpose (unless the tail re-wrote them, in which case
+        # the catch-up copy re-added them); anything else (the file changed
+        # beneath us) aborts with the old log untouched.
+        expected = {
+            k: span[1]
+            for k, span in self._index.items()
+            if k in pending.index or k not in pending.dropped
+        }
+        if {k: span[1] for k, span in pending.index.items()} != expected:
             pending.tmp_path.unlink(missing_ok=True)
             raise CorruptRecordError(
                 "compaction would drop or alter live records; aborting with "

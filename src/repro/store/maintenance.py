@@ -31,6 +31,18 @@ must read+write — feeds the bytes-per-second limiter.  :class:`KVLog`,
 :class:`ShardedKVLog`, :class:`KVLogBackend` and :class:`FileSystemBackend`
 all implement the protocol.
 
+Stores may additionally expose the **checkpoint protocol**::
+
+    checkpoint_candidates() -> [(target, score, reclaimable_bytes, cost_bytes)]
+    run_checkpoint(target) -> bytes_truncated
+
+Checkpoint candidates compete with reclaim candidates for the same
+single-action-per-tick slot under the same thresholds, so a tick either
+compacts *or* snapshots — never both.  The persistent backends publish a
+checkpoint candidate once their un-snapshotted log tail outgrows their
+``checkpoint_bytes`` bound (see
+:meth:`~repro.store.backends.KVLogBackend.checkpoint`).
+
 Wiring: ``make_backend(..., auto_compact=True)`` attaches and starts a
 scheduler whose lifetime is tied to the backend (``backend.close()`` stops
 it); ``sharded_store_fleet(..., auto_compact=True)`` shares one scheduler
@@ -47,7 +59,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 @dataclass(frozen=True)
 class CompactionEvent:
-    """One completed compaction (background tick or manual :meth:`tick`)."""
+    """One completed maintenance action (background tick or manual :meth:`tick`).
+
+    ``kind`` is ``"compact"`` for dead-byte reclamation via the reclaim
+    protocol and ``"checkpoint"`` for an index snapshot + log-prefix
+    truncation via the checkpoint protocol; ``reclaimed`` then counts the
+    prefix bytes the truncation dropped.
+    """
 
     store: str
     target: object
@@ -55,6 +73,7 @@ class CompactionEvent:
     reclaimed: int
     cost_bytes: int
     elapsed_s: float
+    kind: str = "compact"
 
 
 @dataclass
@@ -63,6 +82,8 @@ class CompactionStats:
 
     compactions_run: int = 0
     bytes_reclaimed: int = 0
+    checkpoints_run: int = 0
+    checkpoint_bytes_truncated: int = 0
     ticks: int = 0
     skipped_rate_limited: int = 0
     errors: int = 0
@@ -238,28 +259,37 @@ class CompactionScheduler:
                 return None
             stores = list(self._stores.items())
             cooldowns = dict(self._cooldowns)
-        best: Optional[Tuple[float, str, object, object, int, int]] = None
+        best: Optional[Tuple[float, str, object, object, int, int, str]] = None
         for name, store in stores:
             if cooldowns.get((name, None), float("-inf")) > now:
                 continue  # the whole store is cooling down a poll failure
-            try:
-                candidates = store.reclaim_candidates()
-            except Exception as exc:
-                self._note_error(name, None, exc)
-                continue
-            for target, score, reclaimable, cost in candidates:
-                if score < self.min_score or reclaimable < self.min_reclaim_bytes:
+            polls: List[Tuple[str, Callable[[], object]]] = [
+                ("compact", store.reclaim_candidates)
+            ]
+            if hasattr(store, "checkpoint_candidates"):
+                polls.append(("checkpoint", store.checkpoint_candidates))
+            for kind, poll in polls:
+                try:
+                    candidates = poll()
+                except Exception as exc:
+                    self._note_error(name, None, exc)
                     continue
-                if cooldowns.get((name, target), float("-inf")) > now:
-                    continue
-                if best is None or score > best[0]:
-                    best = (score, name, store, target, reclaimable, cost)
+                for target, score, reclaimable, cost in candidates:
+                    if score < self.min_score or reclaimable < self.min_reclaim_bytes:
+                        continue
+                    if cooldowns.get((name, target), float("-inf")) > now:
+                        continue
+                    if best is None or score > best[0]:
+                        best = (score, name, store, target, reclaimable, cost, kind)
         if best is None:
             return None
-        score, name, store, target, _reclaimable, cost = best
+        score, name, store, target, _reclaimable, cost, kind = best
         started = self._clock()
         try:
-            reclaimed = store.reclaim(target)
+            if kind == "checkpoint":
+                reclaimed = store.run_checkpoint(target)
+            else:
+                reclaimed = store.reclaim(target)
         except Exception as exc:
             self._note_error(name, target, exc)
             return None
@@ -271,10 +301,15 @@ class CompactionScheduler:
             reclaimed=reclaimed,
             cost_bytes=cost,
             elapsed_s=elapsed,
+            kind=kind,
         )
         with self._lock:
-            self._stats.compactions_run += 1
-            self._stats.bytes_reclaimed += reclaimed
+            if kind == "checkpoint":
+                self._stats.checkpoints_run += 1
+                self._stats.checkpoint_bytes_truncated += reclaimed
+            else:
+                self._stats.compactions_run += 1
+                self._stats.bytes_reclaimed += reclaimed
             runs, reclaimed_total = self._stats.per_store.get(name, (0, 0))
             self._stats.per_store[name] = (runs + 1, reclaimed_total + reclaimed)
             self._stats.last_event = event

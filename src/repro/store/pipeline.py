@@ -32,16 +32,11 @@ Knobs (the module's configuration surface — threaded through
 ``workers``
     Decode pool size (default ``min(depth, cpu_count, 4)``); ignored
     without ``decode``.
-``gil_switch_s``
-    **Deprecated** (still accepted, with a ``DeprecationWarning``).  The
-    CPython switch-interval override was a workaround for decode and
-    commit threads fighting over one GIL; the process fleet
-    (:mod:`repro.fleet`) removes the contention at the source by giving
-    each worker its own interpreter, so interpreter-switch tuning is
-    obsolete.  While the knob remains it behaves as before: the override
-    is held for the engine's lifetime and restored by
-    :meth:`PipelinedIngest.close`; it is process-global, which is why it
-    was opt-in.
+
+(The former ``gil_switch_s`` interpreter-tuning knob — a workaround for
+decode and commit threads fighting over one GIL — is gone: the process
+fleet (:mod:`repro.fleet`) removes that contention at the source by
+giving each worker its own interpreter.)
 
 Ordering and failure contract:
 
@@ -62,10 +57,8 @@ from __future__ import annotations
 
 import os
 import queue
-import sys
 import threading
 import time
-import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -118,20 +111,9 @@ class PipelinedIngest:
         depth: int = 4,
         workers: Optional[int] = None,
         name: str = "ingest",
-        gil_switch_s: Optional[float] = None,
     ):
         if depth < 1:
             raise ValueError("depth must be >= 1")
-        if gil_switch_s is not None:
-            if gil_switch_s <= 0:
-                raise ValueError("gil_switch_s must be > 0")
-            warnings.warn(
-                "gil_switch_s is deprecated: run stores as separate "
-                "processes (repro.fleet) instead of tuning the "
-                "interpreter's switch interval; the knob will be removed",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         self._commit_fn = commit
         self._decode_fn = decode
         self.depth = depth
@@ -153,12 +135,6 @@ class PipelinedIngest:
                 max_workers=workers or min(depth, os.cpu_count() or 2, 4),
                 thread_name_prefix=f"{name}-decode",
             )
-        # Interpreter tuning for the engine's lifetime (see module doc);
-        # applied last so a failing constructor never leaves it set.
-        self._old_switch: Optional[float] = None
-        if gil_switch_s is not None:
-            self._old_switch = sys.getswitchinterval()
-            sys.setswitchinterval(gil_switch_s)
         self._committer = threading.Thread(
             target=self._commit_loop, name=f"{name}-commit", daemon=True
         )
@@ -219,9 +195,6 @@ class PipelinedIngest:
             self._committer.join()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
-            if self._old_switch is not None:
-                sys.setswitchinterval(self._old_switch)
-                self._old_switch = None
         if raise_error and self._error is not None:
             raise self._error
 

@@ -327,7 +327,7 @@ class ShardedKVLog:
                 merged.extend(self._shards[i].keys())
         return iter(sorted(merged))
 
-    def scan(self) -> Iterator[Tuple[bytes, bytes]]:
+    def scan(self, min_seq: int = 0) -> Iterator[Tuple[bytes, bytes]]:
         """Live pairs in *global* insertion order, merged across shards.
 
         A streaming k-way heap merge: each shard contributes its own
@@ -337,6 +337,15 @@ class ShardedKVLog:
         most **one pending record per shard**, so replaying a log that has
         outgrown RAM streams instead of materializing — and the result is
         byte-identical to scanning a single KVLog fed the same puts.
+
+        ``min_seq`` is the checkpoint subsystem's per-shard start cursor:
+        records with sequence below it are dropped inside each shard's
+        stream *before* reaching the heap, so a snapshot-then-tail replay
+        pays merge and decode costs only for the tail past its snapshot's
+        watermark.  Cursors are sequence-space, not byte offsets, on
+        purpose — a compaction between snapshot and reopen shifts bytes
+        but never renumbers records, so a sequence cursor can't skip data
+        a stale byte offset would.
 
         A shard whose records come back out of sequence order raises
         :class:`CorruptRecordError` rather than silently mis-merging.
@@ -348,6 +357,16 @@ class ShardedKVLog:
         a store by replaying it record-by-record into a fresh one.
         """
         self._check_open()
+        if min_seq < 0:
+            raise ValueError("min_seq must be >= 0")
+
+        def advance(stream) -> Optional[Tuple[int, bytes, bytes]]:
+            for key, value in stream:
+                seq = _SEQ.unpack_from(value)[0]
+                if seq >= min_seq:
+                    return seq, key, value
+            return None
+
         # Prime each shard's stream under its sharding-layer lock: the
         # first next() takes the KVLog-internal snapshot, after which the
         # stream is immune to concurrent writers and compactions.
@@ -358,11 +377,18 @@ class ShardedKVLog:
             with self._locks[i]:
                 first = next(stream, None)
             streams.append(stream)
-            if first is not None:
-                key, value = first
-                heap.append((_SEQ.unpack_from(value)[0], i, key, value))
+            if first is None:
+                continue
+            key, value = first
+            seq = _SEQ.unpack_from(value)[0]
+            if seq < min_seq:
+                primed = advance(stream)
+                if primed is None:
+                    continue
+                seq, key, value = primed
+            heap.append((seq, i, key, value))
         heapq.heapify(heap)
-        last_seq = -1
+        last_seq = min_seq - 1
         while heap:
             seq, i, key, value = heap[0]
             if seq <= last_seq:
@@ -372,20 +398,40 @@ class ShardedKVLog:
                 )
             last_seq = seq
             yield key, value[_SEQ.size :]
-            nxt = next(streams[i], None)
+            nxt = advance(streams[i])
             if nxt is None:
                 heapq.heappop(heap)
             else:
-                heapq.heapreplace(
-                    heap, (_SEQ.unpack_from(nxt[1])[0], i, nxt[0], nxt[1])
-                )
+                heapq.heapreplace(heap, (nxt[0], i, nxt[1], nxt[2]))
         # A completed scan has discovered the max live sequence; publish it
         # so the first write after a replay needs no extra pass.  (No shard
         # lock is held here, so the seq-lock -> shard-lock order used by
-        # _reserve_seqs cannot deadlock against us.)
+        # _reserve_seqs cannot deadlock against us.)  A cursored scan may
+        # have seen nothing, so only an *unfiltered* pass may publish —
+        # tail-replaying callers seed the floor via set_sequence_floor.
+        if min_seq == 0:
+            with self._seq_lock:
+                if self._next_seq is None:
+                    self._next_seq = last_seq + 1
+
+    def set_sequence_floor(self, floor: int) -> None:
+        """Never assign a sequence below ``floor`` (checkpoint restore hook).
+
+        After a prefix truncation the shard files may hold few — or zero —
+        records, so the lazy watermark resolution in :meth:`_reserve_seqs`
+        could rediscover a stale maximum and re-issue sequences a snapshot
+        already covers; a tail replay would then silently drop the reused
+        numbers as already-seen history.  The backend that restored a
+        snapshot calls this after its tail replay, with the next sequence
+        it will assign — which pins the watermark, so ``floor`` MUST be
+        at least one past the highest committed sequence (the max of the
+        snapshot watermark and every replayed tail record).
+        """
+        if floor < 0:
+            raise ValueError("floor must be >= 0")
         with self._seq_lock:
-            if self._next_seq is None:
-                self._next_seq = last_seq + 1
+            if self._next_seq is None or self._next_seq < floor:
+                self._next_seq = floor
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Live pairs in sorted-key order (unified on top of :meth:`scan`)."""
@@ -413,6 +459,34 @@ class ShardedKVLog:
         targets = range(self.shards) if shard is None else (shard,)
         for i in targets:
             self._shards[i].compact()
+
+    def truncate_prefix(self, watermark: int) -> int:
+        """Drop every record with sequence below ``watermark``, shard by shard.
+
+        The sharded half of checkpoint truncation: each shard rewrites
+        itself without the records a durable snapshot covers (see
+        :meth:`KVLog.truncate_prefix` for the crash discipline — each
+        shard's rewrite is atomic swap-or-nothing).  The *cross-shard*
+        operation is not atomic: a crash between shards leaves some
+        truncated and some not, which is harmless — the leftover prefix
+        records replay as duplicates of snapshot-covered history and the
+        tail cursor skips them — and the next checkpoint finishes the job.
+
+        Returns the total bytes given back to the filesystem.  Caller
+        contract (inherited): ``watermark`` must be covered by a durable
+        snapshot, or the dropped records are simply gone.
+        """
+        self._check_open()
+        if watermark < 0:
+            raise ValueError("watermark must be >= 0")
+
+        def keep(_key: bytes, value: bytes) -> bool:
+            return _SEQ.unpack_from(value)[0] >= watermark
+
+        reclaimed = 0
+        for i in range(self.shards):
+            reclaimed += self._shards[i].truncate_prefix(keep)
+        return reclaimed
 
     # -- reclaim protocol (see repro.store.maintenance) ---------------------
     def reclaim_candidates(self) -> List[tuple]:

@@ -14,9 +14,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.store.backends import FileSystemBackend, KVLogBackend, MemoryBackend
+from repro.store.checkpoint import list_snapshots, snapshot_dir_for
 from repro.store.interface import DuplicateAssertionError
 from repro.store.kvlog import CorruptRecordError, KVLog
-from repro.store.sharding import ShardedKVLog
+from repro.store.sharding import _SEQ, ShardedKVLog
 
 from tests.test_store_backends import ga, ipa, key, spa
 
@@ -330,6 +331,128 @@ def test_property_sharded_dead_bytes_identical_after_reopen(
     with ShardedKVLog(root, shards=3, sync=False) as reopened:
         assert dict(reopened.scan()) == live_items
         assert reopened.shard_dead_bytes() == live_counter
+
+
+class TestCheckpointCrashWindows:
+    """Crash simulations for every window of the checkpoint protocol.
+
+    The protocol is: write ``snapshot-*.psnap.tmp`` → fsync → rename →
+    fsync dir → truncate the covered log prefix (per shard).  A crash in
+    any window must reopen to the exact pre-crash committed state —
+    never a lost record, never a duplicate, never a refused open.
+    """
+
+    @staticmethod
+    def full_state(store):
+        return (
+            store.counts(),
+            store.interaction_keys(),
+            store.group_ids(),
+            store.sequence_watermark(),
+            store.scan_suffix(after=0, limit=10_000),
+        )
+
+    def test_crash_before_snapshot_rename_leaves_swept_debris(self, tmp_path):
+        # Window: tmp snapshot written, crash before os.replace.  The
+        # .psnap.tmp debris must be swept at open and never loaded.
+        path = tmp_path / "kv.db"
+        store = KVLogBackend(path, sync=False)
+        fill(store)
+        expected = self.full_state(store)
+        store.close()
+        ckpt_dir = snapshot_dir_for(path)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        debris = ckpt_dir / "snapshot-0000000000000099.psnap.tmp"
+        debris.write_bytes(b"PSNAP1\n\x00\x00\x00\x08torn hea")
+        reopened = KVLogBackend(path, sync=False)
+        assert self.full_state(reopened) == expected
+        assert reopened.checkpoint_stats.recovery_mode == "full-replay"
+        assert not debris.exists()
+        reopened.close()
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_crash_after_snapshot_before_truncation(
+        self, tmp_path, monkeypatch, shards
+    ):
+        # Window: the snapshot is durable (renamed) but the crash lands
+        # before the covered prefix is truncated.  Reopen must use the
+        # snapshot and replay the *whole* remaining log tail without
+        # duplicating the records the snapshot already covers.
+        path = tmp_path / "kv.db"
+        store = KVLogBackend(path, sync=False, shards=shards, checkpoint_retain=1)
+        fill(store)
+        monkeypatch.setattr(KVLogBackend, "_truncate_below", lambda self, wm: 0)
+        store.checkpoint()
+        store.put(ipa(90))  # post-snapshot tail
+        expected = self.full_state(store)
+        store.close()
+        reopened = KVLogBackend(path, sync=False, shards=shards)
+        assert self.full_state(reopened) == expected
+        assert reopened.checkpoint_stats.recovery_mode == "snapshot+tail"
+        assert reopened.checkpoint_stats.tail_records == 1
+        reopened.close()
+
+    def test_crash_mid_truncation_across_shards(self, tmp_path, monkeypatch):
+        # Window: truncation crashes after rewriting some shards but not
+        # others.  Replay skips snapshot-covered records per shard, so a
+        # half-truncated log reopens to the identical state.
+        path = tmp_path / "kv.db"
+        store = KVLogBackend(path, sync=False, shards=4, checkpoint_retain=1)
+        fill(store)
+        monkeypatch.setattr(KVLogBackend, "_truncate_below", lambda self, wm: 0)
+        store.checkpoint()
+        watermark = store.sequence_watermark()
+        store.put(ipa(90))
+        expected = self.full_state(store)
+        # Simulate the partial pass: only shards 0 and 2 got truncated.
+        def keep(key, value):
+            return _SEQ.unpack_from(value)[0] > watermark
+
+        for i in (0, 2):
+            store._log._shards[i].truncate_prefix(keep)
+        store.close()
+        reopened = KVLogBackend(path, sync=False, shards=4)
+        assert self.full_state(reopened) == expected
+        assert reopened.checkpoint_stats.recovery_mode == "snapshot+tail"
+        reopened.close()
+
+    def test_torn_snapshot_falls_back_to_full_replay(self, tmp_path):
+        # Window: a torn page corrupts the only (renamed) snapshot.  The
+        # fallback ladder must reject it and replay the full log — which
+        # is intact, because truncation is retention-gated and a corrupt
+        # rung never counts toward the retention set.
+        path = tmp_path / "kv.db"
+        store = KVLogBackend(path, sync=False)  # default retain=2
+        fill(store)
+        store.checkpoint()
+        expected = self.full_state(store)
+        store.close()
+        (snapshot,) = list_snapshots(snapshot_dir_for(path))
+        data = snapshot.read_bytes()
+        snapshot.write_bytes(data[: len(data) // 2])
+        reopened = KVLogBackend(path, sync=False)
+        assert self.full_state(reopened) == expected
+        assert reopened.checkpoint_stats.recovery_mode == "full-replay"
+        reopened.close()
+
+    def test_filesystem_backend_snapshot_crash_windows(self, tmp_path):
+        # The directory-layout backend shares the mixin: debris sweep and
+        # corrupt-snapshot fallback hold there too.
+        root = tmp_path / "fs"
+        store = FileSystemBackend(root, sync=False)
+        fill(store)
+        store.checkpoint()
+        expected = self.full_state(store)
+        store.close()
+        ckpt_dir = snapshot_dir_for(root)
+        (ckpt_dir / "snapshot-0000000000000042.psnap.tmp").write_bytes(b"junk")
+        (snapshot,) = list_snapshots(ckpt_dir)
+        snapshot.write_bytes(snapshot.read_bytes()[:16])
+        reopened = FileSystemBackend(root, sync=False)
+        assert self.full_state(reopened) == expected
+        assert reopened.checkpoint_stats.recovery_mode == "full-replay"
+        assert not list(ckpt_dir.glob("*.psnap.tmp"))
+        reopened.close()
 
 
 def test_kvlog_backend_survives_torn_batch_after_fsync_fixes(tmp_path):

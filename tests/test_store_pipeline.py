@@ -13,7 +13,6 @@ from __future__ import annotations
 import sys
 import threading
 import time
-import warnings
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -64,24 +63,19 @@ class TestEngineOrdering:
         with pytest.raises(ValueError):
             engine.submit([1])
 
-    def test_gil_switch_interval_set_and_restored(self):
-        # The knob is deprecated (the process fleet obsoletes interpreter
-        # tuning) but must keep working until removed.
-        before = sys.getswitchinterval()
-        with pytest.warns(DeprecationWarning, match="gil_switch_s"):
-            engine = PipelinedIngest(
-                commit=lambda b: None, depth=1, gil_switch_s=0.0007
-            )
-        try:
-            assert sys.getswitchinterval() == pytest.approx(0.0007)
-        finally:
-            engine.close()
-        assert sys.getswitchinterval() == pytest.approx(before)
+    def test_gil_switch_knob_is_gone(self):
+        # Removed after its deprecation cycle: the process fleet obsoleted
+        # interpreter-switch tuning, and the engine must not silently
+        # swallow the stale kwarg.
+        with pytest.raises(TypeError):
+            PipelinedIngest(commit=lambda b: None, depth=1, gil_switch_s=0.0007)
 
-    def test_gil_switch_deprecated_but_default_is_silent(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            engine = PipelinedIngest(commit=lambda b: None, depth=1)
+    def test_constructor_never_touches_switch_interval(self):
+        before = sys.getswitchinterval()
+        engine = PipelinedIngest(commit=lambda b: None, depth=1)
+        try:
+            assert sys.getswitchinterval() == pytest.approx(before)
+        finally:
             engine.close()
 
 
