@@ -1,0 +1,97 @@
+"""A12 — live rebalance: grow the fleet under load, lose nothing.
+
+The fleet used to be frozen at creation time: shard count fixed forever,
+adding capacity meant a full re-ingest.  Consistent-hash placement
+(:mod:`repro.store.placement`) plus the online migration engine
+(:mod:`repro.store.migration`) make growth a live operation —
+``router.add_worker()`` streams the moving slice, drains the write tail,
+and atomically cuts the placement over while writers and readers keep
+running.  This bench regenerates the A12 drill and asserts its shape:
+
+* **zero acked-write loss** — every acknowledged record verifies
+  byte-identically on its *post-cutover* replica set;
+* **zero read errors** — the reader thread never sees a failure across
+  the cutover;
+* **~1/N movement** — the migration moved close to the consistent-hash
+  ideal ``1/(N+1)`` of the keys, nowhere near the ~(N−1)/N a modulo
+  fleet would reshuffle;
+* **bounded read latency** — the drill's query p99 stays under
+  ``P99_BAR_MS`` (the stream runs in pages and never locks the read
+  path);
+* the machine-readable artefact (``BENCH_rebalance.json``) is written
+  next to the working directory for trend tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.figures.rebalance import (
+    rebalance_table,
+    run_rebalance_drill,
+    write_rebalance_json,
+)
+
+#: moved fraction must stay within this absolute slack of the 1/(N+1)
+#: ideal — and always far below the modulo reshuffle floor of 1/2.
+MOVED_SLACK = 0.15
+#: reader p99 during the drill (in-process transport, small payloads);
+#: generous for CI noise but far below any lock-the-read-path regression.
+P99_BAR_MS = 50.0
+#: perf assertions on timing-bound paths flake under machine noise; the
+#: p99 bar must hold on at least one of this many drill attempts.
+MAX_ATTEMPTS = 3
+
+WORKERS = 3
+
+
+def test_bench_rebalance_live_grow(benchmark, tmp_path, report):
+    attempts = []
+    drill = None
+    for attempt in range(MAX_ATTEMPTS):
+        drill = run_rebalance_drill(
+            tmp_path / f"attempt-{attempt}",
+            workers=WORKERS,
+            batches=30,
+            records_per_batch=4,
+            grow_after_batches=10,
+            placement="ring",
+            transport="inprocess",
+        )
+        attempts.append(round(drill.query_p99_ms, 3))
+        if drill.query_p99_ms <= P99_BAR_MS:
+            break
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report("A12: live fleet growth under load", rebalance_table(drill))
+    # The machine-readable artefact trend tooling diffs across runs.
+    artefact = write_rebalance_json(drill, Path("BENCH_rebalance.json"))
+    payload = json.loads(artefact.read_text())
+    assert payload["figure"] == "A12-rebalance"
+    assert payload["workers_after"] == WORKERS + 1
+    benchmark.extra_info["p99_attempts_ms"] = attempts
+    benchmark.extra_info["moved_fraction"] = round(drill.moved_fraction, 3)
+    benchmark.extra_info["migration_s"] = round(drill.migration_s, 3)
+    # Correctness bars hold on EVERY attempt (the drill raises on loss),
+    # so the surviving report's counters must line up exactly.
+    assert drill.verified_records == drill.acked_records > 0
+    assert drill.read_failures == 0, (
+        f"{drill.read_failures}/{drill.reads} reads failed during the "
+        f"rebalance window"
+    )
+    assert drill.epoch == 1, "cutover must commit exactly one epoch bump"
+    # Consistent hashing: moved ≈ 1/(N+1), not the modulo ~(N−1)/N.
+    ideal = drill.ideal_fraction
+    assert drill.total_keys > 0
+    assert drill.moved_fraction <= ideal + MOVED_SLACK, (
+        f"migration moved {drill.moved_fraction:.2f} of keys; consistent "
+        f"hashing should stay near the {ideal:.2f} ideal"
+    )
+    assert drill.moved_fraction < 0.5, (
+        "moved fraction reached modulo-reshuffle territory"
+    )
+    # Latency bar: at least one attempt kept the reader's p99 bounded.
+    assert any(p99 <= P99_BAR_MS for p99 in attempts), (
+        f"no drill kept query p99 <= {P99_BAR_MS}ms across "
+        f"{MAX_ATTEMPTS} attempts (got {attempts})"
+    )

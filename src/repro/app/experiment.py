@@ -96,6 +96,18 @@ class ExperimentConfig:
     #: commit point.  Requires ``store_transport="process"`` — there is
     #: no worker to instrument in-process.
     store_fault_rules: Tuple[FaultRule, ...] = ()
+    #: number of member stores behind the provenance endpoint.  1 (the
+    #: default) is the single-store paper deployment; >1 stands up a
+    #: :func:`~repro.store.distributed.sharded_store_fleet` under the
+    #: actor via :class:`~repro.store.distributed.FederatedStoreAdapter`
+    #: (requires ``store_backend="kvlog"`` and ``store_path``).
+    store_members: int = 1
+    #: replica sets per interaction when ``store_members > 1``.
+    store_replicas: int = 1
+    #: placement rule for the fleet: ``"modulo"`` (legacy hash-mod-N,
+    #: byte-identical paper figures) or ``"ring"`` (consistent hashing —
+    #: the rebalance-capable rule; see :mod:`repro.store.placement`).
+    store_placement: str = "modulo"
     journal_path: Optional[Path] = None
     #: virtual-time latency charged per store call (the paper's ~15 ms
     #: retrieve-and-map unit uses the same service).
@@ -143,7 +155,50 @@ class Experiment:
         self.bus = MessageBus()
 
         # --- provenance store -------------------------------------------
-        if self.config.store_transport == "inprocess":
+        #: the fleet router when ``store_members > 1`` (live rebalance
+        #: entry point: ``experiment.store_router.add_worker()``).
+        self.store_router = None
+        if self.config.store_members > 1:
+            # A fleet behind the actor: the store endpoint is unchanged,
+            # but every record lands on its placement-routed member (and
+            # the fleet can be rebalanced live via the router).
+            from repro.store.distributed import (
+                FederatedStoreAdapter,
+                sharded_store_fleet,
+            )
+
+            if self.config.store_backend != "kvlog":
+                raise ValueError(
+                    "store_members > 1 requires store_backend='kvlog' "
+                    "(fleet members are KVLog-backed stores)"
+                )
+            if self.config.store_path is None:
+                raise ValueError("store_members > 1 requires config.store_path")
+            if self.config.store_pipeline_depth != 1:
+                raise ValueError(
+                    "store_members > 1 is incompatible with "
+                    "store_pipeline_depth > 1 (the federated adapter has "
+                    "no pipelined ingest)"
+                )
+            if self.config.store_fault_rules:
+                raise ValueError(
+                    "store_fault_rules targets the single store worker; "
+                    "pass fault_rules to sharded_store_fleet directly for "
+                    "fleet crash drills"
+                )
+            self.store_router = sharded_store_fleet(
+                self.config.store_path,
+                members=self.config.store_members,
+                shards=self.config.store_shards,
+                transport=self.config.store_transport,
+                auto_compact=self.config.store_auto_compact,
+                replicas=self.config.store_replicas,
+                placement=self.config.store_placement,
+            )
+            self.backend = FederatedStoreAdapter(self.store_router)
+            self.preserv = PReServActor(self.backend)
+            self.store_worker = None
+        elif self.config.store_transport == "inprocess":
             if self.config.store_fault_rules:
                 raise ValueError(
                     "store_fault_rules requires store_transport='process'; "

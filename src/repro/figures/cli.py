@@ -15,6 +15,7 @@ Subcommands::
     repro-figures pipeline     # A9: pipelined decode→commit ingest sweep
     repro-figures fleet        # A10: in-process bus vs process-fleet ingest
     repro-figures reopen       # A11: reopen cost vs history, ± checkpoints
+    repro-figures rebalance    # A12: live fleet growth under load
     repro-figures all          # everything above
 """
 
@@ -46,6 +47,11 @@ from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
 from repro.figures.fleet import fleet_sweep_table, run_fleet_sweep
 from repro.figures.pipeline import pipeline_table, run_pipeline_sweep
+from repro.figures.rebalance import (
+    rebalance_table,
+    run_rebalance_drill,
+    write_rebalance_json,
+)
 from repro.figures.reopen import (
     reopen_table,
     run_reopen_sweep,
@@ -176,6 +182,22 @@ def cmd_fleet(args: argparse.Namespace) -> str:
                 pipeline_depth=args.pipeline_depth,
             )
         )
+
+
+def cmd_rebalance(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-rebalance-") as tmp:
+        report = run_rebalance_drill(
+            Path(tmp),
+            workers=args.workers,
+            batches=args.batches,
+            records_per_batch=args.records_per_batch,
+            grow_after_batches=args.grow_after,
+            placement=args.placement,
+            transport=args.transport,
+        )
+    if args.json:
+        write_rebalance_json(report, Path(args.json))
+    return rebalance_table(report)
 
 
 def cmd_reopen(args: argparse.Namespace) -> str:
@@ -322,6 +344,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the sweep as machine-readable JSON to this path",
     )
     p.set_defaults(fn=cmd_reopen)
+
+    p = sub.add_parser(
+        "rebalance",
+        help="A12: live fleet growth — online migration under write+query load",
+    )
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--batches", type=int, default=30)
+    p.add_argument("--records-per-batch", type=int, default=4)
+    p.add_argument(
+        "--grow-after",
+        type=int,
+        default=10,
+        help="acknowledged batches before add_worker() fires mid-stream",
+    )
+    p.add_argument(
+        "--placement",
+        choices=["ring", "modulo"],
+        default="ring",
+        help="placement rule (ring = consistent hashing, ~1/N moved)",
+    )
+    p.add_argument(
+        "--transport", choices=["inprocess", "process"], default="inprocess"
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        help="also write the drill report as machine-readable JSON",
+    )
+    p.set_defaults(fn=cmd_rebalance)
 
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)

@@ -192,7 +192,7 @@ class ProcessFleet:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         existing = sorted(
-            p for p in self.root.glob("store-*") if p.name[6:].isdigit()
+            p.name for p in self.root.glob("store-*") if p.name[6:].isdigit()
         )
         if existing and len(existing) != members:
             raise ValueError(
@@ -201,6 +201,9 @@ class ProcessFleet:
                 f"(rerouting keys across a different member count would "
                 f"strand existing records)"
             )
+        # Reopen under the recorded names (a decommissioned fleet has
+        # gaps in its store-NN numbering); fresh roots get 00..N-1.
+        names = existing or [f"store-{i:02d}" for i in range(members)]
         # Unix sockets live in their own short /tmp directory: AF_UNIX
         # paths cap at ~107 bytes, which deep store roots (pytest tmp
         # paths) routinely exceed.
@@ -215,26 +218,19 @@ class ProcessFleet:
         self._ctx = multiprocessing.get_context(start_method)
         self._handles: Dict[str, WorkerHandle] = {}
         self._closed = False
-        for i in range(members):
-            name = f"store-{i:02d}"
-            config = WorkerConfig(
-                endpoint=name,
-                address=("unix", f"{self._socket_dir}/{name}.sock"),
-                backend=backend,
-                path=(
-                    str(self.root / name) if backend != "memory" else None
-                ),
-                shards=shards,
-                sync=sync,
-                auto_compact=auto_compact,
-                pipeline_depth=pipeline_depth,
-                commit_barrier_s=commit_barrier_s,
-                # Scripted crash-sim faults for this worker; the rules
-                # travel in the picklable config and the child rebuilds
-                # its FaultPlan (see repro.fleet.faults).
-                fault_rules=tuple((fault_rules or {}).get(name, ())),
+        # Config template for workers added after startup (add_worker).
+        self._shards = shards
+        self._sync = sync
+        self._auto_compact = auto_compact
+        self._pipeline_depth = pipeline_depth
+        self._commit_barrier_s = commit_barrier_s
+        self._backend = backend
+        self._health_timeout_s = health_timeout_s
+        self._fault_rules = dict(fault_rules or {})
+        for name in names:
+            self._handles[name] = WorkerHandle(
+                name, self._worker_config(name), self._ctx
             )
-            self._handles[name] = WorkerHandle(name, config, self._ctx)
         atexit.register(self._atexit_cleanup)
         try:
             # Spawn everyone first (startup cost paid once, in parallel),
@@ -246,6 +242,25 @@ class ProcessFleet:
         except BaseException:
             self.close(raise_errors=False)
             raise
+
+    def _worker_config(self, name: str) -> WorkerConfig:
+        return WorkerConfig(
+            endpoint=name,
+            address=("unix", f"{self._socket_dir}/{name}.sock"),
+            backend=self._backend,
+            path=(
+                str(self.root / name) if self._backend != "memory" else None
+            ),
+            shards=self._shards,
+            sync=self._sync,
+            auto_compact=self._auto_compact,
+            pipeline_depth=self._pipeline_depth,
+            commit_barrier_s=self._commit_barrier_s,
+            # Scripted crash-sim faults for this worker; the rules
+            # travel in the picklable config and the child rebuilds
+            # its FaultPlan (see repro.fleet.faults).
+            fault_rules=tuple(self._fault_rules.get(name, ())),
+        )
 
     # -- access ----------------------------------------------------------------
     @property
@@ -302,6 +317,58 @@ class ProcessFleet:
         self._handles[name] = fresh
         fresh.spawn()
         fresh.wait_healthy(health_timeout_s)
+
+    def add_worker(self, name: Optional[str] = None) -> str:
+        """Spawn one extra worker on a fresh shard directory.
+
+        The default name is the next free ``store-NN`` slot (checking both
+        live handles and on-disk directories, so a retired member's slot
+        is not silently reused over its renamed data).  The worker shares
+        the fleet's config template and is health-checked before the call
+        returns — the caller gets a ready socket, not a race.
+        """
+        if self._closed:
+            raise FleetError("fleet is closed")
+        if name is None:
+            i = 0
+            while (
+                f"store-{i:02d}" in self._handles
+                or (self.root / f"store-{i:02d}").exists()
+            ):
+                i += 1
+            name = f"store-{i:02d}"
+        elif name in self._handles:
+            raise FleetError(f"worker {name!r} already exists")
+        handle = WorkerHandle(name, self._worker_config(name), self._ctx)
+        self._handles[name] = handle
+        try:
+            handle.spawn()
+            handle.wait_healthy(self._health_timeout_s)
+        except BaseException:
+            del self._handles[name]
+            try:
+                handle.stop(timeout_s=2.0)
+            except BaseException:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+        return name
+
+    def decommission(self, name: str) -> None:
+        """Stop one worker for good and drop it from the fleet.
+
+        The shard directory is left on disk (the router's retirement hook
+        renames it ``retired-<name>``); only the process, its socket file
+        and the handle go away.  Decommissioning the last member is
+        refused — an empty fleet can serve nothing.
+        """
+        handle = self.handle(name)
+        if len(self._handles) == 1:
+            raise FleetError("cannot decommission the last fleet member")
+        handle.stop()
+        del self._handles[name]
+        sock_path = Path(handle.config.address[1])
+        if sock_path.exists():
+            sock_path.unlink()
 
     def close(self, raise_errors: bool = True) -> None:
         """Stop every worker and remove the socket directory.

@@ -254,6 +254,15 @@ class FleetSupervisor:
         self._record(name, "died", detail)
         self._try_restart(name)
 
+    def _migration_participant(self, name: str) -> bool:
+        """Is ``name`` part of an in-flight placement transition?"""
+        if self.router is None:
+            return False
+        participants = getattr(self.router, "migration_participants", None)
+        if participants is None:
+            return False
+        return name in participants()
+
     # -- restart + resync ------------------------------------------------------
     def _try_restart(self, name: str) -> None:
         now = time.monotonic()
@@ -262,11 +271,29 @@ class FleetSupervisor:
                 return
             attempt = self._attempts.get(name, 0) + 1
             if attempt > self.flap_limit:
-                self._states[name] = "quarantined"
+                if self._migration_participant(name):
+                    # Quarantining a migration participant would wedge the
+                    # transition (neither cutover nor rollback could drain
+                    # it): keep the worker on the restart ladder, capped to
+                    # the maximum backoff, until the migration resolves.
+                    self._states[name] = "dead"
+                    self._not_before[name] = now + self.backoff_max_s
+                    deferred = True
+                else:
+                    self._states[name] = "quarantined"
+                    deferred = False
             else:
                 self._attempts[name] = attempt
                 self._states[name] = "restarting"
         if attempt > self.flap_limit:
+            if deferred:
+                self._record(
+                    name,
+                    "quarantine-deferred",
+                    f"exceeded flap cap ({self.flap_limit}) but worker "
+                    f"participates in an in-flight migration; retrying",
+                )
+                return
             self._record(
                 name,
                 "quarantined",

@@ -62,10 +62,26 @@ from repro.store.service import (
 from repro.store.distributed import (
     CrossLink,
     FederatedQueryClient,
+    FederatedStoreAdapter,
     StoreCloseError,
     StoreRouter,
     consolidate,
     sharded_store_fleet,
+)
+from repro.store.placement import (
+    HashRing,
+    PlacementMap,
+    PlacementMismatchError,
+    PlacementSpec,
+    check_or_init_placement,
+    scope_position,
+)
+from repro.store.migration import (
+    MigrationError,
+    MigrationReport,
+    consolidate_into,
+    migrate_keys,
+    rebalance,
 )
 from repro.store.curation import (
     ArchiveError,
@@ -176,11 +192,23 @@ __all__ = [
     "QueryCache",
     "QueryPlan",
     "FederatedQueryClient",
+    "FederatedStoreAdapter",
+    "HashRing",
+    "MigrationError",
+    "MigrationReport",
+    "PlacementMap",
+    "PlacementMismatchError",
+    "PlacementSpec",
     "RetentionPolicy",
     "StoreCloseError",
     "StoreRouter",
     "apply_retention",
+    "check_or_init_placement",
     "consolidate",
+    "consolidate_into",
+    "migrate_keys",
+    "rebalance",
+    "scope_position",
     "export_archive",
     "import_archive",
     "verify_archive",

@@ -48,6 +48,14 @@ from repro.store.interface import (
     StoreCounts,
     interaction_scope,
 )
+from repro.store.migration import MigrationReport, consolidate_into, rebalance
+from repro.store.placement import (
+    PLACEMENT_FILE,
+    PlacementMap,
+    PlacementMismatchError,
+    PlacementSpec,
+    check_or_init_placement,
+)
 from repro.store.querycache import GenerationVector
 
 Assertion = Union[PAssertion, GroupAssertion]
@@ -132,7 +140,9 @@ class CrossLink:
 
 def _hash_to_bucket(key: InteractionKey, n: int) -> int:
     # Same canonical scope string as shard placement and cache scoping, so
-    # every layer agrees on which records belong together.
+    # every layer agrees on which records belong together.  This is the
+    # legacy modulo rule, kept importable (figures, supervisor fallback)
+    # and reproduced bit-for-bit by PlacementSpec(mode="modulo").
     digest = hashlib.sha256(interaction_scope(key).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % n
 
@@ -163,19 +173,49 @@ class StoreRouter:
         stores: Dict[str, ProvenanceStoreInterface],
         on_close: Optional[Callable[[], None]] = None,
         replicas: int = 1,
+        placement: Optional[Union[str, PlacementSpec, PlacementMap]] = None,
     ):
         if not stores:
             raise ValueError("router needs at least one store")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
-        if replicas > len(stores):
-            raise ValueError(
-                f"replicas={replicas} exceeds the {len(stores)} member "
-                f"store(s); a replica set cannot repeat members"
-            )
         self._names: List[str] = sorted(stores)
         self._stores = dict(stores)
-        self.replicas = replicas
+        # Placement: an explicit map (possibly loaded from disk), a spec,
+        # a mode name, or None (the legacy modulo rule) — all normalized
+        # to one PlacementMap that owns every routing decision.
+        if placement is None or isinstance(placement, str):
+            self.placement = PlacementMap(
+                PlacementSpec(
+                    members=tuple(self._names),
+                    replicas=replicas,
+                    mode=placement or "modulo",
+                )
+            )
+        elif isinstance(placement, PlacementSpec):
+            self.placement = PlacementMap(placement)
+        elif isinstance(placement, PlacementMap):
+            self.placement = placement
+        else:
+            raise TypeError(
+                f"placement must be a mode name, PlacementSpec or "
+                f"PlacementMap, not {type(placement).__name__}"
+            )
+        if set(self.placement.members) != set(self._names):
+            raise PlacementMismatchError(
+                f"placement members {list(self.placement.members)} do not "
+                f"match the router's stores {self._names}"
+            )
+        if (
+            placement is not None
+            and not isinstance(placement, str)
+            and replicas != 1
+            and replicas != self.placement.replicas
+        ):
+            raise ValueError(
+                f"replicas={replicas} contradicts the placement's "
+                f"replicas={self.placement.replicas}"
+            )
         #: per-store cross-link tables: store name -> {interaction key -> owner}.
         self._links: Dict[str, Dict[InteractionKey, str]] = {
             name: {} for name in self._names
@@ -203,17 +243,35 @@ class StoreRouter:
     def store_names(self) -> List[str]:
         return list(self._names)
 
+    @property
+    def replicas(self) -> int:
+        return self.placement.replicas
+
     # -- replica placement ----------------------------------------------------
     def replica_set(self, key: InteractionKey) -> List[str]:
         """The R members holding this interaction, owner first.
 
-        Successor placement: the owner's bucket plus the next R-1 members
-        of the sorted ring — so any R-1 member failures leave every
-        replica set with at least one live member.
+        Delegated to the placement map's *current* rule — modulo
+        successor placement by default (bit-identical to the original
+        hard-coded rule), consistent-hash ring placement under
+        ``mode="ring"``.
         """
-        n = len(self._names)
-        bucket = _hash_to_bucket(key, n)
-        return [self._names[(bucket + i) % n] for i in range(self.replicas)]
+        return self.placement.replica_set(key)
+
+    def write_set(self, key: InteractionKey) -> List[str]:
+        """Where this key's writes must persist before they ack.
+
+        Equal to :meth:`replica_set` except during a migration, when it
+        is the union of the current and pending replica sets — the
+        dual-commit rule that makes acked writes survive cutover and
+        rollback alike.
+        """
+        return self.placement.write_set(key)
+
+    def read_set(self, key: InteractionKey) -> List[str]:
+        """Read preference order: current replicas first, pending-only
+        members (during a migration) as extra failover targets."""
+        return self.placement.read_set(key)
 
     # -- degraded-member bookkeeping -------------------------------------------
     @property
@@ -348,7 +406,7 @@ class StoreRouter:
 
     def owner_of(self, key: InteractionKey) -> str:
         """The store that owns this interaction's p-assertions."""
-        return self._names[_hash_to_bucket(key, len(self._names))]
+        return self.placement.current.owner_of(key)
 
     # -- cache freshness ----------------------------------------------------
     def generations(self) -> Dict[str, Optional[int]]:
@@ -379,7 +437,12 @@ class StoreRouter:
         Down members contribute a per-observation nonce instead of a
         generation, so no cached federated result ever revalidates while
         any member is unreachable — a rejoining replica can then never
-        serve a stale merge out of a client cache.
+        serve a stale merge out of a client cache.  The vector also
+        carries the placement *epoch* (bumped at every migration
+        cutover), which is what poisons every cached plan for a moved
+        slice the instant the route flips; while a migration is still
+        streaming, a per-observation nonce keeps anything from caching
+        against the in-flux placement at all.
         """
         gens: List[object] = []
         for name, generation in sorted(self.generations().items()):
@@ -388,7 +451,10 @@ class StoreRouter:
                 gens.append(("down", name, self._down_nonce))
             else:
                 gens.append(generation)
-        return GenerationVector(tuple(gens))
+        if self.placement.in_transition:
+            self._down_nonce += 1
+            gens.append(("migrating", self._down_nonce))
+        return GenerationVector(tuple(gens), epoch=self.placement.epoch)
 
     def _commit_share(self, name: str, share: List[Assertion]) -> None:
         """Commit one member's share of a write, replication-aware.
@@ -397,10 +463,12 @@ class StoreRouter:
         per-assertion puts that skip them: a retried in-doubt batch must
         converge on the replicas that already hold (part of) it.  At R=1
         duplicates propagate unchanged — they are a client error, not a
-        retry artifact.
+        retry artifact — *except* during a migration, when a retried
+        in-doubt dual-commit legitimately finds its data already on one
+        side and must converge exactly like a replicated retry.
         """
         store = self._stores[name]
-        if self.replicas == 1:
+        if self.replicas == 1 and not self.placement.in_transition:
             if len(share) == 1:
                 store.put(share[0])
             else:
@@ -440,7 +508,7 @@ class StoreRouter:
             route_key = assertion.member
             label = "*"
         else:
-            targets = self.replica_set(assertion.interaction_key)
+            targets = self.write_set(assertion.interaction_key)
             route_key = assertion.interaction_key
             label = targets[0]
         committed: List[str] = []
@@ -521,7 +589,7 @@ class StoreRouter:
                     per_store[name].append(assertion)
                 plan.append((assertion, "*", targets))
             else:
-                targets = tuple(self.replica_set(assertion.interaction_key))
+                targets = tuple(self.write_set(assertion.interaction_key))
                 for name in targets:
                     per_store[name].append(assertion)
                 plan.append((assertion, targets[0], targets))
@@ -637,6 +705,157 @@ class StoreRouter:
             )
         return owner
 
+    # -- membership changes (live migration) -----------------------------------
+    def migration_participants(self) -> List[str]:
+        """Members involved in the in-flight migration (empty when idle).
+
+        The supervisor consults this before quarantining a flapping
+        worker: a migration participant keeps getting restarts, because
+        quarantining it mid-stream would wedge the transition.
+        """
+        if not self.placement.in_transition:
+            return []
+        return self.placement.all_members()
+
+    def rebalance_to(
+        self,
+        spec: PlacementSpec,
+        *,
+        page: int = 256,
+        on_phase: Optional[Callable[[str], None]] = None,
+    ) -> MigrationReport:
+        """Live-migrate to a new placement rule over the current members.
+
+        The general entry point (:meth:`add_member` / :meth:`decommission`
+        build their specs and call it): begins the transition (writes
+        dual-commit from that instant), streams every moving key from its
+        current owner to the members gaining it, drains the write tail,
+        then atomically cuts over — or rolls the placement back on any
+        failure.  Re-running a failed rebalance resumes via
+        duplicate-skip.  Cross-link tables are recomputed for the new
+        owners at cutover.
+        """
+        report = rebalance(self, spec, page=page, on_phase=on_phase)
+        self._relink()
+        return report
+
+    def _relink(self) -> None:
+        """Repoint every cross-link table at the current owners."""
+        keys = {
+            key for table in self._links.values() for key in table
+        }
+        for name in self._names:
+            self._links[name] = {}
+        for key in keys:
+            self._note_link(key, self.owner_of(key))
+
+    def add_member(
+        self,
+        name: str,
+        store: ProvenanceStoreInterface,
+        *,
+        page: int = 256,
+        on_phase: Optional[Callable[[str], None]] = None,
+    ) -> MigrationReport:
+        """Register a new member store and live-migrate its share onto it.
+
+        On failure the member is deregistered and the placement rolled
+        back (any records already streamed onto it are harmless debris a
+        retry re-deduplicates); the caller still owns the store object.
+        """
+        if name in self._stores:
+            raise ValueError(f"store {name!r} is already a member")
+        self._stores[name] = store
+        self._names = sorted(self._stores)
+        self._links[name] = {}
+        spec = self.placement.current.with_members(self._names)
+        try:
+            return self.rebalance_to(spec, page=page, on_phase=on_phase)
+        except BaseException as exc:
+            if getattr(exc, "committed", False):
+                # The cutover happened before the failure surfaced: the
+                # new member IS in the routing rule now, so deregistering
+                # it would route keys at a missing store.  Keep it.
+                raise
+            self._stores.pop(name, None)
+            self._links.pop(name, None)
+            self._names = sorted(self._stores)
+            raise
+
+    def decommission(
+        self,
+        name: str,
+        *,
+        page: int = 256,
+        on_phase: Optional[Callable[[str], None]] = None,
+    ) -> MigrationReport:
+        """Live-migrate a member's share off it, then drop it from the fleet.
+
+        The member must be reachable — it is the stream's source for the
+        keys it owns.  After the cutover the store is removed from
+        routing (the caller closes or retires the store object; fleet
+        factories attach that via ``_member_retire``).  Shrinking below
+        the replication factor raises before anything moves.
+        """
+        if name not in self._stores:
+            raise KeyError(f"unknown store {name!r}")
+        remaining = [member for member in self._names if member != name]
+        spec = self.placement.current.with_members(remaining)
+        try:
+            report = self.rebalance_to(spec, page=page, on_phase=on_phase)
+        except BaseException as exc:
+            if getattr(exc, "committed", False):
+                # Cutover happened: the member is already out of the
+                # routing rule, so finish dropping it before re-raising.
+                self._drop_member(name)
+            raise
+        self._drop_member(name)
+        return report
+
+    def _drop_member(self, name: str) -> None:
+        store = self._stores.pop(name)
+        self._names = sorted(self._stores)
+        self._links.pop(name, None)
+        self._degraded.discard(name)
+        self._suspect.discard(name)
+        self._pending.pop(name, None)
+        self._gen_floor.pop(name, None)
+        retire = getattr(self, "_member_retire", None)
+        if retire is not None:
+            retire(name, store)
+
+    def add_worker(
+        self,
+        name: Optional[str] = None,
+        *,
+        page: int = 256,
+        on_phase: Optional[Callable[[str], None]] = None,
+    ) -> Tuple[str, MigrationReport]:
+        """Grow a factory-built fleet by one member, live.
+
+        Only available on routers built by
+        :func:`sharded_store_fleet`, which attach a member factory (an
+        in-process backend builder, or ``ProcessFleet.add_worker`` for
+        the process transport).  Returns the new member's name and the
+        migration report.
+        """
+        factory = getattr(self, "_member_factory", None)
+        if factory is None:
+            raise RuntimeError(
+                "this router has no member factory; build it with "
+                "sharded_store_fleet() or use add_member(name, store)"
+            )
+        name, store = factory(name)
+        try:
+            report = self.add_member(name, store, page=page, on_phase=on_phase)
+        except BaseException as exc:
+            if not getattr(exc, "committed", False):
+                abort = getattr(self, "_member_abort", None)
+                if abort is not None:
+                    abort(name, store)
+            raise
+        return name, report
+
 
 class FederatedQueryClient:
     """Answers store-interface queries over all members of a router.
@@ -688,8 +907,15 @@ class FederatedQueryClient:
         return preferred + demoted
 
     def _read_replicas(self, key: InteractionKey, read: Callable) -> object:
-        """Run ``read(store)`` against the key's replica set with failover."""
-        targets = self.router.replica_set(key)
+        """Run ``read(store)`` against the key's replica set with failover.
+
+        During a migration the preference order is the *current* replica
+        set (the authority until cutover) followed by the pending-only
+        members — which hold every dual-committed write plus the streamed
+        prefix, so a mid-migration key is effectively both-owners for
+        availability without ever preferring the incomplete copy.
+        """
+        targets = self.router.read_set(key)
         last: Optional[BaseException] = None
         for index, name in enumerate(self._read_order(targets)):
             store = self.router.store(name)
@@ -758,16 +984,15 @@ class FederatedQueryClient:
     def _union_complete(self, down: List[str]) -> bool:
         """Is the live-member union still exhaustive?
 
-        Under successor placement a replica set is ``replicas`` consecutive
-        ring members, so the union over live members covers every key iff
-        no ``replicas`` consecutive members are all down.
+        The union over live members covers every key iff no replica set
+        the current placement can produce is entirely down — enumerated
+        from the placement itself (consecutive windows under modulo,
+        ring-walk sets under consistent hashing), so the check stays
+        correct whatever the mode.
         """
-        names = self.router.store_names
         down_set = set(down) | set(self.router.degraded_members)
-        n = len(names)
-        r = self.router.replicas
-        for start in range(n):
-            if all(names[(start + i) % n] in down_set for i in range(r)):
+        for replica_set in self.router.placement.current.possible_replica_sets():
+            if all(member in down_set for member in replica_set):
                 return False
         return True
 
@@ -793,19 +1018,30 @@ class FederatedQueryClient:
         # Groups are broadcast; any live store can answer.
         return self._any_live(lambda store: store.group_members(group_id))
 
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        return self._any_live(lambda store: store.groups_of(key))
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        return self._any_live(lambda store: store.group_ids(kind))
+
+    def group_kinds(self, group_ids=None) -> Dict[str, str]:
+        return self._any_live(lambda store: store.group_kinds(group_ids))
+
     def counts(self) -> StoreCounts:
         """Aggregate counts (group assertions counted once, not per replica).
 
-        At R=1 this sums per-member counts.  At R>1 a member sum would
-        count every p-assertion R times, so counts are computed per key
-        from one live replica of its set — O(keys) round trips, amortized
-        by the generation-vector cache.
+        Under pristine R=1 placement this sums per-member counts.  At
+        R>1 — or once the fleet has ever rebalanced (the append-only
+        members keep a moved key's old copy beside the new owner's) — a
+        member sum would multi-count, so counts are computed per key from
+        one live replica of its set: O(keys) round trips, amortized by
+        the generation-vector cache.
         """
         vector = self.router.generation_vector()
         if self._counts_cache is not None and self._counts_cache[0].fresh(vector):
             self.cache_hits += 1
             return self._counts_cache[1]
-        if self.router.replicas == 1:
+        if self.router.replicas == 1 and self.router.placement.epoch == 0:
             inter = state = 0
             records: set = set()
             for name in self.router.store_names:
@@ -838,6 +1074,113 @@ class FederatedQueryClient:
         return merged
 
 
+class FederatedStoreAdapter:
+    """The whole fleet behind one store-interface surface.
+
+    Duck-typed like :class:`~repro.fleet.remote.RemoteStore`: writes go
+    through the router (replication, dual-commit during migrations),
+    reads through a :class:`FederatedQueryClient` (replica failover,
+    generation-vector merges), so a :class:`~repro.store.service.PReServActor`
+    — and therefore a whole :class:`~repro.app.experiment.Experiment` —
+    can serve a multi-member fleet without knowing it is one.  The
+    freshness token is the router's generation vector (placement epoch
+    included), so client result caches invalidate on member writes *and*
+    on migration cutovers.
+    """
+
+    def __init__(self, router: StoreRouter):
+        self.router = router
+        self.federated = FederatedQueryClient(router)
+        #: interface parity — maintenance is owned member-side.
+        self.maintenance = None
+
+    # -- write path -----------------------------------------------------------
+    def put(self, assertion: Assertion) -> None:
+        self.router.put(assertion)
+
+    def put_many(self, assertions: Iterable[Assertion]) -> int:
+        batch = list(assertions)
+        self.router.put_many(batch)
+        return len(batch)
+
+    def pipelined_ingest(self, *args: object, **kwargs: object):
+        raise NotImplementedError(
+            "pipelined ingest does not span a fleet; pipeline inside the "
+            "member stores (pipeline_depth on the fleet factory) instead"
+        )
+
+    # -- read path ------------------------------------------------------------
+    def interaction_keys(self) -> List[InteractionKey]:
+        return self.federated.interaction_keys()
+
+    def interaction_passertions(
+        self, key: InteractionKey, view: Optional[ViewKind] = None
+    ) -> List[InteractionPAssertion]:
+        return self.federated.interaction_passertions(key, view)
+
+    def actor_state_passertions(
+        self,
+        key: InteractionKey,
+        view: Optional[ViewKind] = None,
+        state_type: Optional[str] = None,
+    ) -> List[ActorStatePAssertion]:
+        return self.federated.actor_state_passertions(key, view, state_type)
+
+    def group_members(self, group_id: str) -> List[InteractionKey]:
+        return self.federated.group_members(group_id)
+
+    def groups_of(self, key: InteractionKey) -> List[str]:
+        return self.federated.groups_of(key)
+
+    def group_ids(self, kind: Optional[str] = None) -> List[str]:
+        return self.federated.group_ids(kind)
+
+    def group_kinds(self, group_ids=None) -> Dict[str, str]:
+        return self.federated.group_kinds(group_ids)
+
+    def counts(self) -> StoreCounts:
+        return self.federated.counts()
+
+    # -- cache freshness -------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """A monotonic federation-wide write counter (sum of member
+        generations); prefer :meth:`generation_token`, which also tracks
+        placement epochs and member outages."""
+        return sum(
+            generation
+            for generation in self.router.generations().values()
+            if generation is not None
+        )
+
+    def generation_token(self, scope: Optional[str] = None) -> object:
+        return self.router.generation_vector()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        self.router.close()
+
+
+def _retire_store_dir(root: Path, name: str) -> Optional[Path]:
+    """Move a decommissioned member's directory out of the fleet layout.
+
+    ``store-NN`` directories are what the reopen count-check globs, so a
+    removed member's data must stop matching — it is renamed to
+    ``retired-<name>`` (kept, not deleted: decommissioning routes keys
+    away, it does not destroy history).
+    """
+    source = root / name
+    if not source.exists():
+        return None
+    target = root / f"retired-{name}"
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = root / f"retired-{name}.{suffix}"
+    source.rename(target)
+    return target
+
+
 def sharded_store_fleet(
     root: "Path | str",
     members: int = 2,
@@ -849,6 +1192,7 @@ def sharded_store_fleet(
     commit_barrier_s: float = 0.0,
     replicas: int = 1,
     fault_rules: Optional[Dict[str, tuple]] = None,
+    placement: str = "modulo",
 ) -> StoreRouter:
     """A §7 deployment in one call: a router over KVLog-backed members.
 
@@ -889,6 +1233,17 @@ def sharded_store_fleet(
     set.  ``fault_rules`` (process transport only) maps worker names to
     scripted :class:`~repro.fleet.faults.FaultRule` tuples for
     deterministic crash drills.
+
+    ``placement`` selects the placement rule: ``"modulo"`` (default) is
+    the legacy hash-mod-N successor rule, kept for byte-identical
+    reproduction of the paper figures; ``"ring"`` is consistent-hash
+    placement, under which :meth:`StoreRouter.add_worker` /
+    :meth:`StoreRouter.decommission` move only ~1/N of the keys.  The
+    rule is persisted to ``root/placement.json`` and verified on every
+    reopen — a root whose recorded placement disagrees with the requested
+    membership, replication factor or mode fails loudly with
+    :class:`~repro.store.placement.PlacementMismatchError` instead of
+    silently misrouting.
     """
     from repro.store.backends import KVLogBackend
     from repro.store.maintenance import CompactionScheduler
@@ -900,6 +1255,26 @@ def sharded_store_fleet(
             f"unknown transport {transport!r}; use 'inprocess' or 'process'"
         )
     root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = sorted(
+        p.name for p in root.glob("store-*") if p.name[6:].isdigit()
+    )
+    if existing and len(existing) != members:
+        raise ValueError(
+            f"{root} holds {len(existing)} member stores but "
+            f"members={members}; reopen with members={len(existing)} "
+            f"(rerouting keys across a different member count would "
+            f"strand existing records)"
+        )
+    # Reopen under the *recorded* member names (a decommissioned fleet
+    # has gaps in its store-NN numbering); fresh roots get 00..N-1.
+    names = existing or [f"store-{i:02d}" for i in range(members)]
+    pmap = check_or_init_placement(
+        root,
+        PlacementSpec(
+            members=tuple(names), replicas=replicas, mode=placement
+        ),
+    )
     if transport == "process":
         from repro.fleet.manager import ProcessFleet
 
@@ -916,22 +1291,32 @@ def sharded_store_fleet(
         router = StoreRouter(
             fleet.stores(),
             on_close=lambda: fleet.close(raise_errors=False),
-            replicas=replicas,
+            placement=pmap,
         )
         router.fleet = fleet  # type: ignore[attr-defined]
+
+        def _process_factory(name: Optional[str] = None):
+            worker = fleet.add_worker(name)
+            return worker, fleet.store(worker)
+
+        def _process_retire(name: str, store: object) -> None:
+            fleet.decommission(name)
+            _retire_store_dir(root, name)
+
+        def _process_abort(name: str, store: object) -> None:
+            try:
+                fleet.decommission(name)
+            except BaseException:
+                pass
+            _retire_store_dir(root, name)
+
+        router._member_factory = _process_factory  # type: ignore[attr-defined]
+        router._member_retire = _process_retire  # type: ignore[attr-defined]
+        router._member_abort = _process_abort  # type: ignore[attr-defined]
         return router
-    existing = sorted(p for p in root.glob("store-*") if p.name[6:].isdigit())
-    if existing and len(existing) != members:
-        raise ValueError(
-            f"{root} holds {len(existing)} member stores but "
-            f"members={members}; reopen with members={len(existing)} "
-            f"(rerouting keys across a different member count would "
-            f"strand existing records)"
-        )
     scheduler = CompactionScheduler() if auto_compact else None
-    stores: Dict[str, ProvenanceStoreInterface] = {}
-    for i in range(members):
-        name = f"store-{i:02d}"
+
+    def _build_member(name: str) -> ProvenanceStoreInterface:
         # One path per member whatever the layout (file when shards=1,
         # directory otherwise), so reopening an existing fleet with the
         # wrong shard count hits KVLogBackend's layout guard instead of
@@ -944,10 +1329,45 @@ def sharded_store_fleet(
         if scheduler is not None:
             scheduler.register(store, name)
             store.maintenance = scheduler
-        stores[name] = store
+        return store
+
+    stores: Dict[str, ProvenanceStoreInterface] = {
+        name: _build_member(name) for name in names
+    }
     if scheduler is not None:
         scheduler.start()
-    return StoreRouter(stores, replicas=replicas)
+    router = StoreRouter(stores, placement=pmap)
+
+    def _inprocess_factory(name: Optional[str] = None):
+        if name is None:
+            index = 0
+            while (
+                f"store-{index:02d}" in router._stores
+                or (root / f"store-{index:02d}").exists()
+            ):
+                index += 1
+            name = f"store-{index:02d}"
+        elif name in router._stores:
+            raise ValueError(f"store {name!r} is already a member")
+        return name, _build_member(name)
+
+    def _inprocess_retire(name: str, store: object) -> None:
+        try:
+            store.close()  # type: ignore[attr-defined]
+        finally:
+            _retire_store_dir(root, name)
+
+    def _inprocess_abort(name: str, store: object) -> None:
+        try:
+            store.close()  # type: ignore[attr-defined]
+        except BaseException:
+            pass
+        _retire_store_dir(root, name)
+
+    router._member_factory = _inprocess_factory  # type: ignore[attr-defined]
+    router._member_retire = _inprocess_retire  # type: ignore[attr-defined]
+    router._member_abort = _inprocess_abort  # type: ignore[attr-defined]
+    return router
 
 
 def consolidate(
@@ -955,44 +1375,15 @@ def consolidate(
 ) -> Tuple[int, int]:
     """§7's consolidation facility: merge all member stores into ``target``.
 
-    Returns ``(p_assertions_moved, group_assertions_moved)``.  Broadcast
-    group assertions are deduplicated.  At R=1 a duplicate p-assertion
-    (which cannot exist under routing) is reported as an error; at R>1
-    every p-assertion legitimately exists on R members, so replicas are
-    deduplicated and each p-assertion is counted once.
+    A thin wrapper over the migration engine's everything-to-one-dest
+    stream (:func:`repro.store.migration.consolidate_into` — the bespoke
+    merge walk this module used to carry is gone).  Returns
+    ``(p_assertions_moved, group_assertions_moved)``; broadcast group
+    assertions are deduplicated.  Under pristine R=1 placement a
+    duplicate p-assertion (impossible under routing) is reported as an
+    error; with replication or after any rebalance, duplicates are
+    expected copies and are deduplicated, each p-assertion counted once.
+    Because the stream pages over the resync surface when available,
+    consolidation now also works against socket-served process fleets.
     """
-    moved_p = 0
-    moved_g = 0
-    seen_groups: set = set()
-    seen_p: set = set()
-    for name in router.store_names:
-        for assertion in router.store(name).all_assertions():
-            if isinstance(assertion, GroupAssertion):
-                dedupe_key = (
-                    assertion.group_id,
-                    assertion.member,
-                    assertion.asserter,
-                    assertion.sequence,
-                )
-                if dedupe_key in seen_groups:
-                    continue
-                seen_groups.add(dedupe_key)
-                target.put(assertion)
-                moved_g += 1
-            elif router.replicas > 1:
-                dedupe_key = (assertion.interaction_key, assertion.store_key)
-                if dedupe_key in seen_p:
-                    continue
-                seen_p.add(dedupe_key)
-                target.put(assertion)
-                moved_p += 1
-            else:
-                try:
-                    target.put(assertion)
-                except DuplicateAssertionError as exc:
-                    raise RuntimeError(
-                        f"consolidation found a duplicated p-assertion "
-                        f"(routing invariant violated): {exc}"
-                    ) from exc
-                moved_p += 1
-    return moved_p, moved_g
+    return consolidate_into(router, target)

@@ -230,10 +230,15 @@ class GenerationVector:
 
     Routers and federated clients cache merged results under the tuple of
     member generations; one integer-tuple comparison revalidates the whole
-    federation.
+    federation.  ``epoch`` is the placement epoch the vector was observed
+    under (0 for single stores and never-rebalanced fleets): a migration
+    cutover bumps it, so every cached merge built under the old placement
+    — in particular the moved slice's plans — invalidates at the flip
+    even if no member generation moved.
     """
 
     generations: Tuple[int, ...] = field(default_factory=tuple)
+    epoch: int = 0
 
     @classmethod
     def of(cls, stores: Dict[str, object]) -> "GenerationVector":
@@ -244,4 +249,7 @@ class GenerationVector:
         )
 
     def fresh(self, other: "GenerationVector") -> bool:
-        return self.generations == other.generations
+        return (
+            self.generations == other.generations
+            and self.epoch == other.epoch
+        )

@@ -237,3 +237,72 @@ class TestCrashDrill:
         # Bounded recovery: probe + backoff + spawn + resync, with slack
         # for a loaded CI host.
         assert 0.0 < report.recovery_s < 30.0
+
+
+class TestQuarantineDeferral:
+    """Quarantine must not wedge an in-flight migration (no processes:
+    the restart ladder is driven directly against a stub fleet)."""
+
+    class _StubFleet:
+        worker_names = ["store-00", "store-01"]
+
+        def handle(self, name):  # pragma: no cover - not reached
+            raise AssertionError("handle() not expected in this drill")
+
+        def restart(self, name, health_timeout_s=None):
+            raise FleetError(f"worker {name!r} keeps dying")
+
+    @staticmethod
+    def _make_router(in_transition):
+        from repro.store.backends import MemoryBackend
+        from repro.store.distributed import StoreRouter
+        from repro.store.placement import PlacementSpec
+
+        router = StoreRouter(
+            {"store-00": MemoryBackend(), "store-01": MemoryBackend()},
+            placement="ring",
+        )
+        if in_transition:
+            router.placement.begin_transition(
+                PlacementSpec(
+                    members=("store-00", "store-01", "store-02"), mode="ring"
+                )
+            )
+        return router
+
+    def _exhausted_supervisor(self, router):
+        supervisor = FleetSupervisor(
+            self._StubFleet(), router=router, flap_limit=2
+        )
+        supervisor._states["store-00"] = "dead"
+        supervisor._attempts["store-00"] = 2  # the flap cap is spent
+        return supervisor
+
+    def test_participant_is_deferred_not_quarantined(self):
+        router = self._make_router(in_transition=True)
+        supervisor = self._exhausted_supervisor(router)
+        supervisor._try_restart("store-00")
+        assert supervisor.status()["store-00"]["state"] == "dead"
+        assert supervisor.quarantined == []
+        events = [event for _t, _n, event, _d in supervisor.events]
+        assert "quarantine-deferred" in events
+        # a deferred worker backs off at the max delay, not forever
+        assert supervisor._not_before["store-00"] > 0
+
+    def test_non_participant_quarantines_as_before(self):
+        router = self._make_router(in_transition=False)
+        supervisor = self._exhausted_supervisor(router)
+        supervisor._try_restart("store-00")
+        assert supervisor.quarantined == ["store-00"]
+        events = [event for _t, _n, event, _d in supervisor.events]
+        assert "quarantined" in events
+
+    def test_deferral_ends_when_migration_resolves(self):
+        router = self._make_router(in_transition=True)
+        supervisor = self._exhausted_supervisor(router)
+        supervisor._try_restart("store-00")
+        assert supervisor.quarantined == []
+        router.placement.abort_transition()
+        supervisor._not_before["store-00"] = 0.0  # backoff elapsed
+        supervisor._try_restart("store-00")
+        assert supervisor.quarantined == ["store-00"]

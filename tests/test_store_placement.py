@@ -1,0 +1,311 @@
+"""Placement-rule properties: ring stability, modulo bit-compat, metadata.
+
+The tentpole claims of :mod:`repro.store.placement`, asserted:
+
+* consistent hashing moves ~1/N of the keys on an N→N±1 membership
+  change, while the legacy modulo rule moves ~(N−1)/N — the whole
+  reason the rebalance-capable fleet exists;
+* ``modulo`` mode reproduces the router's historic placement bit for
+  bit (the paper figures stay byte-identical);
+* placement metadata survives a serialize/load round trip, and a root
+  whose recorded placement disagrees with the requested one fails
+  loudly instead of silently misrouting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.passertion import InteractionKey
+from repro.store.distributed import _hash_to_bucket
+from repro.store.placement import (
+    DEFAULT_VNODES,
+    HashRing,
+    PlacementMap,
+    PlacementMismatchError,
+    PlacementSpec,
+    check_or_init_placement,
+)
+
+N_KEYS = 2000
+
+
+def keys(n=N_KEYS):
+    return [
+        InteractionKey(f"int-{i:05d}", f"sender-{i % 7}", f"svc-{i % 3}")
+        for i in range(n)
+    ]
+
+
+def members(n):
+    return tuple(f"store-{i:02d}" for i in range(n))
+
+
+def moved_fraction(before: PlacementSpec, after: PlacementSpec) -> float:
+    sample = keys()
+    moved = sum(
+        1 for k in sample if before.owner_of(k) != after.owner_of(k)
+    )
+    return moved / len(sample)
+
+
+class TestRingStability:
+    """The headline property: ring growth moves ~1/N, modulo ~(N−1)/N."""
+
+    @pytest.mark.parametrize("n", [3, 4, 6, 8])
+    def test_ring_grow_moves_about_one_over_n(self, n):
+        before = PlacementSpec(members=members(n), mode="ring")
+        after = before.with_members(members(n + 1))
+        fraction = moved_fraction(before, after)
+        # Ideal is 1/(N+1); virtual-node variance adds slack.
+        ideal = 1 / (n + 1)
+        assert fraction <= ideal + 0.08, (
+            f"N={n}→{n + 1} moved {fraction:.3f}, expected ≲ {ideal:.3f}"
+        )
+        assert fraction > 0  # something must move or the new member is idle
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_ring_shrink_moves_about_one_over_n(self, n):
+        before = PlacementSpec(members=members(n), mode="ring")
+        after = PlacementSpec(members=members(n)[:-1], mode="ring")
+        fraction = moved_fraction(before, after)
+        ideal = 1 / n
+        assert fraction <= ideal + 0.08
+        # A removed member's keys must ALL move — the floor is its share.
+        assert fraction >= ideal - 0.08
+
+    @pytest.mark.parametrize("n", [3, 4, 6, 8])
+    def test_modulo_grow_moves_almost_everything(self, n):
+        """The contrast motivating the ring: modulo reroutes ~(N−1)/N."""
+        before = PlacementSpec(members=members(n), mode="modulo")
+        after = before.with_members(members(n + 1))
+        fraction = moved_fraction(before, after)
+        assert fraction > 0.5, (
+            f"modulo N={n}→{n + 1} moved only {fraction:.3f}; the legacy "
+            f"rule is supposed to be catastrophic under membership change"
+        )
+
+    def test_ring_only_new_member_gains_keys(self):
+        """Keys that move on growth move TO the new member, never between
+        surviving members (the no-shuffle property)."""
+        before = PlacementSpec(members=members(5), mode="ring")
+        after = before.with_members(members(6))
+        new = "store-05"
+        for k in keys(500):
+            if before.owner_of(k) != after.owner_of(k):
+                assert after.owner_of(k) == new
+
+    def test_ring_spread_is_roughly_even(self):
+        spec = PlacementSpec(members=members(5), mode="ring")
+        counts = {m: 0 for m in spec.members}
+        for k in keys():
+            counts[spec.owner_of(k)] += 1
+        share = N_KEYS / 5
+        for member, count in counts.items():
+            assert 0.5 * share < count < 1.6 * share, (
+                f"{member} owns {count} of {N_KEYS} keys (vnode imbalance)"
+            )
+
+
+class TestModuloBitCompat:
+    """``modulo`` mode must reproduce the legacy router rule exactly."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_owner_matches_hash_to_bucket(self, n):
+        spec = PlacementSpec(members=members(n), mode="modulo")
+        names = sorted(spec.members)
+        for k in keys(300):
+            assert spec.owner_of(k) == names[_hash_to_bucket(k, n)]
+
+    def test_replica_sets_are_successor_windows(self):
+        spec = PlacementSpec(members=members(5), replicas=3, mode="modulo")
+        names = sorted(spec.members)
+        for k in keys(200):
+            bucket = _hash_to_bucket(k, 5)
+            assert spec.replica_set(k) == [
+                names[(bucket + i) % 5] for i in range(3)
+            ]
+
+
+class TestReplicaSets:
+    @pytest.mark.parametrize("mode", ["modulo", "ring"])
+    def test_replica_sets_are_distinct_members(self, mode):
+        spec = PlacementSpec(members=members(5), replicas=3, mode=mode)
+        for k in keys(300):
+            replica_set = spec.replica_set(k)
+            assert len(replica_set) == 3
+            assert len(set(replica_set)) == 3
+            assert spec.owner_of(k) == replica_set[0]
+
+    @pytest.mark.parametrize("mode", ["modulo", "ring"])
+    def test_possible_replica_sets_cover_every_key(self, mode):
+        spec = PlacementSpec(members=members(5), replicas=2, mode=mode)
+        possible = set(spec.possible_replica_sets())
+        for k in keys(300):
+            assert tuple(spec.replica_set(k)) in possible
+
+    def test_ring_successors_deterministic(self):
+        a = HashRing(members(4))
+        b = HashRing(list(reversed(members(4))))  # order-insensitive
+        for k in keys(100):
+            from repro.store.placement import key_position
+
+            assert a.successors(key_position(k), 2) == b.successors(
+                key_position(k), 2
+            )
+
+
+class TestSpecValidation:
+    def test_rejects_empty_members(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(members=())
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(members=("a", "a"))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(members=("a",), mode="rendezvous")
+
+    def test_rejects_replicas_beyond_members(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(members=("a", "b"), replicas=3)
+
+    def test_shrink_below_replicas_raises(self):
+        spec = PlacementSpec(members=members(3), replicas=3)
+        with pytest.raises(ValueError):
+            spec.with_members(members(2))
+
+
+class TestPlacementMapPersistence:
+    def test_round_trip(self, tmp_path):
+        spec = PlacementSpec(members=members(3), replicas=2, mode="ring")
+        pmap = PlacementMap(spec, epoch=4, path=tmp_path / "placement.json")
+        pmap.save()
+        loaded = PlacementMap.load(tmp_path / "placement.json")
+        assert loaded.current == spec
+        assert loaded.epoch == 4
+        assert loaded.pending is None
+
+    def test_transition_edges_persist(self, tmp_path):
+        path = tmp_path / "placement.json"
+        pmap = PlacementMap(
+            PlacementSpec(members=members(2), mode="ring"), path=path
+        )
+        pmap.save()
+        pmap.begin_transition(
+            PlacementSpec(members=members(3), mode="ring")
+        )
+        assert PlacementMap.load(path).in_transition
+        pmap.commit_transition()
+        reloaded = PlacementMap.load(path)
+        assert not reloaded.in_transition
+        assert reloaded.current.members == members(3)
+        assert reloaded.epoch == 1
+
+    def test_abort_bumps_epoch(self, tmp_path):
+        pmap = PlacementMap(
+            PlacementSpec(members=members(2), mode="ring"),
+            path=tmp_path / "placement.json",
+        )
+        pmap.begin_transition(PlacementSpec(members=members(3), mode="ring"))
+        pmap.abort_transition()
+        assert pmap.epoch == 1
+        assert not pmap.in_transition
+
+    def test_write_set_is_union_during_transition(self):
+        pmap = PlacementMap(PlacementSpec(members=members(3), mode="ring"))
+        pmap.begin_transition(
+            PlacementSpec(members=members(4), mode="ring")
+        )
+        moved = [k for k in keys(500) if pmap.is_moving(k)]
+        assert moved, "growth must move some keys"
+        for k in moved[:50]:
+            write_set = pmap.write_set(k)
+            assert set(pmap.current.replica_set(k)) <= set(write_set)
+            assert set(pmap.pending.replica_set(k)) <= set(write_set)
+            # the current owner stays first: reads stay authoritative
+            assert write_set[0] == pmap.current.owner_of(k)
+
+
+class TestCheckOrInit:
+    """The satellite bugfix: disagreeing ring metadata fails loudly."""
+
+    def test_fresh_root_initialises(self, tmp_path):
+        spec = PlacementSpec(members=members(2), mode="ring")
+        pmap = check_or_init_placement(tmp_path, spec)
+        assert pmap.current == spec
+        assert (tmp_path / "placement.json").exists()
+
+    def test_reopen_agreeing_placement(self, tmp_path):
+        spec = PlacementSpec(members=members(2), mode="ring")
+        check_or_init_placement(tmp_path, spec)
+        pmap = check_or_init_placement(tmp_path, spec)
+        assert pmap.current == spec
+
+    def test_mode_mismatch_fails_loudly(self, tmp_path):
+        check_or_init_placement(
+            tmp_path, PlacementSpec(members=members(2), mode="ring")
+        )
+        with pytest.raises(PlacementMismatchError, match="mode"):
+            check_or_init_placement(
+                tmp_path, PlacementSpec(members=members(2), mode="modulo")
+            )
+
+    def test_member_mismatch_fails_loudly(self, tmp_path):
+        check_or_init_placement(
+            tmp_path, PlacementSpec(members=members(2), mode="ring")
+        )
+        with pytest.raises(PlacementMismatchError, match="members"):
+            check_or_init_placement(
+                tmp_path, PlacementSpec(members=members(3), mode="ring")
+            )
+
+    def test_replica_mismatch_fails_loudly(self, tmp_path):
+        check_or_init_placement(
+            tmp_path, PlacementSpec(members=members(3), replicas=2)
+        )
+        with pytest.raises(PlacementMismatchError, match="replicas"):
+            check_or_init_placement(
+                tmp_path, PlacementSpec(members=members(3), replicas=1)
+            )
+
+    def test_vnode_mismatch_fails_loudly(self, tmp_path):
+        check_or_init_placement(
+            tmp_path,
+            PlacementSpec(members=members(2), mode="ring", vnodes=64),
+        )
+        with pytest.raises(PlacementMismatchError, match="vnodes"):
+            check_or_init_placement(
+                tmp_path,
+                PlacementSpec(members=members(2), mode="ring", vnodes=32),
+            )
+
+    def test_corrupt_metadata_fails_loudly(self, tmp_path):
+        (tmp_path / "placement.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(PlacementMismatchError):
+            check_or_init_placement(
+                tmp_path, PlacementSpec(members=members(2))
+            )
+
+    def test_crashed_transition_rolls_back_on_open(self, tmp_path):
+        """A file persisted mid-transition (writer crashed between begin
+        and cutover) reopens under its CURRENT rule — the cutover never
+        happened, so that is the rule every acked write satisfied."""
+        path = tmp_path / "placement.json"
+        pmap = PlacementMap(
+            PlacementSpec(members=members(2), mode="ring"), path=path
+        )
+        pmap.save()
+        pmap.begin_transition(PlacementSpec(members=members(3), mode="ring"))
+        # crash here: no commit — reopen rolls the pending spec back
+        reopened = check_or_init_placement(
+            tmp_path, PlacementSpec(members=members(2), mode="ring")
+        )
+        assert not reopened.in_transition
+        assert reopened.current.members == members(2)
+        assert reopened.epoch == 1  # the abort epoch-bump persisted
+
+    def test_default_vnodes_constant(self):
+        assert PlacementSpec(members=("a",)).vnodes == DEFAULT_VNODES
