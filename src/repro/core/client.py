@@ -281,6 +281,15 @@ class ProvenanceQueryClient:
         result = self._query("groups", **params)
         return [el.attrs["id"] for el in result.items]
 
+    def passertion_counts(self, key: InteractionKey) -> Tuple[int, int]:
+        """Both per-key p-assertion counts in one query round trip."""
+        result = self._query("passertion-counts", **self._key_params(key))
+        el = result.items[0]
+        return (
+            int(el.attrs["interaction-passertions"]),
+            int(el.attrs["actor-state-passertions"]),
+        )
+
     def counts(self) -> StoreCounts:
         result = self._query("count")
         el = result.items[0]

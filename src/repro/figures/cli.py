@@ -16,6 +16,7 @@ Subcommands::
     repro-figures fleet        # A10: in-process bus vs process-fleet ingest
     repro-figures reopen       # A11: reopen cost vs history, ± checkpoints
     repro-figures rebalance    # A12: live fleet growth under load
+    repro-figures fanout       # A13: scatter-gather fan-out + hedged reads
     repro-figures all          # everything above
 """
 
@@ -45,6 +46,11 @@ from repro.figures.compaction import (
 )
 from repro.figures.distributed import run_scaling, scaling_table
 from repro.figures.entropy_report import entropy_table, run_entropy_report
+from repro.figures.fanout import (
+    fanout_table,
+    run_fanout_sweep,
+    write_fanout_json,
+)
 from repro.figures.fleet import fleet_sweep_table, run_fleet_sweep
 from repro.figures.pipeline import pipeline_table, run_pipeline_sweep
 from repro.figures.rebalance import (
@@ -198,6 +204,24 @@ def cmd_rebalance(args: argparse.Namespace) -> str:
     if args.json:
         write_rebalance_json(report, Path(args.json))
     return rebalance_table(report)
+
+
+def cmd_fanout(args: argparse.Namespace) -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-fanout-") as tmp:
+        report = run_fanout_sweep(
+            Path(tmp),
+            members=args.members,
+            replicas=args.replicas,
+            commit_barrier_s=args.commit_barrier_ms / 1000.0,
+            read_stall_s=args.read_stall_ms / 1000.0,
+            puts=args.puts,
+            merges=args.merges,
+            hedge_delay_s=args.hedge_delay_ms / 1000.0,
+            hedge_after_s=args.hedge_after_ms / 1000.0,
+        )
+    if args.json:
+        write_fanout_json(report, Path(args.json))
+    return fanout_table(report)
 
 
 def cmd_reopen(args: argparse.Namespace) -> str:
@@ -373,6 +397,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the drill report as machine-readable JSON",
     )
     p.set_defaults(fn=cmd_rebalance)
+
+    p = sub.add_parser(
+        "fanout",
+        help="A13: scatter-gather fan-out — parallel commits/merges, hedged reads",
+    )
+    p.add_argument("--members", type=int, default=4)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument(
+        "--commit-barrier-ms",
+        type=float,
+        default=10.0,
+        help="modeled device write-barrier per group commit (commit drill)",
+    )
+    p.add_argument(
+        "--read-stall-ms",
+        type=float,
+        default=10.0,
+        help="modeled per-member read round trip (merge drill)",
+    )
+    p.add_argument("--puts", type=int, default=12)
+    p.add_argument("--merges", type=int, default=5)
+    p.add_argument(
+        "--hedge-delay-ms",
+        type=float,
+        default=120.0,
+        help="scripted server-recv delay on the slow worker (hedge drill)",
+    )
+    p.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=20.0,
+        help="hedge budget: fire the peer replica after this long",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        help="also write the sweep report as machine-readable JSON",
+    )
+    p.set_defaults(fn=cmd_fanout)
 
     p = sub.add_parser("bulk", help="A5: bulk ingest — put vs put_many group commit")
     p.add_argument("--records", type=int, default=2000)

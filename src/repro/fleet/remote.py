@@ -106,6 +106,9 @@ class RemoteStore:
     def group_ids(self, kind: Optional[str] = None) -> List[str]:
         return self._queries.group_ids(kind)
 
+    def passertion_counts(self, key: InteractionKey) -> "Tuple[int, int]":
+        return self._queries.passertion_counts(key)
+
     def counts(self) -> StoreCounts:
         return self._queries.counts()
 

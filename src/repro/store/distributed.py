@@ -29,6 +29,7 @@ query out to all member stores and merges results.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -42,6 +43,7 @@ from repro.core.passertion import (
     ViewKind,
 )
 from repro.soa.envelope import Fault
+from repro.store.fanout import DEFAULT_FANOUT_WORKERS, FanoutExecutor
 from repro.store.interface import (
     DuplicateAssertionError,
     ProvenanceStoreInterface,
@@ -174,6 +176,8 @@ class StoreRouter:
         on_close: Optional[Callable[[], None]] = None,
         replicas: int = 1,
         placement: Optional[Union[str, PlacementSpec, PlacementMap]] = None,
+        fanout_workers: Optional[int] = None,
+        hedge_after_s: Optional[float] = None,
     ):
         if not stores:
             raise ValueError("router needs at least one store")
@@ -238,6 +242,23 @@ class StoreRouter:
         self._down_nonce = 0
         self._on_close = on_close
         self._closed = False
+        #: guards every piece of mutable routing state above (_degraded,
+        #: _suspect, _pending, _gen_floor, _down_nonce, _links,
+        #: records_routed): the supervisor's probe thread, repair calls
+        #: and the fan-out pool's worker threads all mutate it
+        #: concurrently.  Reentrant because mark_degraded &c. are called
+        #: both bare and from under the lock.  Never held across a
+        #: member round trip.
+        self._lock = threading.RLock()
+        cap = DEFAULT_FANOUT_WORKERS if fanout_workers is None else fanout_workers
+        width = min(len(self._names), cap) if cap > 0 else 0
+        #: the router's scatter-gather engine — sized min(members, cap),
+        #: lazily started, closed with the router.  fanout_workers=0 (or
+        #: 1) selects the byte-identical sequential parity mode.
+        self.fanout = FanoutExecutor(width, name="store-fanout")
+        #: fleet-level default hedge delay for per-key federated reads
+        #: (None/0 = hedging off); FederatedQueryClient inherits it.
+        self.hedge_after_s = hedge_after_s
 
     @property
     def store_names(self) -> List[str]:
@@ -276,13 +297,15 @@ class StoreRouter:
     # -- degraded-member bookkeeping -------------------------------------------
     @property
     def degraded_members(self) -> List[str]:
-        return sorted(self._degraded)
+        with self._lock:
+            return sorted(self._degraded)
 
     def mark_degraded(self, name: str) -> None:
         """Treat ``name`` as down: writes journal for it, reads avoid it."""
         if name not in self._stores:
             raise KeyError(f"unknown store {name!r}")
-        self._degraded.add(name)
+        with self._lock:
+            self._degraded.add(name)
 
     def mark_restored(self, name: str) -> None:
         """``name`` is back (restarted + resynced): route traffic again.
@@ -293,21 +316,25 @@ class StoreRouter:
         """
         if name not in self._stores:
             raise KeyError(f"unknown store {name!r}")
-        self._degraded.discard(name)
-        self._suspect.add(name)
+        with self._lock:
+            self._degraded.discard(name)
+            self._suspect.add(name)
 
     @property
     def suspect_members(self) -> List[str]:
-        return sorted(self._suspect)
+        with self._lock:
+            return sorted(self._suspect)
 
     def confirm_fresh(self, name: str) -> bool:
         """Probe a suspect member's generation against its floor.
 
         True (and the suspect mark cleared) iff the member answers with a
         generation >= the highest this router ever observed from it.
+        The generation round trip runs outside the router lock.
         """
-        if name not in self._suspect:
-            return name not in self._degraded
+        with self._lock:
+            if name not in self._suspect:
+                return name not in self._degraded
         try:
             generation = self._stores[name].generation
         except BaseException as exc:
@@ -315,21 +342,28 @@ class StoreRouter:
                 self.mark_degraded(name)
                 return False
             raise
-        if generation >= self._gen_floor.get(name, 0):
-            self._suspect.discard(name)
-            self._gen_floor[name] = generation
-            return True
+        with self._lock:
+            if generation >= self._gen_floor.get(name, 0):
+                self._suspect.discard(name)
+                self._gen_floor[name] = generation
+                return True
         return False
 
     # -- repair journal --------------------------------------------------------
     def _journal(self, name: str, assertions: Iterable[Assertion]) -> None:
-        table = self._pending.setdefault(name, {})
-        for assertion in assertions:
-            table[_journal_key(assertion)] = assertion
+        with self._lock:
+            table = self._pending.setdefault(name, {})
+            for assertion in assertions:
+                table[_journal_key(assertion)] = assertion
 
     def pending_repairs(self) -> Dict[str, int]:
         """Outstanding journal sizes per member (empty when fully healed)."""
-        return {name: len(table) for name, table in self._pending.items() if table}
+        with self._lock:
+            return {
+                name: len(table)
+                for name, table in self._pending.items()
+                if table
+            }
 
     def repair(self, name: Optional[str] = None) -> int:
         """Flush the repair journal to rejoined members; returns the number
@@ -337,29 +371,43 @@ class StoreRouter:
 
         Skips members still marked degraded.  A member that fails again
         mid-repair keeps its remaining journal and is re-marked degraded.
+        Members are flushed concurrently (each member's journal stays in
+        order); per-member outcomes are aggregated in sorted-name order.
         """
-        targets = [name] if name is not None else sorted(self._pending)
+        with self._lock:
+            targets = [name] if name is not None else sorted(self._pending)
+        results = self.fanout.scatter(targets, self._repair_member)
         repaired = 0
-        for member in targets:
+        for result in results:
+            if result.error is not None:
+                raise result.error
+            repaired += result.value
+        return repaired
+
+    def _repair_member(self, member: str) -> int:
+        with self._lock:
             table = self._pending.get(member)
             if not table or member in self._degraded:
-                continue
-            store = self._stores[member]
-            for jkey in list(table):
-                assertion = table[jkey]
-                try:
-                    store.put(assertion)
-                except BaseException as exc:
-                    if _is_duplicate(exc):
-                        pass  # already held (e.g. resync got there first)
-                    elif _is_unavailable(exc):
-                        self.mark_degraded(member)
-                        break
-                    else:
-                        raise
-                del table[jkey]
-                repaired += 1
-            if not table:
+                return 0
+            items = list(table.items())
+        store = self._stores[member]
+        repaired = 0
+        for jkey, assertion in items:
+            try:
+                store.put(assertion)
+            except BaseException as exc:
+                if _is_duplicate(exc):
+                    pass  # already held (e.g. resync got there first)
+                elif _is_unavailable(exc):
+                    self.mark_degraded(member)
+                    break
+                else:
+                    raise
+            with self._lock:
+                table.pop(jkey, None)
+            repaired += 1
+        with self._lock:
+            if not self._pending.get(member):
                 self._pending.pop(member, None)
         return repaired
 
@@ -384,6 +432,10 @@ class StoreRouter:
                 self._stores[name].close()
             except BaseException as exc:
                 failures.append((name, exc))
+        try:
+            self.fanout.close()
+        except BaseException as exc:
+            failures.append(("<fanout>", exc))
         try:
             if self._on_close is not None:
                 self._on_close()
@@ -416,19 +468,22 @@ class StoreRouter:
         degraded) instead of failing the whole observation — the federated
         read side must keep working through an outage.
         """
+        results = self.fanout.scatter(
+            list(self._names), lambda name: self._stores[name].generation
+        )
         out: Dict[str, Optional[int]] = {}
-        for name in self._names:
-            try:
-                generation = self._stores[name].generation
-            except BaseException as exc:
-                if not _is_unavailable(exc):
-                    raise
+        for result in results:
+            name = result.target
+            if result.error is not None:
+                if not _is_unavailable(result.error):
+                    raise result.error
                 self.mark_degraded(name)
                 out[name] = None
                 continue
-            floor = self._gen_floor.get(name, 0)
-            self._gen_floor[name] = max(floor, generation)
-            out[name] = generation
+            with self._lock:
+                floor = self._gen_floor.get(name, 0)
+                self._gen_floor[name] = max(floor, result.value)
+            out[name] = result.value
         return out
 
     def generation_vector(self) -> GenerationVector:
@@ -444,16 +499,18 @@ class StoreRouter:
         streaming, a per-observation nonce keeps anything from caching
         against the in-flux placement at all.
         """
+        observed = sorted(self.generations().items())
         gens: List[object] = []
-        for name, generation in sorted(self.generations().items()):
-            if generation is None:
+        with self._lock:
+            for name, generation in observed:
+                if generation is None:
+                    self._down_nonce += 1
+                    gens.append(("down", name, self._down_nonce))
+                else:
+                    gens.append(generation)
+            if self.placement.in_transition:
                 self._down_nonce += 1
-                gens.append(("down", name, self._down_nonce))
-            else:
-                gens.append(generation)
-        if self.placement.in_transition:
-            self._down_nonce += 1
-            gens.append(("migrating", self._down_nonce))
+                gens.append(("migrating", self._down_nonce))
         return GenerationVector(tuple(gens), epoch=self.placement.epoch)
 
     def _commit_share(self, name: str, share: List[Assertion]) -> None:
@@ -502,6 +559,15 @@ class StoreRouter:
         :class:`PartialCommitError` (a broadcast still acks while at least
         ``replicas`` live members hold it), at R=1 the transport fault
         propagates unchanged.
+
+        All live shares commit **concurrently** (the fan-out pool), then
+        the outcomes are aggregated in the sequential loop's target order,
+        so the journal, degraded marks and error fields are identical to
+        the one-at-a-time path.  On an error the sequential loop would
+        have raised out of, shares the loop would never have attempted
+        may already have landed — unobservable through the ack semantics:
+        the write is still not acknowledged, and a retry converges via
+        duplicate-skip exactly as for any in-doubt batch.
         """
         if isinstance(assertion, GroupAssertion):
             targets = list(self._names)
@@ -513,27 +579,34 @@ class StoreRouter:
             label = targets[0]
         committed: List[str] = []
         causes: Dict[str, BaseException] = {}
+        with self._lock:
+            degraded = set(self._degraded) if self.replicas > 1 else set()
         for name in targets:
-            if self.replicas > 1 and name in self._degraded:
+            if name in degraded:
                 self._journal(name, [assertion])
                 causes[name] = Fault(
                     "worker-unavailable",
                     f"member {name!r} is marked degraded",
                     detail={"worker": name},
                 )
+        results = self.fanout.scatter(
+            [name for name in targets if name not in degraded],
+            lambda name: self._commit_share(name, [assertion]),
+        )
+        for result in results:
+            name = result.target
+            if result.error is None:
+                committed.append(name)
                 continue
-            try:
-                self._commit_share(name, [assertion])
-            except BaseException as exc:
-                if _is_unavailable(exc):
-                    self.mark_degraded(name)
-                    self._journal(name, [assertion])
-                    causes[name] = exc
-                    if self.replicas == 1:
-                        raise  # unreplicated: fail fast, as a plain store would
-                    continue
-                raise
-            committed.append(name)
+            exc = result.error
+            if _is_unavailable(exc):
+                self.mark_degraded(name)
+                self._journal(name, [assertion])
+                causes[name] = exc
+                if self.replicas == 1:
+                    raise exc  # unreplicated: fail fast, as a plain store would
+                continue
+            raise exc
         if causes and label != "*":
             raise PartialCommitError(
                 f"write to {sorted(causes)} did not persist (committed on "
@@ -552,7 +625,8 @@ class StoreRouter:
                 missing=sorted(causes),
                 causes=causes,
             )
-        self.records_routed += 1
+        with self._lock:
+            self.records_routed += 1
         self._note_link(route_key, self.owner_of(route_key))
         return label
 
@@ -579,6 +653,15 @@ class StoreRouter:
         retry of the batch converges via duplicate-skip), and the call
         raises :class:`PartialCommitError` — the batch is never partially
         acked.  At R=1 a transport fault aborts and propagates unchanged.
+
+        Member shares group-commit **concurrently** on the fan-out pool;
+        outcomes are aggregated in sorted member order, reproducing the
+        sequential loop's journal, degraded marks and
+        :class:`PartialCommitError` fields exactly.  Where the sequential
+        loop aborted mid-iteration, later members' shares may now have
+        committed before the same error surfaces — the batch is equally
+        unacked/in-doubt either way, and the ``finally`` accounting below
+        already probes failed members for what actually landed.
         """
         per_store: Dict[str, List[Assertion]] = {name: [] for name in self._names}
         plan: List[Tuple[Assertion, str, Tuple[str, ...]]] = []
@@ -597,12 +680,15 @@ class StoreRouter:
         failed: set = set()
         causes: Dict[str, BaseException] = {}
         try:
+            with self._lock:
+                degraded = set(self._degraded) if self.replicas > 1 else set()
+            work: List[str] = []
             for name in self._names:
                 share = per_store[name]
                 if not share:
                     committed.add(name)
                     continue
-                if self.replicas > 1 and name in self._degraded:
+                if name in degraded:
                     failed.add(name)
                     self._journal(name, share)
                     causes[name] = Fault(
@@ -611,17 +697,31 @@ class StoreRouter:
                         detail={"worker": name},
                     )
                     continue
-                try:
-                    self._commit_share(name, share)
-                except BaseException as exc:
-                    failed.add(name)
-                    if self.replicas > 1 and _is_unavailable(exc):
-                        self.mark_degraded(name)
-                        self._journal(name, share)
-                        causes[name] = exc
-                        continue
-                    raise
-                committed.add(name)
+                work.append(name)
+            results = self.fanout.scatter(
+                work, lambda name: self._commit_share(name, per_store[name])
+            )
+            # Aggregate EVERY member's outcome before raising: a fatal
+            # (non-journalable) error must not hide which other members
+            # committed, or the accounting below would under-count and
+            # the link tables would miss data a store really took.
+            fatal: Optional[BaseException] = None
+            for result in results:
+                name = result.target
+                if result.error is None:
+                    committed.add(name)
+                    continue
+                failed.add(name)
+                exc = result.error
+                if self.replicas > 1 and _is_unavailable(exc):
+                    self.mark_degraded(name)
+                    self._journal(name, per_store[name])
+                    causes[name] = exc
+                    continue
+                if fatal is None:  # first in sorted member order
+                    fatal = exc
+            if fatal is not None:
+                raise fatal
         finally:
             for assertion, owner, targets in plan:
                 if owner == "*":
@@ -636,7 +736,8 @@ class StoreRouter:
                         for name in targets
                     )
                 if placed:
-                    self.records_routed += 1
+                    with self._lock:
+                        self.records_routed += 1
                     route_key = (
                         assertion.member
                         if owner == "*"
@@ -675,18 +776,20 @@ class StoreRouter:
         return any(p.store_key == assertion.store_key for p in found)
 
     def _note_link(self, key: InteractionKey, owner: str) -> None:
-        for name in self._names:
-            if name != owner:
-                self._links[name][key] = owner
+        with self._lock:
+            for name in self._names:
+                if name != owner:
+                    self._links[name][key] = owner
 
     def cross_links(self, store_name: str) -> List[CrossLink]:
         """The navigation table held at ``store_name``."""
-        table = self._links.get(store_name)
-        if table is None:
-            raise KeyError(f"unknown store {store_name!r}")
+        with self._lock:
+            table = self._links.get(store_name)
+            if table is None:
+                raise KeyError(f"unknown store {store_name!r}")
+            items = sorted(table.items())
         return [
-            CrossLink(interaction_key=key, store=owner)
-            for key, owner in sorted(table.items())
+            CrossLink(interaction_key=key, store=owner) for key, owner in items
         ]
 
     def resolve(self, start_store: str, key: InteractionKey) -> str:
@@ -698,7 +801,8 @@ class StoreRouter:
         store = self.store(start_store)
         if store.interaction_passertions(key) or store.actor_state_passertions(key):
             return start_store
-        owner = self._links[start_store].get(key)
+        with self._lock:
+            owner = self._links[start_store].get(key)
         if owner is None:
             raise KeyError(
                 f"no records or cross-link for {key} at store {start_store!r}"
@@ -741,11 +845,12 @@ class StoreRouter:
 
     def _relink(self) -> None:
         """Repoint every cross-link table at the current owners."""
-        keys = {
-            key for table in self._links.values() for key in table
-        }
-        for name in self._names:
-            self._links[name] = {}
+        with self._lock:
+            keys = {
+                key for table in self._links.values() for key in table
+            }
+            for name in self._names:
+                self._links[name] = {}
         for key in keys:
             self._note_link(key, self.owner_of(key))
 
@@ -815,11 +920,12 @@ class StoreRouter:
     def _drop_member(self, name: str) -> None:
         store = self._stores.pop(name)
         self._names = sorted(self._stores)
-        self._links.pop(name, None)
-        self._degraded.discard(name)
-        self._suspect.discard(name)
-        self._pending.pop(name, None)
-        self._gen_floor.pop(name, None)
+        with self._lock:
+            self._links.pop(name, None)
+            self._degraded.discard(name)
+            self._suspect.discard(name)
+            self._pending.pop(name, None)
+            self._gen_floor.pop(name, None)
         retire = getattr(self, "_member_retire", None)
         if retire is not None:
             retire(name, store)
@@ -876,8 +982,21 @@ class FederatedQueryClient:
     then, so a rejoined-but-behind replica cannot serve a stale answer.
     """
 
-    def __init__(self, router: StoreRouter):
+    def __init__(
+        self, router: StoreRouter, hedge_after_s: Optional[float] = None
+    ):
         self.router = router
+        #: opt-in hedge delay for per-key reads: when the preferred
+        #: replica has not answered within this many seconds, the next
+        #: replica is fired too and the first success wins (see
+        #: :meth:`_read_replicas`).  Defaults to the router's fleet-level
+        #: setting; None or 0 means no hedging.
+        self.hedge_after_s = (
+            router.hedge_after_s if hedge_after_s is None else hedge_after_s
+        )
+        #: guards the merge caches and counters against concurrent
+        #: readers (hedge legs and fan-out workers report through here).
+        self._lock = threading.Lock()
         self._keys_cache: Optional[
             Tuple[GenerationVector, List[InteractionKey]]
         ] = None
@@ -895,12 +1014,15 @@ class FederatedQueryClient:
         recovered); suspect members are probed via
         :meth:`StoreRouter.confirm_fresh` and demoted while behind.
         """
+        with self.router._lock:
+            degraded = set(self.router._degraded)
+            suspect = set(self.router._suspect)
         preferred: List[str] = []
         demoted: List[str] = []
         for name in targets:
-            if name in self.router._degraded:
+            if name in degraded:
                 demoted.append(name)
-            elif name in self.router._suspect and not self.router.confirm_fresh(name):
+            elif name in suspect and not self.router.confirm_fresh(name):
                 demoted.append(name)
             else:
                 preferred.append(name)
@@ -914,10 +1036,26 @@ class FederatedQueryClient:
         members — which hold every dual-committed write plus the streamed
         prefix, so a mid-migration key is effectively both-owners for
         availability without ever preferring the incomplete copy.
+
+        With ``hedge_after_s`` set (and more than one candidate), the
+        failover loop becomes a staged race: the preferred replica is
+        asked first, the next one fires only if no answer arrives in
+        time, and the first success wins — one slow worker stops setting
+        the read tail.  A replica that *fails* (rather than stalls) is
+        marked degraded exactly as in the sequential loop.
         """
         targets = self.router.read_set(key)
+        order = self._read_order(targets)
+        hedge = self.hedge_after_s
+        if (
+            hedge is not None
+            and hedge > 0
+            and len(order) > 1
+            and not self.router.fanout.sequential
+        ):
+            return self._read_hedged(key, targets, order, read, hedge)
         last: Optional[BaseException] = None
-        for index, name in enumerate(self._read_order(targets)):
+        for index, name in enumerate(order):
             store = self.router.store(name)
             try:
                 result = read(store)
@@ -928,7 +1066,8 @@ class FederatedQueryClient:
                 last = exc
                 continue
             if index > 0:
-                self.failovers += 1
+                with self._lock:
+                    self.failovers += 1
             return result
         raise Fault(
             "worker-unavailable",
@@ -938,6 +1077,41 @@ class FederatedQueryClient:
                 **(getattr(last, "detail", None) or {}),
             },
         ) from last
+
+    def _read_hedged(
+        self,
+        key: InteractionKey,
+        targets: List[str],
+        order: List[str],
+        read: Callable,
+        hedge: float,
+    ) -> object:
+        outcome = self.router.fanout.hedged(
+            order,
+            lambda name: read(self.router.store(name)),
+            hedge,
+            retryable=_is_unavailable,
+        )
+        last: Optional[BaseException] = None
+        for index, exc in sorted(outcome.errors.items()):
+            if _is_unavailable(exc):
+                self.router.mark_degraded(order[index])
+                last = exc
+        if outcome.fatal is not None:
+            raise outcome.fatal
+        if outcome.winner is None:
+            raise Fault(
+                "worker-unavailable",
+                f"every replica of {targets} is unreachable for {key}",
+                detail={
+                    "replicas": ",".join(targets),
+                    **(getattr(last, "detail", None) or {}),
+                },
+            ) from last
+        if outcome.winner > 0:
+            with self._lock:
+                self.failovers += 1
+        return outcome.value
 
     def _any_live(self, read: Callable) -> object:
         """Run ``read(store)`` against any live member (broadcast data)."""
@@ -957,19 +1131,26 @@ class FederatedQueryClient:
 
     def interaction_keys(self) -> List[InteractionKey]:
         vector = self.router.generation_vector()
-        if self._keys_cache is not None and self._keys_cache[0].fresh(vector):
-            self.cache_hits += 1
-            return list(self._keys_cache[1])
+        with self._lock:
+            if self._keys_cache is not None and self._keys_cache[0].fresh(
+                vector
+            ):
+                self.cache_hits += 1
+                return list(self._keys_cache[1])
         keys: set = set()
         down: List[str] = []
-        for name in self.router.store_names:
-            try:
-                keys.update(self.router.store(name).interaction_keys())
-            except BaseException as exc:
-                if not _is_unavailable(exc):
-                    raise
-                self.router.mark_degraded(name)
-                down.append(name)
+        results = self.router.fanout.scatter(
+            self.router.store_names,
+            lambda name: self.router.store(name).interaction_keys(),
+        )
+        for result in results:
+            if result.error is not None:
+                if not _is_unavailable(result.error):
+                    raise result.error
+                self.router.mark_degraded(result.target)
+                down.append(result.target)
+                continue
+            keys.update(result.value)
         if down and not self._union_complete(down):
             raise Fault(
                 "worker-unavailable",
@@ -978,7 +1159,8 @@ class FederatedQueryClient:
                 detail={"down": ",".join(down)},
             )
         merged = sorted(keys)
-        self._keys_cache = (vector, merged)
+        with self._lock:
+            self._keys_cache = (vector, merged)
         return list(merged)
 
     def _union_complete(self, down: List[str]) -> bool:
@@ -1027,6 +1209,18 @@ class FederatedQueryClient:
     def group_kinds(self, group_ids=None) -> Dict[str, str]:
         return self._any_live(lambda store: store.group_kinds(group_ids))
 
+    def passertion_counts(self, key: InteractionKey) -> Tuple[int, int]:
+        """Both of one key's p-assertion counts from one live replica.
+
+        A single store round trip (the per-key ``passertion-counts``
+        query) where asking for the two lists separately costs two —
+        the unit of work :meth:`counts` batches through the fan-out
+        pool on the replicated path.
+        """
+        return self._read_replicas(
+            key, lambda store: tuple(store.passertion_counts(key))
+        )
+
     def counts(self) -> StoreCounts:
         """Aggregate counts (group assertions counted once, not per replica).
 
@@ -1034,13 +1228,17 @@ class FederatedQueryClient:
         R>1 — or once the fleet has ever rebalanced (the append-only
         members keep a moved key's old copy beside the new owner's) — a
         member sum would multi-count, so counts are computed per key from
-        one live replica of its set: O(keys) round trips, amortized by
-        the generation-vector cache.
+        one live replica of its set (one :meth:`passertion_counts` round
+        trip per key, batched concurrently through the fan-out pool),
+        amortized by the generation-vector cache.
         """
         vector = self.router.generation_vector()
-        if self._counts_cache is not None and self._counts_cache[0].fresh(vector):
-            self.cache_hits += 1
-            return self._counts_cache[1]
+        with self._lock:
+            if self._counts_cache is not None and self._counts_cache[0].fresh(
+                vector
+            ):
+                self.cache_hits += 1
+                return self._counts_cache[1]
         if self.router.replicas == 1 and self.router.placement.epoch == 0:
             inter = state = 0
             records: set = set()
@@ -1060,9 +1258,14 @@ class FederatedQueryClient:
         else:
             keys = self.interaction_keys()
             inter = state = 0
-            for key in keys:
-                inter += len(self.interaction_passertions(key))
-                state += len(self.actor_state_passertions(key))
+            results = self.router.fanout.scatter(
+                keys, self.passertion_counts
+            )
+            for result in results:
+                if result.error is not None:
+                    raise result.error
+                inter += result.value[0]
+                state += result.value[1]
             groups = self._any_live(lambda store: store.counts()).group_assertions
             merged = StoreCounts(
                 interaction_passertions=inter,
@@ -1070,7 +1273,8 @@ class FederatedQueryClient:
                 group_assertions=groups,
                 interaction_records=len(keys),
             )
-        self._counts_cache = (vector, merged)
+        with self._lock:
+            self._counts_cache = (vector, merged)
         return merged
 
 
@@ -1138,6 +1342,9 @@ class FederatedStoreAdapter:
     def group_kinds(self, group_ids=None) -> Dict[str, str]:
         return self.federated.group_kinds(group_ids)
 
+    def passertion_counts(self, key: InteractionKey) -> Tuple[int, int]:
+        return self.federated.passertion_counts(key)
+
     def counts(self) -> StoreCounts:
         return self.federated.counts()
 
@@ -1193,6 +1400,8 @@ def sharded_store_fleet(
     replicas: int = 1,
     fault_rules: Optional[Dict[str, tuple]] = None,
     placement: str = "modulo",
+    fanout_workers: Optional[int] = None,
+    hedge_after_s: Optional[float] = None,
 ) -> StoreRouter:
     """A §7 deployment in one call: a router over KVLog-backed members.
 
@@ -1233,6 +1442,15 @@ def sharded_store_fleet(
     set.  ``fault_rules`` (process transport only) maps worker names to
     scripted :class:`~repro.fleet.faults.FaultRule` tuples for
     deterministic crash drills.
+
+    ``fanout_workers`` sizes the router's scatter-gather pool (capped at
+    the member count; default ``min(members, 8)``): replica commits,
+    broadcasts and federated merges run concurrently across members.
+    Pass ``0`` for the sequential parity mode — byte-identical behavior,
+    one member at a time.  ``hedge_after_s`` opts federated per-key reads
+    into hedging: a read whose preferred replica has not answered within
+    that many seconds fires the next replica too and takes the first
+    success, bounding the read tail under one slow worker.
 
     ``placement`` selects the placement rule: ``"modulo"`` (default) is
     the legacy hash-mod-N successor rule, kept for byte-identical
@@ -1292,6 +1510,8 @@ def sharded_store_fleet(
             fleet.stores(),
             on_close=lambda: fleet.close(raise_errors=False),
             placement=pmap,
+            fanout_workers=fanout_workers,
+            hedge_after_s=hedge_after_s,
         )
         router.fleet = fleet  # type: ignore[attr-defined]
 
@@ -1336,7 +1556,12 @@ def sharded_store_fleet(
     }
     if scheduler is not None:
         scheduler.start()
-    router = StoreRouter(stores, placement=pmap)
+    router = StoreRouter(
+        stores,
+        placement=pmap,
+        fanout_workers=fanout_workers,
+        hedge_after_s=hedge_after_s,
+    )
 
     def _inprocess_factory(name: Optional[str] = None):
         if name is None:

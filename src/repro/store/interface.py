@@ -489,6 +489,20 @@ class ProvenanceStoreInterface(ABC):
     ) -> List[ActorStatePAssertion]:
         return self._index.actor_state_passertions(key, view, state_type)
 
+    def passertion_counts(self, key: InteractionKey) -> Tuple[int, int]:
+        """``(interaction, actor-state)`` p-assertion counts for one key.
+
+        One store call where asking for the two lists separately costs
+        two — over the socket transport that halves the round trips the
+        federated ``counts()`` path pays per key.  Composed from the
+        public per-key reads so wrapping/overriding stores keep their
+        semantics (a store that rejects reads rejects this too).
+        """
+        return (
+            len(self.interaction_passertions(key)),
+            len(self.actor_state_passertions(key)),
+        )
+
     def group_members(self, group_id: str) -> List[InteractionKey]:
         return self._index.group_members(group_id)
 

@@ -130,6 +130,7 @@ class QueryPlugIn(PlugIn):
             "groups": self._q_groups,
             "groups-of": self._q_groups_of,
             "count": self._q_count,
+            "passertion-counts": self._q_passertion_counts,
         }
         self.cache = cache if cache is not None else (
             QueryCache() if enable_cache else None
@@ -138,7 +139,15 @@ class QueryPlugIn(PlugIn):
     #: query types whose result depends only on one interaction's records
     #: (its p-assertions and the memberships naming it) — these plans carry
     #: a scope so sharded backends can invalidate them per shard.
-    _KEY_SCOPED = frozenset({"interaction", "record", "actor-state", "groups-of"})
+    _KEY_SCOPED = frozenset(
+        {
+            "interaction",
+            "record",
+            "actor-state",
+            "groups-of",
+            "passertion-counts",
+        }
+    )
 
     def _build_plan(self, body: XmlElement) -> QueryPlan:
         query = PrepQuery.from_xml(body)
@@ -248,6 +257,21 @@ class QueryPlugIn(PlugIn):
             XmlElement("group", attrs={"id": gid, "kind": kinds.get(gid, "")})
             for gid in gids
         ]
+
+    def _q_passertion_counts(
+        self, query: PrepQuery, backend: ProvenanceStoreInterface
+    ) -> List[XmlElement]:
+        """Both of one interaction's p-assertion counts in one round trip."""
+        key = self._key_from_params(query)
+        inter, state = backend.passertion_counts(key)
+        el = XmlElement(
+            "passertion-counts",
+            attrs={
+                "interaction-passertions": str(inter),
+                "actor-state-passertions": str(state),
+            },
+        )
+        return [el]
 
     def _q_count(
         self, query: PrepQuery, backend: ProvenanceStoreInterface
